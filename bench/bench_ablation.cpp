@@ -1,0 +1,167 @@
+// Ablation study of AIM's design choices (not a paper figure; DESIGN.md
+// calls these out). Each variant disables one mechanism and reruns the
+// TPC-H bootstrap at a fixed budget:
+//
+//   merge-off      no partial-order merging (Sec. III-E)
+//   dataless-off   residual range column picked by raw NDV instead of
+//                  dataless_index_cost (Algorithm 5 line 6)
+//   covering-off   single-phase, no covering candidates (Sec. III-B/D)
+//   j=0/1/2/3      join-parameter sweep, estimate-only (Sec. IV-C)
+//   ipp-relax      IPP relaxation with a selectivity floor (Sec. V-A)
+//
+// Plus the storage-engine comparison: B+Tree vs LSM maintenance pricing
+// on a write-heavy product changes how many indexes survive ranking.
+#include "bench/bench_util.h"
+#include "core/aim.h"
+#include "workload/demo.h"
+#include "workload/products.h"
+#include "workload/tpch.h"
+
+using namespace aim;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  core::AimOptions options;
+};
+
+void RunTpchAblation() {
+  storage::Database db;
+  workload::TpchOptions tpch;
+  tpch.materialized_sf = 0.002;
+  tpch.stats_sf = 10.0;
+  if (Status s = workload::BuildTpch(&db, tpch); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return;
+  }
+  Result<workload::Workload> w = workload::TpchQueries();
+  if (!w.ok()) return;
+
+  const double budget = 8.0 * 1024 * 1024 * 1024;
+  optimizer::WhatIfOptimizer baseline(db.catalog(), optimizer::CostModel());
+  const double unindexed =
+      advisors::WorkloadCost(w.ValueOrDie(), &baseline).ValueOrDie();
+
+  core::AimOptions base;
+  base.validate_on_clone = false;
+  base.candidates.max_index_width = 4;
+  base.ranking.storage_budget_bytes = budget;
+
+  std::vector<Variant> variants;
+  variants.push_back({"full AIM", base});
+  {
+    core::AimOptions v = base;
+    v.merge.max_iterations = 0;  // dedup only, no pairwise merging
+    variants.push_back({"merge-off", v});
+  }
+  {
+    core::AimOptions v = base;
+    v.candidates.use_dataless_cost = false;
+    variants.push_back({"dataless-off", v});
+  }
+  {
+    core::AimOptions v = base;
+    v.two_phase = false;
+    v.candidates.enable_covering = false;
+    variants.push_back({"covering-off", v});
+  }
+  for (int j = 0; j <= 3; ++j) {
+    core::AimOptions v = base;
+    v.candidates.join_parameter = j;
+    static char names[4][8];
+    snprintf(names[j], sizeof(names[j]), "j=%d", j);
+    variants.push_back({names[j], v});
+  }
+  {
+    core::AimOptions v = base;
+    v.candidates.ipp_selectivity_floor = 1e-4;
+    variants.push_back({"ipp-relax", v});
+  }
+
+  std::printf("\nTPC-H SF10, budget 8 GB, width <= 4 "
+              "(unindexed cost %.0f)\n",
+              unindexed);
+  std::printf("%-14s %10s %10s %12s %8s %10s\n", "variant", "rel_cost%",
+              "runtime_s", "whatif_calls", "indexes", "size_GB");
+  for (const Variant& variant : variants) {
+    core::AutomaticIndexManager aim(&db, optimizer::CostModel(),
+                                    variant.options);
+    Result<core::AimReport> r = aim.Recommend(w.ValueOrDie(), nullptr);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", variant.name,
+                   r.status().ToString().c_str());
+      continue;
+    }
+    std::vector<catalog::IndexDef> config;
+    double size = 0;
+    for (const auto& c : r.ValueOrDie().recommended) {
+      config.push_back(c.def);
+      size += c.size_bytes;
+    }
+    optimizer::WhatIfOptimizer what_if(db.catalog(),
+                                       optimizer::CostModel());
+    (void)what_if.SetConfiguration(config);
+    const double cost =
+        advisors::WorkloadCost(w.ValueOrDie(), &what_if).ValueOrDie();
+    std::printf("%-14s %10.2f %10.3f %12llu %8zu %10.2f\n", variant.name,
+                100.0 * cost / unindexed,
+                r.ValueOrDie().stats.runtime_seconds,
+                (unsigned long long)r.ValueOrDie().stats.what_if_calls,
+                config.size(), size / 1e9);
+  }
+}
+
+void RunEngineAblation() {
+  // A read that wants an index on `score` against updates that churn
+  // `score`: the index's utility is benefit - maintenance (Eq. 7/8), and
+  // the maintenance price differs ~3x between engines. Sweeping the
+  // write rate exposes the decision crossover.
+  std::printf(
+      "\nStorage-engine pricing (AIM supports both, Sec. VI-A): does an\n"
+      "index on a write-churned column survive ranking?\n");
+  std::printf("%-12s %10s %10s\n", "write:read", "B+Tree", "LSM");
+  for (double write_ratio : {1.0, 5.0, 20.0, 80.0, 320.0}) {
+    std::string row =
+        StringPrintf("%-12.0f", write_ratio);
+    for (auto engine : {catalog::EngineKind::kBTree,
+                        catalog::EngineKind::kLsm}) {
+      storage::Database db = workload::MakeUsersDemoDb(8000, 31);
+      workload::Workload w;
+      (void)w.Add("SELECT id FROM users WHERE score = 77", 100.0);
+      (void)w.Add(
+          StringPrintf("UPDATE users SET score = 1 WHERE id = %d", 5),
+          100.0 * write_ratio);
+      const optimizer::CostModel cm(engine == catalog::EngineKind::kLsm
+                                        ? optimizer::CostParams::Lsm()
+                                        : optimizer::CostParams::BTree());
+      core::AimOptions options;
+      options.validate_on_clone = false;
+      core::AutomaticIndexManager aim(&db, cm, options);
+      Result<core::AimReport> r = aim.Recommend(w, nullptr);
+      bool has_score_index = false;
+      if (r.ok()) {
+        for (const auto& c : r.ValueOrDie().recommended) {
+          if (!c.def.columns.empty() && c.def.columns[0] == 3) {
+            has_score_index = true;
+          }
+        }
+      }
+      row += StringPrintf(" %10s", has_score_index ? "index" : "skip");
+    }
+    std::printf("%s\n", row.c_str());
+  }
+  std::printf(
+      "(LSM's cheaper index maintenance keeps the index worthwhile at\n"
+      "write rates where the B+Tree engine already drops it — Eq. 8's\n"
+      "write-amplification discount is engine-specific.)\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Ablations — AIM design choices (DESIGN.md)");
+  RunTpchAblation();
+  RunEngineAblation();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// All-advisors comparison at a single budget, in the spirit of the
+// Kossmann et al. "magic mirror" framework the paper used (it supports
+// eight algorithms; the paper plotted the best two for clarity — Fig. 4).
+// Here every implemented baseline runs side by side with AIM on TPC-H.
+#include "advisors/aim_adapter.h"
+#include "advisors/autoadmin.h"
+#include "advisors/db2advis.h"
+#include "advisors/drop.h"
+#include "advisors/dta.h"
+#include "advisors/extend.h"
+#include "advisors/relaxation.h"
+#include "bench/bench_util.h"
+#include "workload/tpch.h"
+
+using namespace aim;
+
+int main() {
+  bench::Header(
+      "All advisors — TPC-H SF10 at an 8 GB budget (Kossmann-framework "
+      "style side-by-side)");
+
+  storage::Database db;
+  workload::TpchOptions tpch;
+  tpch.materialized_sf = 0.002;
+  tpch.stats_sf = 10.0;
+  if (Status s = workload::BuildTpch(&db, tpch); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  Result<workload::Workload> w = workload::TpchQueries();
+  if (!w.ok()) return 1;
+
+  std::vector<std::unique_ptr<advisors::Advisor>> algos;
+  algos.push_back(std::make_unique<advisors::AimAdvisor>(&db));
+  algos.push_back(std::make_unique<advisors::DtaAdvisor>());
+  algos.push_back(std::make_unique<advisors::ExtendAdvisor>());
+  algos.push_back(std::make_unique<advisors::RelaxationAdvisor>());
+  algos.push_back(std::make_unique<advisors::Db2AdvisAdvisor>());
+  algos.push_back(std::make_unique<advisors::AutoAdminAdvisor>());
+  algos.push_back(std::make_unique<advisors::DropAdvisor>());
+
+  advisors::AdvisorOptions options;
+  options.max_index_width = 4;
+  options.time_limit_seconds = 20.0;
+
+  std::vector<bench::SweepPoint> points = bench::RunBudgetSweep(
+      db, w.ValueOrDie(), {8000}, &algos, options);
+  bench::PrintSweep(points);
+
+  std::printf(
+      "\nPaper shape: the what-if enumerators (DTA, Relaxation, Drop)\n"
+      "burn orders of magnitude more optimizer calls and wall-clock time\n"
+      "than AIM for solutions of comparable quality; Relaxation is the\n"
+      "only other structure-aware algorithm and pays for its top-down\n"
+      "pruning exactly as Sec. IX describes.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 4c/4d: JOB (join order benchmark flavour) — estimated workload
+// cost relative to unindexed, and advisor runtime, vs storage budget.
+// AIM vs DTA vs Extend, max width 3 (the paper's JOB cap for DTA).
+#include "advisors/aim_adapter.h"
+#include "advisors/dta.h"
+#include "advisors/extend.h"
+#include "bench/bench_util.h"
+#include "workload/job.h"
+
+using namespace aim;
+
+int main() {
+  bench::Header(
+      "Fig 4c/4d — JOB: estimated cost & advisor runtime vs storage "
+      "budget (AIM / DTA / Extend, width <= 3)");
+
+  storage::Database db;
+  workload::JobOptions job;
+  job.scale = 0.05;
+  job.stats_scale = 50.0;
+  if (Status s = workload::BuildJob(&db, job); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  Result<workload::Workload> w = workload::JobQueries();
+  if (!w.ok()) return 1;
+
+  std::vector<std::unique_ptr<advisors::Advisor>> algos;
+  algos.push_back(std::make_unique<advisors::AimAdvisor>(&db));
+  algos.push_back(std::make_unique<advisors::DtaAdvisor>());
+  algos.push_back(std::make_unique<advisors::ExtendAdvisor>());
+
+  advisors::AdvisorOptions options;
+  options.max_index_width = 3;
+  options.time_limit_seconds = 20.0;
+
+  const std::vector<double> budgets_mb = {100, 250, 500, 1000, 2000,
+                                          4000};
+  std::vector<bench::SweepPoint> points =
+      bench::RunBudgetSweep(db, w.ValueOrDie(), budgets_mb, &algos,
+                            options);
+  bench::PrintSweep(points);
+
+  std::printf(
+      "\nPaper shape: same as TPC-H — AIM matches the quality of the\n"
+      "what-if enumerators at relaxed budgets with a flat, far smaller\n"
+      "runtime; join-heavy queries make DTA's enumeration especially\n"
+      "expensive.\n");
+  return 0;
+}

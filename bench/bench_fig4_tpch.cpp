@@ -1,0 +1,52 @@
+// Figure 4a/4b: TPC-H (statistics at SF 10) — estimated workload cost
+// relative to the unindexed configuration, and advisor runtime, as a
+// function of the storage budget. AIM vs DTA vs Extend, max width 4
+// (the width the paper had to cap DTA at).
+#include "advisors/aim_adapter.h"
+#include "advisors/dta.h"
+#include "advisors/extend.h"
+#include "bench/bench_util.h"
+#include "workload/tpch.h"
+
+using namespace aim;
+
+int main() {
+  bench::Header(
+      "Fig 4a/4b — TPC-H SF10: estimated cost & advisor runtime vs "
+      "storage budget (AIM / DTA / Extend, width <= 4)");
+
+  storage::Database db;
+  workload::TpchOptions tpch;
+  tpch.materialized_sf = 0.002;
+  tpch.stats_sf = 10.0;
+  if (Status s = workload::BuildTpch(&db, tpch); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  Result<workload::Workload> w = workload::TpchQueries();
+  if (!w.ok()) return 1;
+
+  std::vector<std::unique_ptr<advisors::Advisor>> algos;
+  algos.push_back(std::make_unique<advisors::AimAdvisor>(&db));
+  algos.push_back(std::make_unique<advisors::DtaAdvisor>());
+  algos.push_back(std::make_unique<advisors::ExtendAdvisor>());
+
+  advisors::AdvisorOptions options;
+  options.max_index_width = 4;
+  options.time_limit_seconds = 20.0;  // the "really high timeout" cap
+
+  const std::vector<double> budgets_mb = {500,  1000, 2000, 4000,
+                                          8000, 12000, 15000};
+  std::vector<bench::SweepPoint> points =
+      bench::RunBudgetSweep(db, w.ValueOrDie(), budgets_mb, &algos,
+                            options);
+  bench::PrintSweep(points);
+
+  std::printf(
+      "\nPaper shape: AIM's cost is at or below DTA/Extend once the\n"
+      "budget is reasonably relaxed (>= ~4 GB), may trail at tight\n"
+      "budgets (coarser solution granularity), and its runtime stays\n"
+      "flat and orders of magnitude below the enumeration-based\n"
+      "algorithms.\n");
+  return 0;
+}

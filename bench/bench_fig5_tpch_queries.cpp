@@ -1,0 +1,89 @@
+// Figure 5a/5b: per-query processing costs for TPC-H (stats at SF 10)
+// with a 15 GB budget, across AIM / DTA / Extend configurations.
+// Costs are optimizer-estimated, relative to the unindexed plan of each
+// query (100 = no improvement), exactly as the paper reports.
+#include <map>
+
+#include "advisors/aim_adapter.h"
+#include "advisors/dta.h"
+#include "advisors/extend.h"
+#include "bench/bench_util.h"
+#include "workload/tpch.h"
+
+using namespace aim;
+
+int main() {
+  bench::Header(
+      "Fig 5a/5b — TPC-H per-query estimated costs at 15 GB budget "
+      "(relative to unindexed, lower is better)");
+
+  storage::Database db;
+  workload::TpchOptions tpch;
+  tpch.materialized_sf = 0.002;
+  tpch.stats_sf = 10.0;
+  if (Status s = workload::BuildTpch(&db, tpch); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  Result<workload::Workload> w = workload::TpchQueries();
+  if (!w.ok()) return 1;
+
+  advisors::AdvisorOptions options;
+  options.storage_budget_bytes = 15.0 * 1024 * 1024 * 1024;
+  options.max_index_width = 4;
+  options.time_limit_seconds = 20.0;
+
+  std::vector<std::unique_ptr<advisors::Advisor>> algos;
+  algos.push_back(std::make_unique<advisors::AimAdvisor>(&db));
+  algos.push_back(std::make_unique<advisors::DtaAdvisor>());
+  algos.push_back(std::make_unique<advisors::ExtendAdvisor>());
+
+  // Per-algorithm configuration.
+  std::map<std::string, std::vector<catalog::IndexDef>> configs;
+  for (auto& algo : algos) {
+    optimizer::WhatIfOptimizer what_if(db.catalog(),
+                                       optimizer::CostModel());
+    Result<advisors::AdvisorResult> r =
+        algo->Recommend(w.ValueOrDie(), &what_if, options);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", algo->name().c_str(),
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    configs[algo->name()] = r.ValueOrDie().indexes;
+  }
+
+  // Per-query costs under each configuration.
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  std::printf("%-5s %14s %10s %10s %10s\n", "query", "unindexed",
+              "AIM", "DTA", "Extend");
+  double sums[3] = {0, 0, 0};
+  for (int qn = 1; qn <= 22; ++qn) {
+    const workload::Query& q = w.ValueOrDie().queries[qn - 1];
+    what_if.ClearConfiguration();
+    const double base = what_if.QueryCost(q.stmt).ValueOrDie();
+    double rel[3];
+    const char* names[3] = {"AIM", "DTA", "Extend"};
+    for (int a = 0; a < 3; ++a) {
+      (void)what_if.SetConfiguration(configs[names[a]]);
+      const double c = what_if.QueryCost(q.stmt).ValueOrDie();
+      rel[a] = base > 0 ? 100.0 * c / base : 100.0;
+      sums[a] += rel[a];
+    }
+    std::printf("Q%-4d %14.0f %9.1f%% %9.1f%% %9.1f%%%s\n", qn, base,
+                rel[0], rel[1], rel[2],
+                (rel[0] > 1.5 * std::min(rel[1], rel[2]) ||
+                 rel[1] > 1.5 * std::min(rel[0], rel[2]) ||
+                 rel[2] > 1.5 * std::min(rel[0], rel[1]))
+                    ? "   <- divergence"
+                    : "");
+  }
+  std::printf("%-5s %14s %9.1f%% %9.1f%% %9.1f%%\n", "avg", "",
+              sums[0] / 22, sums[1] / 22, sums[2] / 22);
+  std::printf(
+      "\nPaper shape: per-query costs are similar across algorithms for\n"
+      "almost every query; occasional divergences (the paper's Q21 case)\n"
+      "come from covering-index choices the optimizer prices\n"
+      "differently.\n");
+  return 0;
+}

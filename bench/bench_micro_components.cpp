@@ -1,0 +1,153 @@
+// Component micro-benchmarks (google-benchmark): the building blocks
+// whose costs explain the end-to-end runtime differences of Fig. 4 —
+// parsing/normalization, what-if optimizer calls, partial-order merging,
+// structural candidate generation, and executor primitives.
+#include <benchmark/benchmark.h>
+
+#include "core/candidate_generation.h"
+#include "core/merge.h"
+#include "executor/executor.h"
+#include "optimizer/what_if.h"
+#include "sql/normalizer.h"
+#include "sql/parser.h"
+#include "workload/demo.h"
+#include "workload/tpch.h"
+
+namespace {
+
+using namespace aim;
+
+const char* kJoinSql =
+    "SELECT users.id FROM users, orders WHERE users.id = orders.user_id "
+    "AND users.org_id = 5 AND orders.day > 100 ORDER BY orders.day "
+    "LIMIT 10";
+
+void BM_ParseStatement(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = sql::Parse(kJoinSql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ParseStatement);
+
+void BM_NormalizeFingerprint(benchmark::State& state) {
+  auto stmt = sql::Parse(kJoinSql).MoveValue();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::NormalizedFingerprint(stmt));
+  }
+}
+BENCHMARK(BM_NormalizeFingerprint);
+
+void BM_WhatIfSingleTable(benchmark::State& state) {
+  storage::Database db = workload::MakeUsersDemoDb(5000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  auto stmt =
+      sql::Parse("SELECT id FROM users WHERE org_id = 5 AND status = 2")
+          .MoveValue();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(what_if.QueryCost(stmt));
+  }
+}
+BENCHMARK(BM_WhatIfSingleTable);
+
+void BM_WhatIfJoinQuery(benchmark::State& state) {
+  storage::Database db = workload::MakeOrdersDemoDb(1000, 5000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  auto stmt = sql::Parse(kJoinSql).MoveValue();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(what_if.QueryCost(stmt));
+  }
+}
+BENCHMARK(BM_WhatIfJoinQuery);
+
+void BM_WhatIfTpchQ5(benchmark::State& state) {
+  storage::Database db;
+  workload::TpchOptions options;
+  options.materialized_sf = 0.001;
+  (void)workload::BuildTpch(&db, options);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  auto q = workload::TpchQuery(5).MoveValue();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(what_if.QueryCost(q.stmt));
+  }
+}
+BENCHMARK(BM_WhatIfTpchQ5);
+
+void BM_MergePartialOrders(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<core::PartialOrder> orders;
+  // Chains of subset-related orders that actually merge.
+  for (int i = 0; i < n; ++i) {
+    std::vector<core::PartialOrder::Partition> parts;
+    core::PartialOrder::Partition p;
+    for (catalog::ColumnId c = 0; c <= static_cast<catalog::ColumnId>(i % 5);
+         ++c) {
+      p.push_back(c);
+    }
+    parts.push_back(p);
+    orders.push_back(core::PartialOrder::FromPartitions(0, parts));
+  }
+  for (auto _ : state) {
+    auto merged = core::MergePartialOrders(orders);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_MergePartialOrders)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_CandidateGeneration(benchmark::State& state) {
+  storage::Database db = workload::MakeOrdersDemoDb(1000, 5000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  core::CandidateGenerator gen(db.catalog(), &what_if,
+                               core::CandidateGenOptions{});
+  auto q = workload::MakeQuery(kJoinSql).MoveValue();
+  auto aq = optimizer::Analyze(q.stmt, db.catalog()).MoveValue();
+  for (auto _ : state) {
+    auto orders = gen.GenerateForQuery(q, aq, nullptr);
+    benchmark::DoNotOptimize(orders);
+  }
+}
+BENCHMARK(BM_CandidateGeneration);
+
+void BM_ExecutorPointLookup(benchmark::State& state) {
+  storage::Database db = workload::MakeUsersDemoDb(20000);
+  catalog::IndexDef def;
+  def.table = 0;
+  def.columns = {1};
+  (void)db.CreateIndex(def);
+  executor::Executor exec(&db, optimizer::CostModel());
+  auto stmt =
+      sql::Parse("SELECT id FROM users WHERE org_id = 7").MoveValue();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Execute(stmt));
+  }
+}
+BENCHMARK(BM_ExecutorPointLookup);
+
+void BM_ExecutorFullScan(benchmark::State& state) {
+  storage::Database db = workload::MakeUsersDemoDb(20000);
+  executor::Executor exec(&db, optimizer::CostModel());
+  auto stmt =
+      sql::Parse("SELECT id FROM users WHERE org_id = 7").MoveValue();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Execute(stmt));
+  }
+}
+BENCHMARK(BM_ExecutorFullScan);
+
+void BM_BTreeInsertErase(benchmark::State& state) {
+  storage::BTreeIndex index;
+  int64_t i = 0;
+  for (auto _ : state) {
+    index.Insert({sql::Value::Int(i % 1000), sql::Value::Int(i)}, i);
+    if (i % 2 == 1) {
+      index.Erase({sql::Value::Int((i - 1) % 1000), sql::Value::Int(i - 1)},
+                  i - 1);
+    }
+    ++i;
+  }
+}
+BENCHMARK(BM_BTreeInsertErase);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Table II: DBA vs AIM on the seven production-like products (A–G).
+// For each product we report index counts, total index sizes, and the
+// Jaccard similarity between the DBA's index set and AIM's — the paper's
+// manual-vs-automatic comparison.
+#include "bench/bench_util.h"
+#include "core/aim.h"
+#include "workload/products.h"
+
+using namespace aim;
+
+namespace {
+const char* MixName(workload::WorkloadMix mix) {
+  switch (mix) {
+    case workload::WorkloadMix::kWriteHeavy:
+      return "Write Heavy";
+    case workload::WorkloadMix::kReadHeavy:
+      return "Read Heavy";
+    case workload::WorkloadMix::kBalanced:
+      return "Balanced";
+  }
+  return "?";
+}
+}  // namespace
+
+int main() {
+  bench::Header(
+      "Table II — DBA vs AIM on production-like products "
+      "(index count / total size / Jaccard similarity)");
+  std::printf("%-10s %7s %6s %-12s %8s %8s %12s %12s %8s\n", "product",
+              "tables", "joinQ", "type", "DBA#", "AIM#", "DBA_size",
+              "AIM_size", "Jaccard");
+
+  for (const workload::ProductSpec& spec : workload::TableIIProducts()) {
+    Result<workload::ProductInstance> built = workload::BuildProduct(spec);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s build failed: %s\n", spec.name.c_str(),
+                   built.status().ToString().c_str());
+      continue;
+    }
+    workload::ProductInstance& product = built.ValueOrDie();
+
+    // DBA sizing on a catalog copy.
+    double dba_bytes = 0.0;
+    for (const auto& def : product.dba_indexes) {
+      dba_bytes += product.db.catalog().IndexSizeBytes(def);
+    }
+
+    // AIM bootstraps from scratch on the same database + workload.
+    core::AimOptions options;
+    options.validate_on_clone = false;  // estimate-mode; Fig 3 replays
+    options.candidates.join_parameter = 2;
+    // OLTP fleet posture: narrow composites, covering reserved for very
+    // hot queries (the paper's high SSD seek threshold).
+    options.candidates.max_index_width = 4;
+    options.candidates.covering_seek_threshold = 1e9;
+    core::AutomaticIndexManager aim(&product.db, optimizer::CostModel(),
+                                    options);
+    Result<core::AimReport> report = aim.Recommend(product.workload,
+                                                   nullptr);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s AIM failed: %s\n", spec.name.c_str(),
+                   report.status().ToString().c_str());
+      continue;
+    }
+    std::vector<catalog::IndexDef> aim_indexes;
+    double aim_bytes = 0.0;
+    for (const auto& c : report.ValueOrDie().recommended) {
+      aim_indexes.push_back(c.def);
+      aim_bytes += c.size_bytes;
+    }
+    const double jaccard =
+        workload::IndexSetJaccard(product.dba_indexes, aim_indexes);
+
+    std::printf("%-10s %7d %6d %-12s %8zu %8zu %12s %12s %8.2f\n",
+                spec.name.c_str(), spec.tables, spec.join_queries,
+                MixName(spec.mix), product.dba_indexes.size(),
+                aim_indexes.size(), HumanBytes(dba_bytes).c_str(),
+                HumanBytes(aim_bytes).c_str(), jaccard);
+  }
+  std::printf(
+      "\nPaper shape: AIM reaches DBA-comparable designs with similar or\n"
+      "fewer indexes and similar or smaller total size; Jaccard overlap\n"
+      "is high but below 1.0 (different-but-equivalent choices plus DBA\n"
+      "legacy indexes).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+#ifndef AIM_BENCH_BENCH_UTIL_H_
+#define AIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advisors/advisor.h"
+#include "common/strings.h"
+#include "storage/database.h"
+
+namespace aim::bench {
+
+/// Prints a section header for one experiment.
+inline void Header(const std::string& title) {
+  std::printf("\n===========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("===========================================================\n");
+}
+
+/// One advisor's numbers at one budget point (a point on Fig. 4's lines).
+struct SweepPoint {
+  double budget_mb = 0.0;
+  std::string advisor;
+  double relative_cost_pct = 0.0;  // estimated workload cost vs unindexed
+  double runtime_seconds = 0.0;
+  uint64_t what_if_calls = 0;
+  size_t index_count = 0;
+  double size_mb = 0.0;
+};
+
+/// Runs `advisors` over the budget sweep against a fixed catalog +
+/// workload, reporting estimated costs relative to the unindexed
+/// configuration — the protocol of Fig. 4.
+inline std::vector<SweepPoint> RunBudgetSweep(
+    const storage::Database& db, const workload::Workload& w,
+    const std::vector<double>& budgets_mb,
+    std::vector<std::unique_ptr<advisors::Advisor>>* algos,
+    advisors::AdvisorOptions base_options) {
+  std::vector<SweepPoint> points;
+  optimizer::WhatIfOptimizer baseline(db.catalog(), optimizer::CostModel());
+  Result<double> unindexed = advisors::WorkloadCost(w, &baseline);
+  if (!unindexed.ok()) {
+    std::fprintf(stderr, "baseline cost failed: %s\n",
+                 unindexed.status().ToString().c_str());
+    return points;
+  }
+  for (double budget_mb : budgets_mb) {
+    for (auto& algo : *algos) {
+      optimizer::WhatIfOptimizer what_if(db.catalog(),
+                                         optimizer::CostModel());
+      advisors::AdvisorOptions options = base_options;
+      options.storage_budget_bytes = budget_mb * 1024.0 * 1024.0;
+      Result<advisors::AdvisorResult> r =
+          algo->Recommend(w, &what_if, options);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s failed at %.0f MB: %s\n",
+                     algo->name().c_str(), budget_mb,
+                     r.status().ToString().c_str());
+        continue;
+      }
+      SweepPoint p;
+      p.budget_mb = budget_mb;
+      p.advisor = algo->name();
+      p.relative_cost_pct = 100.0 * r.ValueOrDie().final_workload_cost /
+                            unindexed.ValueOrDie();
+      p.runtime_seconds = r.ValueOrDie().runtime_seconds;
+      p.what_if_calls = r.ValueOrDie().what_if_calls;
+      p.index_count = r.ValueOrDie().indexes.size();
+      p.size_mb = r.ValueOrDie().total_size_bytes / 1024.0 / 1024.0;
+      points.push_back(p);
+    }
+  }
+  return points;
+}
+
+inline void PrintSweep(const std::vector<SweepPoint>& points) {
+  std::printf("%-10s %-10s %10s %10s %12s %8s %10s\n", "budget_MB",
+              "advisor", "rel_cost%", "runtime_s", "whatif_calls",
+              "indexes", "size_MB");
+  for (const SweepPoint& p : points) {
+    std::printf("%-10.0f %-10s %10.2f %10.3f %12llu %8zu %10.1f\n",
+                p.budget_mb, p.advisor.c_str(), p.relative_cost_pct,
+                p.runtime_seconds, (unsigned long long)p.what_if_calls,
+                p.index_count, p.size_mb);
+  }
+}
+
+}  // namespace aim::bench
+
+#endif  // AIM_BENCH_BENCH_UTIL_H_

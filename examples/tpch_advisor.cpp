@@ -1,0 +1,83 @@
+// Analytical-benchmark advisor comparison on TPC-H, in the style of the
+// paper's Sec. VI-B: AIM vs Extend vs DTA at one storage budget, using
+// optimizer-estimated costs over hypothetical indexes.
+//
+//   $ ./tpch_advisor
+#include <cstdio>
+#include <memory>
+
+#include "advisors/aim_adapter.h"
+#include "advisors/dta.h"
+#include "advisors/extend.h"
+#include "common/strings.h"
+#include "workload/tpch.h"
+
+using namespace aim;
+
+int main() {
+  storage::Database db;
+  workload::TpchOptions tpch;
+  tpch.materialized_sf = 0.002;  // tiny materialization; stats say SF 10
+  tpch.stats_sf = 10.0;
+  if (Status s = workload::BuildTpch(&db, tpch); !s.ok()) {
+    std::fprintf(stderr, "TPC-H build failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  Result<workload::Workload> w = workload::TpchQueries();
+  if (!w.ok()) {
+    std::fprintf(stderr, "%s\n", w.status().ToString().c_str());
+    return 1;
+  }
+
+  advisors::AdvisorOptions options;
+  options.storage_budget_bytes = 8.0 * 1024 * 1024 * 1024;  // 8 GB
+  options.max_index_width = 4;
+  options.time_limit_seconds = 20.0;
+
+  optimizer::WhatIfOptimizer baseline(db.catalog(), optimizer::CostModel());
+  const double unindexed =
+      advisors::WorkloadCost(w.ValueOrDie(), &baseline).ValueOrDie();
+  std::printf("TPC-H (stats at SF 10), budget %s, unindexed cost %.0f\n\n",
+              HumanBytes(options.storage_budget_bytes).c_str(), unindexed);
+  std::printf("%-10s %10s %12s %10s %12s %8s\n", "advisor", "indexes",
+              "size", "rel.cost", "whatif", "runtime");
+
+  std::unique_ptr<advisors::Advisor> algos[] = {
+      std::make_unique<advisors::AimAdvisor>(&db),
+      std::make_unique<advisors::ExtendAdvisor>(),
+      std::make_unique<advisors::DtaAdvisor>(),
+  };
+  for (auto& algo : algos) {
+    optimizer::WhatIfOptimizer what_if(db.catalog(),
+                                       optimizer::CostModel());
+    Result<advisors::AdvisorResult> r =
+        algo->Recommend(w.ValueOrDie(), &what_if, options);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", algo->name().c_str(),
+                   r.status().ToString().c_str());
+      continue;
+    }
+    const auto& res = r.ValueOrDie();
+    std::printf("%-10s %10zu %12s %9.1f%% %12llu %7.2fs\n",
+                algo->name().c_str(), res.indexes.size(),
+                HumanBytes(res.total_size_bytes).c_str(),
+                100.0 * res.final_workload_cost / unindexed,
+                (unsigned long long)res.what_if_calls,
+                res.runtime_seconds);
+  }
+
+  // Show what AIM actually picked.
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  advisors::AimAdvisor aim(&db);
+  Result<advisors::AdvisorResult> r =
+      aim.Recommend(w.ValueOrDie(), &what_if, options);
+  if (r.ok()) {
+    std::printf("\nAIM's configuration:\n");
+    for (const auto& def : r.ValueOrDie().indexes) {
+      std::printf("  CREATE INDEX ON %s  -- %s\n",
+                  db.catalog().DescribeIndex(def).c_str(),
+                  HumanBytes(db.catalog().IndexSizeBytes(def)).c_str());
+    }
+  }
+  return 0;
+}

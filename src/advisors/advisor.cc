@@ -1,0 +1,137 @@
+#include "advisors/advisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "optimizer/predicate.h"
+
+namespace aim::advisors {
+
+namespace {
+void InsertUnique(std::vector<catalog::ColumnId>* v, catalog::ColumnId c) {
+  if (std::find(v->begin(), v->end(), c) == v->end()) v->push_back(c);
+}
+}  // namespace
+
+Result<std::vector<IndexableColumns>> ExtractIndexableColumns(
+    const sql::Statement& stmt, const catalog::Catalog& catalog) {
+  AIM_ASSIGN_OR_RETURN(optimizer::AnalyzedQuery aq,
+                       optimizer::Analyze(stmt, catalog));
+  // Collapse per-instance data to per-table (baselines ignore instances).
+  std::map<catalog::TableId, IndexableColumns> by_table;
+  for (int t = 0; t < static_cast<int>(aq.instances.size()); ++t) {
+    IndexableColumns& ic = by_table[aq.instances[t].table];
+    ic.table = aq.instances[t].table;
+    for (const auto& p : aq.ConjunctsForInstance(t)) {
+      if (!p.is_sargable()) continue;
+      if (p.is_index_prefix()) {
+        InsertUnique(&ic.equality, p.column.column);
+      } else {
+        InsertUnique(&ic.range, p.column.column);
+      }
+      InsertUnique(&ic.all, p.column.column);
+    }
+    for (const optimizer::Factor& f : aq.dnf) {
+      for (const auto& p : f.predicates) {
+        if (p.column.instance != t || !p.is_sargable()) continue;
+        if (p.is_index_prefix()) {
+          InsertUnique(&ic.equality, p.column.column);
+        } else {
+          InsertUnique(&ic.range, p.column.column);
+        }
+        InsertUnique(&ic.all, p.column.column);
+      }
+    }
+    for (const auto& [col, other] : aq.JoinColumnsOf(t)) {
+      (void)other;
+      InsertUnique(&ic.join, col);
+      InsertUnique(&ic.all, col);
+    }
+    for (catalog::ColumnId c : aq.instances[t].group_by_columns) {
+      InsertUnique(&ic.grouping, c);
+      InsertUnique(&ic.all, c);
+    }
+    for (const auto& o : aq.instances[t].order_by_columns) {
+      InsertUnique(&ic.ordering, o.column.column);
+      InsertUnique(&ic.all, o.column.column);
+    }
+  }
+  std::vector<IndexableColumns> out;
+  for (auto& [tid, ic] : by_table) {
+    (void)tid;
+    if (!ic.all.empty()) out.push_back(std::move(ic));
+  }
+  return out;
+}
+
+Result<double> WorkloadCost(const workload::Workload& workload,
+                            optimizer::WhatIfOptimizer* what_if) {
+  return what_if->WorkloadCost(workload.statements(), workload.weights());
+}
+
+double ConfigSizeBytes(const std::vector<catalog::IndexDef>& config,
+                       const catalog::Catalog& catalog) {
+  double total = 0.0;
+  for (const auto& def : config) total += catalog.IndexSizeBytes(def);
+  return total;
+}
+
+bool ConfigContains(const std::vector<catalog::IndexDef>& config,
+                    const catalog::IndexDef& def) {
+  for (const auto& c : config) {
+    if (c.table == def.table && c.columns == def.columns) return true;
+  }
+  return false;
+}
+
+Result<std::vector<catalog::IndexDef>> GreedyForwardSelect(
+    std::vector<catalog::IndexDef> candidates,
+    const workload::Workload& workload, optimizer::WhatIfOptimizer* what_if,
+    const AdvisorOptions& options) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options.time_limit_seconds));
+
+  std::vector<catalog::IndexDef> config;
+  double config_size = 0.0;
+  AIM_RETURN_NOT_OK(what_if->SetConfiguration(config));
+  AIM_ASSIGN_OR_RETURN(double current_cost,
+                       WorkloadCost(workload, what_if));
+
+  std::vector<bool> taken(candidates.size(), false);
+  while (true) {
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    int best = -1;
+    double best_ratio = 0.0;
+    double best_cost = current_cost;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (taken[i]) continue;
+      const double size =
+          what_if->catalog().IndexSizeBytes(candidates[i]);
+      if (config_size + size > options.storage_budget_bytes) continue;
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      std::vector<catalog::IndexDef> trial = config;
+      trial.push_back(candidates[i]);
+      AIM_RETURN_NOT_OK(what_if->SetConfiguration(trial));
+      AIM_ASSIGN_OR_RETURN(double cost, WorkloadCost(workload, what_if));
+      const double benefit = current_cost - cost;
+      const double ratio = benefit / std::max(size, 1.0);
+      if (benefit > 1e-9 && ratio > best_ratio) {
+        best_ratio = ratio;
+        best = static_cast<int>(i);
+        best_cost = cost;
+      }
+    }
+    if (best < 0) break;
+    taken[best] = true;
+    config.push_back(candidates[best]);
+    config_size += what_if->catalog().IndexSizeBytes(candidates[best]);
+    current_cost = best_cost;
+  }
+  what_if->ClearConfiguration();
+  return config;
+}
+
+}  // namespace aim::advisors

@@ -1,0 +1,96 @@
+#ifndef AIM_ADVISORS_ADVISOR_H_
+#define AIM_ADVISORS_ADVISOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "optimizer/what_if.h"
+#include "workload/workload.h"
+
+namespace aim::advisors {
+
+/// Common knobs across advisors (mirrors the Kossmann et al. framework
+/// setup used by the paper's Sec. VI-B comparison).
+struct AdvisorOptions {
+  /// Storage budget for recommended indexes, bytes.
+  double storage_budget_bytes = 1e18;
+  /// Maximum index width to enumerate (the paper caps DTA at 4 for TPC-H
+  /// and 3 for JOB to keep it tractable).
+  size_t max_index_width = 3;
+  /// Wall-clock limit for anytime algorithms (DTA).
+  double time_limit_seconds = 120.0;
+};
+
+/// What an advisor produced, and what it cost to produce it.
+struct AdvisorResult {
+  std::vector<catalog::IndexDef> indexes;
+  double runtime_seconds = 0.0;
+  uint64_t what_if_calls = 0;
+  /// Estimated workload cost under the final configuration.
+  double final_workload_cost = 0.0;
+  double total_size_bytes = 0.0;
+};
+
+/// \brief Abstract index advisor: the interface shared by AIM's wrapper
+/// and the baselines of Fig. 4–6 (Extend, DTA, Drop, DB2Advis,
+/// AutoAdmin).
+class Advisor {
+ public:
+  virtual ~Advisor() = default;
+  virtual std::string name() const = 0;
+
+  /// Recommends a configuration for `workload` within `options`'s budget,
+  /// costing candidates through `what_if` (whose call counter measures
+  /// optimizer reliance).
+  virtual Result<AdvisorResult> Recommend(
+      const workload::Workload& workload,
+      optimizer::WhatIfOptimizer* what_if,
+      const AdvisorOptions& options) = 0;
+};
+
+// ---- shared helpers ---------------------------------------------------------
+
+/// Columns of one table that are *syntactically relevant* for indexing a
+/// query: sargable predicate columns, join columns, grouping and ordering
+/// columns (the classic candidate universe of imperative advisors).
+struct IndexableColumns {
+  catalog::TableId table = catalog::kInvalidTable;
+  std::vector<catalog::ColumnId> equality;   // eq/IN/IS NULL predicate cols
+  std::vector<catalog::ColumnId> range;      // range/LIKE-prefix cols
+  std::vector<catalog::ColumnId> join;       // join-edge cols
+  std::vector<catalog::ColumnId> grouping;   // GROUP BY cols
+  std::vector<catalog::ColumnId> ordering;   // ORDER BY cols (in order)
+  std::vector<catalog::ColumnId> all;        // union, stable order
+};
+
+/// Extracts indexable columns per (query, table).
+Result<std::vector<IndexableColumns>> ExtractIndexableColumns(
+    const sql::Statement& stmt, const catalog::Catalog& catalog);
+
+/// Weighted workload cost under the what-if optimizer's current
+/// configuration.
+Result<double> WorkloadCost(const workload::Workload& workload,
+                            optimizer::WhatIfOptimizer* what_if);
+
+/// Sum of estimated sizes of `config` in `catalog`.
+double ConfigSizeBytes(const std::vector<catalog::IndexDef>& config,
+                       const catalog::Catalog& catalog);
+
+/// True if `config` already contains an index with the same table +
+/// columns.
+bool ConfigContains(const std::vector<catalog::IndexDef>& config,
+                    const catalog::IndexDef& def);
+
+/// \brief Greedy forward selection shared by DTA-style and AutoAdmin-style
+/// enumeration: repeatedly add the candidate with the best
+/// cost-reduction-per-byte until no candidate helps, the budget is
+/// exhausted, or the deadline passes.
+Result<std::vector<catalog::IndexDef>> GreedyForwardSelect(
+    std::vector<catalog::IndexDef> candidates,
+    const workload::Workload& workload, optimizer::WhatIfOptimizer* what_if,
+    const AdvisorOptions& options);
+
+}  // namespace aim::advisors
+
+#endif  // AIM_ADVISORS_ADVISOR_H_

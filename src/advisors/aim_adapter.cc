@@ -1,0 +1,37 @@
+#include "advisors/aim_adapter.h"
+
+#include <chrono>
+
+namespace aim::advisors {
+
+Result<AdvisorResult> AimAdvisor::Recommend(
+    const workload::Workload& workload, optimizer::WhatIfOptimizer* what_if,
+    const AdvisorOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  core::AimOptions aim_options = base_;
+  aim_options.ranking.storage_budget_bytes = options.storage_budget_bytes;
+  aim_options.candidates.max_index_width = options.max_index_width;
+  aim_options.validate_on_clone = false;
+
+  core::AutomaticIndexManager aim(db_, cm_, aim_options);
+  AIM_ASSIGN_OR_RETURN(core::AimReport report,
+                       aim.Recommend(workload, /*monitor=*/nullptr));
+
+  AdvisorResult result;
+  for (const core::CandidateIndex& c : report.recommended) {
+    result.indexes.push_back(c.def);
+  }
+  AIM_RETURN_NOT_OK(what_if->SetConfiguration(result.indexes));
+  AIM_ASSIGN_OR_RETURN(result.final_workload_cost,
+                       WorkloadCost(workload, what_if));
+  what_if->ClearConfiguration();
+  result.total_size_bytes =
+      ConfigSizeBytes(result.indexes, what_if->catalog());
+  result.what_if_calls = report.stats.what_if_calls;
+  result.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace aim::advisors

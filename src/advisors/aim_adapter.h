@@ -1,0 +1,35 @@
+#ifndef AIM_ADVISORS_AIM_ADAPTER_H_
+#define AIM_ADVISORS_AIM_ADAPTER_H_
+
+#include "advisors/advisor.h"
+#include "core/aim.h"
+
+namespace aim::advisors {
+
+/// \brief Exposes AIM through the common Advisor interface so the Fig. 4–6
+/// benchmarks compare it head-to-head with the baselines.
+///
+/// Runs estimate-only (no clone validation), as the Kossmann-framework
+/// comparison does; the monitorless bootstrap path is used, with query
+/// weights as frequencies.
+class AimAdvisor : public Advisor {
+ public:
+  explicit AimAdvisor(storage::Database* db, core::AimOptions base = {},
+                      optimizer::CostModel cm = optimizer::CostModel())
+      : db_(db), base_(base), cm_(cm) {}
+
+  std::string name() const override { return "AIM"; }
+
+  Result<AdvisorResult> Recommend(const workload::Workload& workload,
+                                  optimizer::WhatIfOptimizer* what_if,
+                                  const AdvisorOptions& options) override;
+
+ private:
+  storage::Database* db_;
+  core::AimOptions base_;
+  optimizer::CostModel cm_;
+};
+
+}  // namespace aim::advisors
+
+#endif  // AIM_ADVISORS_AIM_ADAPTER_H_

@@ -1,0 +1,61 @@
+#include "advisors/autoadmin.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "advisors/dta.h"
+
+namespace aim::advisors {
+
+Result<AdvisorResult> AutoAdminAdvisor::Recommend(
+    const workload::Workload& workload, optimizer::WhatIfOptimizer* what_if,
+    const AdvisorOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  AdvisorResult result;
+  what_if->reset_call_count();
+
+  // Candidate selection: per-query winners only (the AutoAdmin trick to
+  // shrink the enumeration input).
+  std::vector<catalog::IndexDef> union_candidates;
+  for (const workload::Query& q : workload.queries) {
+    workload::Workload single;
+    single.queries.push_back(q);
+    AIM_ASSIGN_OR_RETURN(
+        std::vector<catalog::IndexDef> candidates,
+        DtaAdvisor::EnumerateCandidates(single, what_if->catalog(),
+                                        options.max_index_width));
+    AIM_RETURN_NOT_OK(what_if->SetConfiguration(candidates));
+    AIM_ASSIGN_OR_RETURN(optimizer::Plan plan, what_if->PlanQuery(q.stmt));
+    for (const optimizer::JoinStep& step : plan.steps) {
+      if (step.path.index == nullptr || !step.path.index->hypothetical) {
+        continue;
+      }
+      catalog::IndexDef def;
+      def.table = step.path.index->table;
+      def.columns = step.path.index->columns;
+      if (!ConfigContains(union_candidates, def)) {
+        union_candidates.push_back(std::move(def));
+      }
+    }
+  }
+  what_if->ClearConfiguration();
+
+  AIM_ASSIGN_OR_RETURN(
+      result.indexes,
+      GreedyForwardSelect(std::move(union_candidates), workload, what_if,
+                          options));
+
+  AIM_RETURN_NOT_OK(what_if->SetConfiguration(result.indexes));
+  AIM_ASSIGN_OR_RETURN(result.final_workload_cost,
+                       WorkloadCost(workload, what_if));
+  what_if->ClearConfiguration();
+  result.total_size_bytes =
+      ConfigSizeBytes(result.indexes, what_if->catalog());
+  result.what_if_calls = what_if->call_count();
+  result.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace aim::advisors

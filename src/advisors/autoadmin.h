@@ -1,0 +1,22 @@
+#ifndef AIM_ADVISORS_AUTOADMIN_H_
+#define AIM_ADVISORS_AUTOADMIN_H_
+
+#include "advisors/advisor.h"
+
+namespace aim::advisors {
+
+/// \brief AutoAdmin (Chaudhuri & Narasayya — VLDB 1997): per-query best
+/// configurations via what-if, unioned into a workload-level candidate
+/// set, then greedy enumeration under the budget.
+class AutoAdminAdvisor : public Advisor {
+ public:
+  std::string name() const override { return "AutoAdmin"; }
+
+  Result<AdvisorResult> Recommend(const workload::Workload& workload,
+                                  optimizer::WhatIfOptimizer* what_if,
+                                  const AdvisorOptions& options) override;
+};
+
+}  // namespace aim::advisors
+
+#endif  // AIM_ADVISORS_AUTOADMIN_H_

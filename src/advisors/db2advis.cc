@@ -1,0 +1,93 @@
+#include "advisors/db2advis.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "advisors/dta.h"
+
+namespace aim::advisors {
+
+Result<AdvisorResult> Db2AdvisAdvisor::Recommend(
+    const workload::Workload& workload, optimizer::WhatIfOptimizer* what_if,
+    const AdvisorOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  AdvisorResult result;
+  what_if->reset_call_count();
+
+  struct Scored {
+    catalog::IndexDef def;
+    double benefit = 0.0;
+    double size = 0.0;
+  };
+  std::map<std::pair<catalog::TableId, std::vector<catalog::ColumnId>>,
+           Scored>
+      scored;
+
+  // Per query: evaluate with that query's own candidates installed and
+  // credit the ones its plan uses.
+  for (const workload::Query& q : workload.queries) {
+    workload::Workload single;
+    single.queries.push_back(q);
+    AIM_ASSIGN_OR_RETURN(
+        std::vector<catalog::IndexDef> candidates,
+        DtaAdvisor::EnumerateCandidates(single, what_if->catalog(),
+                                        options.max_index_width));
+    what_if->ClearConfiguration();
+    AIM_ASSIGN_OR_RETURN(double base_cost, what_if->QueryCost(q.stmt));
+    AIM_RETURN_NOT_OK(what_if->SetConfiguration(candidates));
+    AIM_ASSIGN_OR_RETURN(optimizer::Plan plan, what_if->PlanQuery(q.stmt));
+    const double gain =
+        std::max(0.0, base_cost - plan.total_cost()) * q.weight;
+    if (gain <= 0.0) continue;
+    std::vector<const catalog::IndexDef*> used;
+    for (const optimizer::JoinStep& step : plan.steps) {
+      if (step.path.index != nullptr && step.path.index->hypothetical) {
+        used.push_back(step.path.index);
+      }
+    }
+    if (used.empty()) continue;
+    for (const catalog::IndexDef* idx : used) {
+      auto key = std::make_pair(idx->table, idx->columns);
+      Scored& s = scored[key];
+      if (s.size == 0.0) {
+        s.def.table = idx->table;
+        s.def.columns = idx->columns;
+        s.size = what_if->catalog().IndexSizeBytes(*idx);
+      }
+      s.benefit += gain / static_cast<double>(used.size());
+    }
+  }
+  what_if->ClearConfiguration();
+
+  // Budget fill by benefit density.
+  std::vector<Scored> ranked;
+  for (auto& [key, s] : scored) {
+    (void)key;
+    ranked.push_back(std::move(s));
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Scored& a,
+                                             const Scored& b) {
+    return a.benefit / std::max(a.size, 1.0) >
+           b.benefit / std::max(b.size, 1.0);
+  });
+  double used_bytes = 0.0;
+  for (Scored& s : ranked) {
+    if (used_bytes + s.size > options.storage_budget_bytes) continue;
+    used_bytes += s.size;
+    result.indexes.push_back(std::move(s.def));
+  }
+
+  AIM_RETURN_NOT_OK(what_if->SetConfiguration(result.indexes));
+  AIM_ASSIGN_OR_RETURN(result.final_workload_cost,
+                       WorkloadCost(workload, what_if));
+  what_if->ClearConfiguration();
+  result.total_size_bytes = used_bytes;
+  result.what_if_calls = what_if->call_count();
+  result.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace aim::advisors

@@ -1,0 +1,23 @@
+#ifndef AIM_ADVISORS_DB2ADVIS_H_
+#define AIM_ADVISORS_DB2ADVIS_H_
+
+#include "advisors/advisor.h"
+
+namespace aim::advisors {
+
+/// \brief DB2Advis (Valentin et al. — ICDE 2000): for each query, ask the
+/// optimizer which of its candidate indexes it would use, credit those
+/// indexes with the query's cost reduction, then fill the budget by
+/// benefit/size order.
+class Db2AdvisAdvisor : public Advisor {
+ public:
+  std::string name() const override { return "DB2Advis"; }
+
+  Result<AdvisorResult> Recommend(const workload::Workload& workload,
+                                  optimizer::WhatIfOptimizer* what_if,
+                                  const AdvisorOptions& options) override;
+};
+
+}  // namespace aim::advisors
+
+#endif  // AIM_ADVISORS_DB2ADVIS_H_

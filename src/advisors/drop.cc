@@ -1,0 +1,94 @@
+#include "advisors/drop.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "advisors/dta.h"
+
+namespace aim::advisors {
+
+Result<AdvisorResult> DropAdvisor::Recommend(
+    const workload::Workload& workload, optimizer::WhatIfOptimizer* what_if,
+    const AdvisorOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(options.time_limit_seconds));
+  AdvisorResult result;
+  what_if->reset_call_count();
+
+  // Start big: the two-widest enumeration is too large for Drop; use
+  // width-capped per-query candidates like the original (which started
+  // from all single- and two-column indexes).
+  const size_t start_width = std::min<size_t>(options.max_index_width, 2);
+  AIM_ASSIGN_OR_RETURN(
+      std::vector<catalog::IndexDef> config,
+      DtaAdvisor::EnumerateCandidates(workload, what_if->catalog(),
+                                      start_width));
+
+  auto config_size = [&]() {
+    return ConfigSizeBytes(config, what_if->catalog());
+  };
+
+  AIM_RETURN_NOT_OK(what_if->SetConfiguration(config));
+  AIM_ASSIGN_OR_RETURN(double current_cost,
+                       WorkloadCost(workload, what_if));
+
+  while (!config.empty()) {
+    const bool over_budget = config_size() > options.storage_budget_bytes;
+    const bool timed_out = std::chrono::steady_clock::now() >= deadline;
+    if (timed_out && !over_budget) break;
+    if (timed_out && over_budget) {
+      // Anytime degradation: past the deadline, shed the largest index
+      // without re-costing until the configuration fits.
+      size_t victim = 0;
+      double victim_size = -1.0;
+      for (size_t i = 0; i < config.size(); ++i) {
+        const double s = what_if->catalog().IndexSizeBytes(config[i]);
+        if (s > victim_size) {
+          victim_size = s;
+          victim = i;
+        }
+      }
+      config.erase(config.begin() + victim);
+      continue;
+    }
+    // Find the cheapest drop (enumeration bounded by the deadline; the
+    // best candidate found so far is still applied).
+    int best = -1;
+    double best_cost = 0.0;
+    for (size_t i = 0; i < config.size(); ++i) {
+      std::vector<catalog::IndexDef> trial = config;
+      trial.erase(trial.begin() + i);
+      AIM_RETURN_NOT_OK(what_if->SetConfiguration(trial));
+      AIM_ASSIGN_OR_RETURN(double cost, WorkloadCost(workload, what_if));
+      if (best < 0 || cost < best_cost) {
+        best = static_cast<int>(i);
+        best_cost = cost;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) break;
+    }
+    if (best < 0) break;
+    const double regression = best_cost - current_cost;
+    // Keep dropping while over budget; once within budget, drop only
+    // indexes whose removal does not hurt (cost-neutral dead weight).
+    if (!over_budget && regression > 1e-9) break;
+    config.erase(config.begin() + best);
+    current_cost = best_cost;
+  }
+
+  AIM_RETURN_NOT_OK(what_if->SetConfiguration(config));
+  AIM_ASSIGN_OR_RETURN(result.final_workload_cost,
+                       WorkloadCost(workload, what_if));
+  what_if->ClearConfiguration();
+  result.indexes = std::move(config);
+  result.total_size_bytes =
+      ConfigSizeBytes(result.indexes, what_if->catalog());
+  result.what_if_calls = what_if->call_count();
+  result.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace aim::advisors

@@ -1,0 +1,23 @@
+#ifndef AIM_ADVISORS_DROP_H_
+#define AIM_ADVISORS_DROP_H_
+
+#include "advisors/advisor.h"
+
+namespace aim::advisors {
+
+/// \brief Drop heuristic (Whang 1987): start from a large candidate
+/// configuration and repeatedly drop the index whose removal hurts the
+/// workload least, until the configuration fits the budget and no drop
+/// improves net utility.
+class DropAdvisor : public Advisor {
+ public:
+  std::string name() const override { return "Drop"; }
+
+  Result<AdvisorResult> Recommend(const workload::Workload& workload,
+                                  optimizer::WhatIfOptimizer* what_if,
+                                  const AdvisorOptions& options) override;
+};
+
+}  // namespace aim::advisors
+
+#endif  // AIM_ADVISORS_DROP_H_

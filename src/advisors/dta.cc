@@ -1,0 +1,108 @@
+#include "advisors/dta.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+namespace aim::advisors {
+
+namespace {
+
+/// Emits up to `max_width`-sized subsets of `cols`, each as a key order
+/// with equality columns first then the rest (DTA's "seed" orders).
+void EnumerateSubsets(const IndexableColumns& ic, size_t max_width,
+                      std::set<std::pair<catalog::TableId,
+                                         std::vector<catalog::ColumnId>>>*
+                          seen,
+                      std::vector<catalog::IndexDef>* out) {
+  const std::vector<catalog::ColumnId>& cols = ic.all;
+  const size_t n = cols.size();
+  const size_t limit = std::min<size_t>(n, 16);  // defensive cap
+  for (size_t mask = 1; mask < (size_t{1} << limit); ++mask) {
+    if (static_cast<size_t>(__builtin_popcountll(mask)) > max_width) {
+      continue;
+    }
+    std::vector<catalog::ColumnId> subset;
+    for (size_t b = 0; b < limit; ++b) {
+      if ((mask >> b) & 1) subset.push_back(cols[b]);
+    }
+    // Key order: equality/join columns first, then grouping/ordering,
+    // then ranges (the classic heuristic seed).
+    auto rank = [&](catalog::ColumnId c) {
+      if (std::find(ic.equality.begin(), ic.equality.end(), c) !=
+          ic.equality.end()) {
+        return 0;
+      }
+      if (std::find(ic.join.begin(), ic.join.end(), c) != ic.join.end()) {
+        return 1;
+      }
+      if (std::find(ic.grouping.begin(), ic.grouping.end(), c) !=
+          ic.grouping.end()) {
+        return 2;
+      }
+      if (std::find(ic.ordering.begin(), ic.ordering.end(), c) !=
+          ic.ordering.end()) {
+        return 3;
+      }
+      return 4;
+    };
+    std::stable_sort(subset.begin(), subset.end(),
+                     [&](catalog::ColumnId a, catalog::ColumnId b) {
+                       return rank(a) < rank(b);
+                     });
+    if (seen->emplace(ic.table, subset).second) {
+      catalog::IndexDef def;
+      def.table = ic.table;
+      def.columns = std::move(subset);
+      out->push_back(std::move(def));
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<catalog::IndexDef>> DtaAdvisor::EnumerateCandidates(
+    const workload::Workload& workload, const catalog::Catalog& catalog,
+    size_t max_width) {
+  std::vector<catalog::IndexDef> candidates;
+  std::set<std::pair<catalog::TableId, std::vector<catalog::ColumnId>>> seen;
+  for (const workload::Query& q : workload.queries) {
+    AIM_ASSIGN_OR_RETURN(std::vector<IndexableColumns> per_table,
+                         ExtractIndexableColumns(q.stmt, catalog));
+    for (const IndexableColumns& ic : per_table) {
+      EnumerateSubsets(ic, max_width, &seen, &candidates);
+    }
+  }
+  return candidates;
+}
+
+Result<AdvisorResult> DtaAdvisor::Recommend(
+    const workload::Workload& workload, optimizer::WhatIfOptimizer* what_if,
+    const AdvisorOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  AdvisorResult result;
+  what_if->reset_call_count();
+
+  AIM_ASSIGN_OR_RETURN(
+      std::vector<catalog::IndexDef> candidates,
+      EnumerateCandidates(workload, what_if->catalog(),
+                          options.max_index_width));
+  AIM_ASSIGN_OR_RETURN(
+      result.indexes,
+      GreedyForwardSelect(std::move(candidates), workload, what_if,
+                          options));
+
+  AIM_RETURN_NOT_OK(what_if->SetConfiguration(result.indexes));
+  AIM_ASSIGN_OR_RETURN(result.final_workload_cost,
+                       WorkloadCost(workload, what_if));
+  what_if->ClearConfiguration();
+  result.total_size_bytes =
+      ConfigSizeBytes(result.indexes, what_if->catalog());
+  result.what_if_calls = what_if->call_count();
+  result.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace aim::advisors

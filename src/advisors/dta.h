@@ -1,0 +1,34 @@
+#ifndef AIM_ADVISORS_DTA_H_
+#define AIM_ADVISORS_DTA_H_
+
+#include "advisors/advisor.h"
+
+namespace aim::advisors {
+
+/// \brief DTA-style anytime advisor (Chaudhuri & Narasayya — the
+/// Microsoft Database Tuning Advisor's anytime algorithm).
+///
+/// Per-query candidate enumeration: all column subsets of each table's
+/// indexable columns up to `max_index_width`, ordered equality-columns
+/// first (a bounded number of permutations per subset). The union is then
+/// greedily enumerated with what-if costing until the budget or deadline
+/// is hit. The enumeration count is exponential in the width cap — this
+/// is precisely why the paper had to restrict DTA to width ≤ 3–4 and set
+/// "a really high timeout" (Sec. VIII-a).
+class DtaAdvisor : public Advisor {
+ public:
+  std::string name() const override { return "DTA"; }
+
+  Result<AdvisorResult> Recommend(const workload::Workload& workload,
+                                  optimizer::WhatIfOptimizer* what_if,
+                                  const AdvisorOptions& options) override;
+
+  /// Exposed for tests: the per-query candidate enumeration.
+  static Result<std::vector<catalog::IndexDef>> EnumerateCandidates(
+      const workload::Workload& workload, const catalog::Catalog& catalog,
+      size_t max_width);
+};
+
+}  // namespace aim::advisors
+
+#endif  // AIM_ADVISORS_DTA_H_

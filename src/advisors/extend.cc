@@ -1,0 +1,133 @@
+#include "advisors/extend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+
+namespace aim::advisors {
+
+Result<AdvisorResult> ExtendAdvisor::Recommend(
+    const workload::Workload& workload, optimizer::WhatIfOptimizer* what_if,
+    const AdvisorOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(options.time_limit_seconds));
+  AdvisorResult result;
+  what_if->reset_call_count();
+
+  // Attribute universe per table.
+  std::map<catalog::TableId, std::vector<catalog::ColumnId>> attrs;
+  for (const workload::Query& q : workload.queries) {
+    AIM_ASSIGN_OR_RETURN(
+        std::vector<IndexableColumns> per_table,
+        ExtractIndexableColumns(q.stmt, what_if->catalog()));
+    for (const IndexableColumns& ic : per_table) {
+      auto& v = attrs[ic.table];
+      for (catalog::ColumnId c : ic.all) {
+        if (std::find(v.begin(), v.end(), c) == v.end()) v.push_back(c);
+      }
+    }
+  }
+
+  std::vector<catalog::IndexDef> config;
+  double config_size = 0.0;
+  AIM_RETURN_NOT_OK(what_if->SetConfiguration(config));
+  AIM_ASSIGN_OR_RETURN(double current_cost,
+                       WorkloadCost(workload, what_if));
+
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Move set: new single-attribute indexes + one-attribute extensions
+    // of selected indexes.
+    struct Move {
+      catalog::IndexDef def;
+      int replaces = -1;  // index into config that this move widens
+    };
+    std::vector<Move> moves;
+    for (const auto& [table, cols] : attrs) {
+      for (catalog::ColumnId c : cols) {
+        catalog::IndexDef def;
+        def.table = table;
+        def.columns = {c};
+        if (ConfigContains(config, def)) continue;
+        moves.push_back(Move{std::move(def), -1});
+      }
+    }
+    for (int i = 0; i < static_cast<int>(config.size()); ++i) {
+      if (config[i].columns.size() >= options.max_index_width) continue;
+      for (catalog::ColumnId c : attrs[config[i].table]) {
+        if (std::find(config[i].columns.begin(), config[i].columns.end(),
+                      c) != config[i].columns.end()) {
+          continue;
+        }
+        catalog::IndexDef def = config[i];
+        def.columns.push_back(c);
+        if (ConfigContains(config, def)) continue;
+        moves.push_back(Move{std::move(def), i});
+      }
+    }
+
+    int best = -1;
+    double best_ratio = 0.0;
+    double best_cost = current_cost;
+    for (size_t m = 0; m < moves.size(); ++m) {
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      std::vector<catalog::IndexDef> trial = config;
+      double trial_size = config_size;
+      if (moves[m].replaces >= 0) {
+        trial_size -=
+            what_if->catalog().IndexSizeBytes(trial[moves[m].replaces]);
+        trial[moves[m].replaces] = moves[m].def;
+      } else {
+        trial.push_back(moves[m].def);
+      }
+      const double move_size =
+          what_if->catalog().IndexSizeBytes(moves[m].def);
+      trial_size += move_size;
+      if (trial_size > options.storage_budget_bytes) continue;
+      AIM_RETURN_NOT_OK(what_if->SetConfiguration(trial));
+      AIM_ASSIGN_OR_RETURN(double cost, WorkloadCost(workload, what_if));
+      const double benefit = current_cost - cost;
+      // Extend's ratio: benefit per *added* byte.
+      const double added =
+          moves[m].replaces >= 0
+              ? std::max(move_size - what_if->catalog().IndexSizeBytes(
+                                         config[moves[m].replaces]),
+                         1.0)
+              : std::max(move_size, 1.0);
+      const double ratio = benefit / added;
+      if (benefit > 1e-9 && ratio > best_ratio) {
+        best_ratio = ratio;
+        best = static_cast<int>(m);
+        best_cost = cost;
+      }
+    }
+    if (best < 0) break;
+    const Move& mv = moves[best];
+    if (mv.replaces >= 0) {
+      config_size -=
+          what_if->catalog().IndexSizeBytes(config[mv.replaces]);
+      config[mv.replaces] = mv.def;
+    } else {
+      config.push_back(mv.def);
+    }
+    config_size += what_if->catalog().IndexSizeBytes(mv.def);
+    current_cost = best_cost;
+  }
+
+  AIM_RETURN_NOT_OK(what_if->SetConfiguration(config));
+  AIM_ASSIGN_OR_RETURN(result.final_workload_cost,
+                       WorkloadCost(workload, what_if));
+  what_if->ClearConfiguration();
+  result.indexes = std::move(config);
+  result.total_size_bytes =
+      ConfigSizeBytes(result.indexes, what_if->catalog());
+  result.what_if_calls = what_if->call_count();
+  result.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace aim::advisors

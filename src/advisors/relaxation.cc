@@ -1,0 +1,170 @@
+#include "advisors/relaxation.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "advisors/dta.h"
+
+namespace aim::advisors {
+
+catalog::IndexDef RelaxationAdvisor::MergeIndexes(
+    const catalog::IndexDef& a, const catalog::IndexDef& b,
+    size_t max_width) {
+  catalog::IndexDef merged;
+  merged.table = a.table;
+  merged.columns = a.columns;
+  for (catalog::ColumnId c : b.columns) {
+    if (std::find(merged.columns.begin(), merged.columns.end(), c) ==
+        merged.columns.end()) {
+      merged.columns.push_back(c);
+    }
+  }
+  if (merged.columns.size() > max_width) {
+    merged.columns.resize(max_width);
+  }
+  return merged;
+}
+
+Result<AdvisorResult> RelaxationAdvisor::Recommend(
+    const workload::Workload& workload, optimizer::WhatIfOptimizer* what_if,
+    const AdvisorOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(options.time_limit_seconds));
+  AdvisorResult result;
+  what_if->reset_call_count();
+
+  // The "ideal" starting configuration: the union of every query's
+  // optimizer-picked candidates (ask the optimizer which of the
+  // enumerated candidates each query would actually use).
+  std::vector<catalog::IndexDef> config;
+  for (const workload::Query& q : workload.queries) {
+    workload::Workload single;
+    single.queries.push_back(q);
+    AIM_ASSIGN_OR_RETURN(
+        std::vector<catalog::IndexDef> candidates,
+        DtaAdvisor::EnumerateCandidates(single, what_if->catalog(),
+                                        options.max_index_width));
+    AIM_RETURN_NOT_OK(what_if->SetConfiguration(candidates));
+    AIM_ASSIGN_OR_RETURN(optimizer::Plan plan,
+                         what_if->PlanQuery(q.stmt));
+    for (const optimizer::JoinStep& step : plan.steps) {
+      if (step.path.index == nullptr || !step.path.index->hypothetical) {
+        continue;
+      }
+      catalog::IndexDef def;
+      def.table = step.path.index->table;
+      def.columns = step.path.index->columns;
+      if (!ConfigContains(config, def)) config.push_back(std::move(def));
+    }
+  }
+  what_if->ClearConfiguration();
+
+  AIM_RETURN_NOT_OK(what_if->SetConfiguration(config));
+  AIM_ASSIGN_OR_RETURN(double current_cost,
+                       WorkloadCost(workload, what_if));
+
+  // Relax until the configuration fits and no transformation is free.
+  while (!config.empty()) {
+    const double size = ConfigSizeBytes(config, what_if->catalog());
+    const bool over_budget = size > options.storage_budget_bytes;
+    const bool timed_out = std::chrono::steady_clock::now() >= deadline;
+    if (!over_budget && timed_out) break;
+    if (over_budget && timed_out) {
+      // Deadline passed while still over budget: degrade to cheap forced
+      // relaxation — drop the largest index without re-costing (the
+      // anytime behaviour a production deployment needs).
+      size_t victim = 0;
+      double victim_size = -1.0;
+      for (size_t i = 0; i < config.size(); ++i) {
+        const double s = what_if->catalog().IndexSizeBytes(config[i]);
+        if (s > victim_size) {
+          victim_size = s;
+          victim = i;
+        }
+      }
+      config.erase(config.begin() + victim);
+      continue;
+    }
+
+    struct Transformation {
+      std::vector<catalog::IndexDef> config;
+      double cost = 0.0;
+      double bytes_freed = 0.0;
+    };
+    std::optional<Transformation> best;
+    // Penalty per byte freed: lower is better; negative penalty (cost
+    // actually improves) is always taken.
+    double best_score = std::numeric_limits<double>::infinity();
+
+    auto consider = [&](std::vector<catalog::IndexDef> trial) -> Status {
+      const double trial_size =
+          ConfigSizeBytes(trial, what_if->catalog());
+      const double freed = size - trial_size;
+      if (freed <= 0) return Status::OK();
+      AIM_RETURN_NOT_OK(what_if->SetConfiguration(trial));
+      AIM_ASSIGN_OR_RETURN(double cost, WorkloadCost(workload, what_if));
+      const double penalty = (cost - current_cost) / freed;
+      if (penalty < best_score) {
+        best_score = penalty;
+        best = Transformation{std::move(trial), cost, freed};
+      }
+      return Status::OK();
+    };
+
+    // Removals. The deadline bounds the *enumeration*: whatever best
+    // transformation was found so far still gets applied.
+    for (size_t i = 0; i < config.size(); ++i) {
+      std::vector<catalog::IndexDef> trial = config;
+      trial.erase(trial.begin() + i);
+      AIM_RETURN_NOT_OK(consider(std::move(trial)));
+      if (std::chrono::steady_clock::now() >= deadline) break;
+    }
+    // Pairwise same-table merges (skipped for very large configurations:
+    // the O(n^2) sweep would dwarf the removals).
+    if (config.size() <= 48) {
+      for (size_t i = 0; i < config.size(); ++i) {
+        for (size_t j = i + 1; j < config.size(); ++j) {
+          if (config[i].table != config[j].table) continue;
+          catalog::IndexDef merged = MergeIndexes(
+              config[i], config[j], options.max_index_width);
+          if (merged.columns == config[i].columns ||
+              merged.columns == config[j].columns) {
+            continue;  // the merge degenerates into one of the inputs
+          }
+          std::vector<catalog::IndexDef> trial;
+          for (size_t k = 0; k < config.size(); ++k) {
+            if (k != i && k != j) trial.push_back(config[k]);
+          }
+          if (!ConfigContains(trial, merged)) {
+            trial.push_back(merged);
+          }
+          AIM_RETURN_NOT_OK(consider(std::move(trial)));
+        }
+        if (std::chrono::steady_clock::now() >= deadline) break;
+      }
+    }
+    if (!best.has_value()) break;
+    // Inside budget, only accept transformations that do not hurt.
+    if (!over_budget && best_score > 1e-12) break;
+    config = std::move(best->config);
+    current_cost = best->cost;
+  }
+
+  AIM_RETURN_NOT_OK(what_if->SetConfiguration(config));
+  AIM_ASSIGN_OR_RETURN(result.final_workload_cost,
+                       WorkloadCost(workload, what_if));
+  what_if->ClearConfiguration();
+  result.indexes = std::move(config);
+  result.total_size_bytes =
+      ConfigSizeBytes(result.indexes, what_if->catalog());
+  result.what_if_calls = what_if->call_count();
+  result.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace aim::advisors

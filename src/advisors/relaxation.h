@@ -1,0 +1,37 @@
+#ifndef AIM_ADVISORS_RELAXATION_H_
+#define AIM_ADVISORS_RELAXATION_H_
+
+#include "advisors/advisor.h"
+
+namespace aim::advisors {
+
+/// \brief Relaxation (Bruno & Chaudhuri — SIGMOD 2005): start from an
+/// "ideal" per-query configuration (every query's best candidates,
+/// unconstrained) and repeatedly *relax* it — remove an index or merge
+/// two indexes on the same table into one that serves both — choosing the
+/// transformation with the least cost penalty per byte freed, until the
+/// configuration fits the budget.
+///
+/// The paper calls this the only other modern algorithm that exploits
+/// query structure significantly, while noting its top-down pruning makes
+/// it expensive: every relaxation step re-costs the workload for every
+/// possible transformation.
+class RelaxationAdvisor : public Advisor {
+ public:
+  std::string name() const override { return "Relaxation"; }
+
+  Result<AdvisorResult> Recommend(const workload::Workload& workload,
+                                  optimizer::WhatIfOptimizer* what_if,
+                                  const AdvisorOptions& options) override;
+
+  /// Exposed for tests: merges two same-table index definitions into one
+  /// that serves both key orders as well as possible (b's columns
+  /// appended to a's, duplicates dropped, truncated to max_width).
+  static catalog::IndexDef MergeIndexes(const catalog::IndexDef& a,
+                                        const catalog::IndexDef& b,
+                                        size_t max_width);
+};
+
+}  // namespace aim::advisors
+
+#endif  // AIM_ADVISORS_RELAXATION_H_

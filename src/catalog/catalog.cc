@@ -1,0 +1,168 @@
+#include "catalog/catalog.h"
+
+#include "common/strings.h"
+
+namespace aim::catalog {
+
+namespace {
+// Structure overhead factors applied to raw key bytes: B+Tree pages are
+// ~2/3 full and carry page headers; LSM tables are compacted and denser.
+constexpr double kBTreeStructureFactor = 1.5;
+constexpr double kPerRowOverheadBytes = 12.0;
+}  // namespace
+
+std::optional<ColumnId> TableDef::FindColumn(const std::string& col) const {
+  for (ColumnId i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i].name, col)) return i;
+  }
+  return std::nullopt;
+}
+
+double TableDef::RowWidth() const {
+  double w = 0;
+  for (const auto& c : columns) w += c.avg_width;
+  return w;
+}
+
+double TableDef::ColumnsWidth(const std::vector<ColumnId>& cols) const {
+  double w = 0;
+  for (ColumnId c : cols) w += columns[c].avg_width;
+  return w;
+}
+
+TableId Catalog::AddTable(TableDef table) {
+  const TableId id = static_cast<TableId>(tables_.size());
+  table.id = id;
+  if (table.stats.columns.size() < table.columns.size()) {
+    table.stats.columns.resize(table.columns.size());
+  }
+  table_by_name_[ToLower(table.name)] = id;
+  tables_.push_back(std::move(table));
+  return id;
+}
+
+Result<TableId> Catalog::FindTable(const std::string& name) const {
+  auto it = table_by_name_.find(ToLower(name));
+  if (it == table_by_name_.end()) {
+    return Status::NotFound("table '" + name + "' not found");
+  }
+  return it->second;
+}
+
+Result<IndexId> Catalog::AddIndex(IndexDef index) {
+  if (index.table >= tables_.size()) {
+    return Status::InvalidArgument("index on unknown table");
+  }
+  if (index.columns.empty()) {
+    return Status::InvalidArgument("index must have at least one column");
+  }
+  const TableDef& t = tables_[index.table];
+  for (ColumnId c : index.columns) {
+    if (c >= t.columns.size()) {
+      return Status::InvalidArgument("index column out of range on table " +
+                                     t.name);
+    }
+  }
+  if (const IndexDef* dup = FindIndex(index.table, index.columns)) {
+    return Status::AlreadyExists("duplicate index " + DescribeIndex(*dup));
+  }
+  const IndexId id = static_cast<IndexId>(indexes_.size());
+  index.id = id;
+  if (index.name.empty()) {
+    index.name = StringPrintf("idx_%s_%u", t.name.c_str(), id);
+  }
+  indexes_.push_back(std::move(index));
+  return id;
+}
+
+Status Catalog::DropIndex(IndexId id) {
+  if (id >= indexes_.size() || !indexes_[id].has_value()) {
+    return Status::NotFound("index id " + std::to_string(id) + " not found");
+  }
+  indexes_[id].reset();
+  return Status::OK();
+}
+
+void Catalog::DropAllHypothetical() {
+  for (auto& slot : indexes_) {
+    if (slot.has_value() && slot->hypothetical) slot.reset();
+  }
+}
+
+const IndexDef* Catalog::index(IndexId id) const {
+  if (id >= indexes_.size() || !indexes_[id].has_value()) return nullptr;
+  return &*indexes_[id];
+}
+
+std::vector<const IndexDef*> Catalog::TableIndexes(
+    TableId table, bool include_hypothetical, bool include_primary) const {
+  std::vector<const IndexDef*> out;
+  for (const auto& slot : indexes_) {
+    if (slot.has_value() && slot->table == table &&
+        (include_hypothetical || !slot->hypothetical) &&
+        (include_primary || !slot->is_primary)) {
+      out.push_back(&*slot);
+    }
+  }
+  return out;
+}
+
+std::vector<const IndexDef*> Catalog::AllIndexes(
+    bool include_hypothetical, bool include_primary) const {
+  std::vector<const IndexDef*> out;
+  for (const auto& slot : indexes_) {
+    if (slot.has_value() && (include_hypothetical || !slot->hypothetical) &&
+        (include_primary || !slot->is_primary)) {
+      out.push_back(&*slot);
+    }
+  }
+  return out;
+}
+
+const IndexDef* Catalog::FindIndex(
+    TableId table, const std::vector<ColumnId>& columns) const {
+  for (const auto& slot : indexes_) {
+    if (slot.has_value() && slot->table == table && slot->columns == columns) {
+      return &*slot;
+    }
+  }
+  return nullptr;
+}
+
+double Catalog::IndexSizeBytes(const IndexDef& index) const {
+  // The clustered primary index IS the table.
+  if (index.is_primary) return TableSizeBytes(index.table);
+  const TableDef& t = tables_[index.table];
+  const double key_bytes = t.ColumnsWidth(index.columns);
+  // Secondary indexes append the primary key as the row locator.
+  double pk_bytes = t.primary_key.empty() ? 8.0
+                                          : t.ColumnsWidth(t.primary_key);
+  const double per_row = key_bytes + pk_bytes + kPerRowOverheadBytes;
+  return per_row * static_cast<double>(t.stats.row_count) *
+         kBTreeStructureFactor;
+}
+
+double Catalog::TableSizeBytes(TableId table) const {
+  const TableDef& t = tables_[table];
+  return (t.RowWidth() + kPerRowOverheadBytes) *
+         static_cast<double>(t.stats.row_count) * kBTreeStructureFactor;
+}
+
+double Catalog::TotalIndexBytes() const {
+  double total = 0;
+  for (const IndexDef* idx : AllIndexes(/*include_hypothetical=*/false,
+                                        /*include_primary=*/false)) {
+    total += IndexSizeBytes(*idx);
+  }
+  return total;
+}
+
+std::string Catalog::DescribeIndex(const IndexDef& index) const {
+  const TableDef& t = tables_[index.table];
+  std::vector<std::string> names;
+  names.reserve(index.columns.size());
+  for (ColumnId c : index.columns) names.push_back(t.columns[c].name);
+  return t.name + "(" + Join(names, ", ") + ")";
+}
+
+}  // namespace aim::catalog

@@ -1,0 +1,89 @@
+#include "catalog/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace aim::catalog {
+
+double ColumnStats::DefaultEqSelectivity() const {
+  if (ndv == 0) return 1.0;
+  return (1.0 - null_fraction) / static_cast<double>(ndv);
+}
+
+double ColumnStats::EqSelectivity(int64_t v) const {
+  if (v < min || v > max) return 0.0;
+  return DefaultEqSelectivity();
+}
+
+double ColumnStats::RangeSelectivity(int64_t lo, int64_t hi) const {
+  if (hi < lo) return 0.0;
+  if (!histogram.empty()) {
+    // Each bucket holds 1/B of the non-null rows; interpolate within the
+    // partially covered boundary buckets. Duplicate bucket bounds denote
+    // heavy hitters: such a bucket is a singleton at the bound value.
+    const size_t b = histogram.size();
+    double covered = 0.0;
+    int64_t prev = min - 1;
+    for (size_t i = 0; i < b; ++i) {
+      const int64_t bound = histogram[i];
+      int64_t bucket_lo = prev + 1;
+      const int64_t bucket_hi = bound;
+      if (bucket_lo > bucket_hi) bucket_lo = bucket_hi;  // heavy hitter
+      const int64_t clip_lo = std::max(lo, bucket_lo);
+      const int64_t clip_hi = std::min(hi, bucket_hi);
+      if (clip_lo <= clip_hi) {
+        const double width =
+            static_cast<double>(bucket_hi) - static_cast<double>(bucket_lo) +
+            1.0;
+        const double overlap = static_cast<double>(clip_hi) -
+                               static_cast<double>(clip_lo) + 1.0;
+        covered += std::min(1.0, overlap / width);
+      }
+      prev = std::max(prev, bound);
+    }
+    return std::clamp(covered / static_cast<double>(b), 0.0, 1.0) *
+           (1.0 - null_fraction);
+  }
+  if (max <= min) return (lo <= min && min <= hi) ? 1.0 - null_fraction : 0.0;
+  const double clip_lo = std::max<double>(lo, min);
+  const double clip_hi = std::min<double>(hi, max);
+  if (clip_lo > clip_hi) return 0.0;
+  const double frac = (clip_hi - clip_lo + 1.0) /
+                      (static_cast<double>(max) - static_cast<double>(min) +
+                       1.0);
+  return std::clamp(frac, 0.0, 1.0) * (1.0 - null_fraction);
+}
+
+ColumnStats ColumnStats::FromSample(std::vector<int64_t> sample,
+                                    uint64_t ndv_hint, int buckets) {
+  ColumnStats stats;
+  if (sample.empty()) return stats;
+  std::sort(sample.begin(), sample.end());
+  stats.min = sample.front();
+  stats.max = sample.back();
+  if (ndv_hint > 0) {
+    stats.ndv = ndv_hint;
+  } else {
+    uint64_t distinct = 1;
+    for (size_t i = 1; i < sample.size(); ++i) {
+      if (sample[i] != sample[i - 1]) ++distinct;
+    }
+    stats.ndv = distinct;
+  }
+  const size_t n = sample.size();
+  const int b = std::max(1, std::min<int>(buckets, static_cast<int>(n)));
+  stats.histogram.reserve(b);
+  for (int i = 1; i <= b; ++i) {
+    const size_t idx = std::min(n - 1, (n * static_cast<size_t>(i)) / b - 1);
+    // Duplicate bounds are intentional: equal consecutive quantiles mark
+    // heavy-hitter values (see RangeSelectivity).
+    stats.histogram.push_back(sample[idx]);
+  }
+  if (stats.histogram.back() < stats.max) {
+    stats.histogram.push_back(stats.max);
+  }
+  return stats;
+}
+
+}  // namespace aim::catalog

@@ -1,0 +1,47 @@
+#ifndef AIM_CATALOG_STATISTICS_H_
+#define AIM_CATALOG_STATISTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/types.h"
+
+namespace aim::catalog {
+
+/// \brief Per-column data-distribution statistics.
+///
+/// An equi-depth histogram over the int64 domain supports range-selectivity
+/// estimation; string columns carry NDV-only statistics (equality and IN
+/// selectivity). These are exactly the statistics a "dataless" /
+/// hypothetical index can offer (Sec. III-A4).
+struct ColumnStats {
+  uint64_t ndv = 1;           // number of distinct values
+  double null_fraction = 0.0; // fraction of NULLs
+  int64_t min = 0;            // int64/date domain only
+  int64_t max = 0;
+  /// Equi-depth bucket upper bounds (ascending); each bucket holds an equal
+  /// share of rows. Empty = assume uniform over [min, max].
+  std::vector<int64_t> histogram;
+
+  /// Fraction of rows with value == v (int64 domain).
+  double EqSelectivity(int64_t v) const;
+  /// Fraction of rows in [lo, hi] (closed; use INT64_MIN/MAX for open ends).
+  double RangeSelectivity(int64_t lo, int64_t hi) const;
+  /// Equality selectivity when the literal is unknown (normalized query):
+  /// 1/ndv discounted by null fraction.
+  double DefaultEqSelectivity() const;
+
+  /// Builds an equi-depth histogram from a sample of values.
+  static ColumnStats FromSample(std::vector<int64_t> sample,
+                                uint64_t ndv_hint = 0, int buckets = 32);
+};
+
+/// \brief Statistics describing one table.
+struct TableStats {
+  uint64_t row_count = 0;
+  std::vector<ColumnStats> columns;  // indexed by ColumnId
+};
+
+}  // namespace aim::catalog
+
+#endif  // AIM_CATALOG_STATISTICS_H_

@@ -1,0 +1,63 @@
+#ifndef AIM_CATALOG_TYPES_H_
+#define AIM_CATALOG_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace aim::catalog {
+
+using TableId = uint32_t;
+using ColumnId = uint32_t;
+using IndexId = uint32_t;
+
+inline constexpr TableId kInvalidTable = UINT32_MAX;
+inline constexpr IndexId kInvalidIndex = UINT32_MAX;
+
+/// Logical column type. Dates are stored as int64 days-since-epoch.
+enum class ColumnType { kInt64, kDouble, kString, kDate };
+
+/// Storage engine flavour; affects cost-model constants (B+Tree = InnoDB
+/// style, LSM = MyRocks style).
+enum class EngineKind { kBTree, kLsm };
+
+/// A (table, column) pair identifying a column globally.
+struct ColumnRef {
+  TableId table = kInvalidTable;
+  ColumnId column = 0;
+
+  bool operator==(const ColumnRef& o) const {
+    return table == o.table && column == o.column;
+  }
+  bool operator<(const ColumnRef& o) const {
+    if (table != o.table) return table < o.table;
+    return column < o.column;
+  }
+};
+
+struct ColumnRefHash {
+  size_t operator()(const ColumnRef& r) const {
+    return std::hash<uint64_t>()(
+        (static_cast<uint64_t>(r.table) << 32) | r.column);
+  }
+};
+
+/// Returns a human-readable name for `type`.
+inline const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "INT64";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "STRING";
+    case ColumnType::kDate:
+      return "DATE";
+  }
+  return "?";
+}
+
+}  // namespace aim::catalog
+
+#endif  // AIM_CATALOG_TYPES_H_

@@ -1,0 +1,53 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace aim {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::SetLevel(LogLevel level) {
+  return static_cast<LogLevel>(
+      g_level.exchange(static_cast<int>(level)));
+}
+
+LogLevel Logger::GetLevel() {
+  return static_cast<LogLevel>(g_level.load());
+}
+
+Logger::Logger(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= g_level.load()), level_(level) {
+  if (enabled_) {
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+  }
+}
+
+Logger::~Logger() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+  }
+}
+
+}  // namespace aim

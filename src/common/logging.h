@@ -1,0 +1,41 @@
+#ifndef AIM_COMMON_LOGGING_H_
+#define AIM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace aim {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Minimal streaming logger. Messages below the global threshold are
+/// dropped. Thread-compatible (benchmarks and the advisor are single
+/// threaded; the stats exporter serializes through this API).
+class Logger {
+ public:
+  /// Sets the global minimum level; returns the previous one.
+  static LogLevel SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  Logger(LogLevel level, const char* file, int line);
+  ~Logger();
+
+  template <typename T>
+  Logger& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace aim
+
+#define AIM_LOG(level) \
+  ::aim::Logger(::aim::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // AIM_COMMON_LOGGING_H_

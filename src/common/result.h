@@ -1,0 +1,60 @@
+#ifndef AIM_COMMON_RESULT_H_
+#define AIM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace aim {
+
+/// \brief Arrow-style Result<T>: either a value or an error Status.
+///
+/// Use `AIM_ASSIGN_OR_RETURN` to unwrap in Status-returning functions.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& ValueOrDie() const {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() {
+    assert(ok());
+    return *value_;
+  }
+  /// Moves the value out. Requires ok().
+  T MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define AIM_CONCAT_IMPL(x, y) x##y
+#define AIM_CONCAT(x, y) AIM_CONCAT_IMPL(x, y)
+
+/// Unwraps a Result<T> into `lhs`, returning the error Status on failure.
+#define AIM_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  auto AIM_CONCAT(_res_, __LINE__) = (rexpr);                 \
+  if (!AIM_CONCAT(_res_, __LINE__).ok())                      \
+    return AIM_CONCAT(_res_, __LINE__).status();              \
+  lhs = AIM_CONCAT(_res_, __LINE__).MoveValue()
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_RESULT_H_

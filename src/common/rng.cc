@@ -1,0 +1,73 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace aim {
+
+Rng::Rng(uint64_t seed) {
+  // SplitMix64 initialization to decorrelate nearby seeds.
+  auto splitmix = [](uint64_t& x) {
+    x += 0x9E3779B97f4A7C15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+  uint64_t x = seed;
+  s0_ = splitmix(x);
+  s1_ = splitmix(x);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  if (bound == 0) return 0;
+  return Next() % bound;
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  if (n <= 1) return 0;
+  if (theta <= 0.0) return Uniform(n);
+  if (n != zipf_n_ || theta != zipf_theta_) {
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    double zeta = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) zeta += 1.0 / std::pow(double(i), theta);
+    zipf_zeta_ = zeta;
+    zipf_alpha_ = 1.0 / (1.0 - theta);
+    double zeta2 = 1.0 + std::pow(0.5, theta);
+    zipf_eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+                (1.0 - zeta2 / zeta);
+  }
+  const double u = NextDouble();
+  const double uz = u * zipf_zeta_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, zipf_theta_)) return 1;
+  uint64_t v = static_cast<uint64_t>(
+      double(zipf_n_) *
+      std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+  if (v >= n) v = n - 1;
+  return v;
+}
+
+}  // namespace aim

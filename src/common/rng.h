@@ -1,0 +1,55 @@
+#ifndef AIM_COMMON_RNG_H_
+#define AIM_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace aim {
+
+/// \brief Deterministic pseudo-random number generator (xorshift128+).
+///
+/// All experiments are seeded so that benchmark output is reproducible
+/// run-to-run. Not cryptographically secure; not intended to be.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next();
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+  /// Uniform real in [0, 1).
+  double NextDouble();
+  /// True with probability p.
+  bool Bernoulli(double p);
+  /// Zipfian-distributed value in [0, n) with skew theta (0 = uniform-ish).
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+  // Cached zipf parameters (recomputed when (n, theta) changes).
+  uint64_t zipf_n_ = 0;
+  double zipf_theta_ = -1.0;
+  double zipf_zeta_ = 0.0;
+  double zipf_alpha_ = 0.0;
+  double zipf_eta_ = 0.0;
+};
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_RNG_H_

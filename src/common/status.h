@@ -1,0 +1,101 @@
+#ifndef AIM_COMMON_STATUS_H_
+#define AIM_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace aim {
+
+/// \brief RocksDB-style status object used for error handling on all library
+/// paths (the library does not throw exceptions).
+///
+/// A Status is cheap to copy and carries an error code plus a human-readable
+/// message. `Status::OK()` represents success.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kOutOfBudget,
+    kParseError,
+    kUnsupported,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  /// Success status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfBudget(std::string msg) {
+    return Status(Code::kOutOfBudget, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(Code::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(Code::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<code>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  static std::string CodeName(Code code) {
+    switch (code) {
+      case Code::kOk:
+        return "OK";
+      case Code::kInvalidArgument:
+        return "InvalidArgument";
+      case Code::kNotFound:
+        return "NotFound";
+      case Code::kAlreadyExists:
+        return "AlreadyExists";
+      case Code::kOutOfBudget:
+        return "OutOfBudget";
+      case Code::kParseError:
+        return "ParseError";
+      case Code::kUnsupported:
+        return "Unsupported";
+      case Code::kInternal:
+        return "Internal";
+    }
+    return "Unknown";
+  }
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller (RocksDB/Arrow idiom).
+#define AIM_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::aim::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_STATUS_H_

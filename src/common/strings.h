@@ -1,0 +1,36 @@
+#ifndef AIM_COMMON_STRINGS_H_
+#define AIM_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aim {
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on character `sep` (no empty-trailing suppression).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+/// ASCII upper-casing.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a byte count as "12.34 MiB" style text.
+std::string HumanBytes(double bytes);
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_STRINGS_H_

@@ -1,0 +1,179 @@
+#include "core/aim.h"
+
+#include <chrono>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "optimizer/predicate.h"
+
+namespace aim::core {
+
+namespace {
+
+/// Appends `extra` partial orders, deduplicating by canonical key.
+void AppendUnique(std::vector<PartialOrder>* all,
+                  std::unordered_set<std::string>* seen,
+                  std::vector<PartialOrder> extra) {
+  for (PartialOrder& po : extra) {
+    if (seen->insert(po.CanonicalKey()).second) {
+      all->push_back(std::move(po));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<SelectedQuery> AutomaticIndexManager::SelectQueries(
+    const workload::Workload& workload,
+    const workload::WorkloadMonitor* monitor) const {
+  if (monitor != nullptr) {
+    return SelectRepresentativeWorkload(workload, *monitor,
+                                        options_.selection);
+  }
+  // Bootstrap mode: no execution statistics yet; take every query with
+  // its static weight.
+  std::vector<SelectedQuery> selected;
+  selected.reserve(workload.size());
+  for (const workload::Query& q : workload.queries) {
+    SelectedQuery sq;
+    sq.query = &q;
+    selected.push_back(std::move(sq));
+  }
+  return selected;
+}
+
+Result<AimReport> AutomaticIndexManager::Recommend(
+    const workload::Workload& workload,
+    const workload::WorkloadMonitor* monitor) {
+  const auto t0 = std::chrono::steady_clock::now();
+  AimReport report;
+
+  // Line 1: representative workload selection.
+  report.selected_workload = SelectQueries(workload, monitor);
+  report.stats.queries_selected = report.selected_workload.size();
+  if (report.selected_workload.empty()) return report;
+
+  optimizer::WhatIfOptimizer what_if(db_->catalog(), cm_);
+  CandidateGenerator generator(what_if.catalog(), &what_if,
+                               options_.candidates);
+
+  // Line 2: candidate generation (two-phase, Sec. III-B).
+  std::vector<PartialOrder> orders;
+  std::unordered_set<std::string> seen;
+  auto generate_pass = [&](bool covering_enabled) -> Status {
+    CandidateGenOptions pass_opts = options_.candidates;
+    pass_opts.enable_covering = covering_enabled;
+    CandidateGenerator pass_gen(what_if.catalog(), &what_if, pass_opts);
+    for (const SelectedQuery& sq : report.selected_workload) {
+      if (sq.query->stmt.kind == sql::Statement::Kind::kInsert) continue;
+      Result<optimizer::AnalyzedQuery> aq =
+          optimizer::Analyze(sq.query->stmt, what_if.catalog());
+      if (!aq.ok()) {
+        AIM_LOG(Warn) << "skipping query: " << aq.status().ToString();
+        continue;
+      }
+      const workload::QueryStats* stats =
+          sq.stats.executions > 0 ? &sq.stats : nullptr;
+      AppendUnique(&orders, &seen,
+                   pass_gen.GenerateForQuery(*sq.query, aq.ValueOrDie(),
+                                             stats));
+    }
+    return Status::OK();
+  };
+
+  // Phase 1: narrow (non-covering) candidates for every selected query.
+  AIM_RETURN_NOT_OK(generate_pass(/*covering_enabled=*/false));
+
+  if (options_.two_phase && options_.candidates.enable_covering) {
+    // Stage all phase-1 candidates as hypothetical indexes so the
+    // covering check (Sec. III-D) can ask "given the best selectivity an
+    // index could already provide, is the PK seek volume still high?".
+    std::vector<PartialOrder> merged1 =
+        MergePartialOrders(orders, options_.merge);
+    CandidateGenerator tmp_gen(what_if.catalog(), &what_if,
+                               options_.candidates);
+    std::vector<catalog::IndexDef> phase1 =
+        tmp_gen.GenerateCandidateIndexPerPO(merged1);
+    AIM_RETURN_NOT_OK(what_if.SetConfiguration(phase1));
+    AIM_RETURN_NOT_OK(generate_pass(/*covering_enabled=*/true));
+    what_if.ClearConfiguration();
+  }
+  report.stats.partial_orders_generated = orders.size();
+
+  // Merge partial orders to a fixpoint (line 6 of Algorithm 2).
+  std::vector<PartialOrder> merged =
+      MergePartialOrders(std::move(orders), options_.merge);
+  report.stats.partial_orders_after_merge = merged.size();
+
+  // One concrete index per final partial order (line 7), minus indexes
+  // that already exist for real.
+  std::vector<catalog::IndexDef> candidates =
+      generator.GenerateCandidateIndexPerPO(merged);
+  candidates.erase(
+      std::remove_if(candidates.begin(), candidates.end(),
+                     [&](const catalog::IndexDef& def) {
+                       return db_->catalog().FindIndex(def.table,
+                                                       def.columns) !=
+                              nullptr;
+                     }),
+      candidates.end());
+  report.stats.candidates_evaluated = candidates.size();
+
+  // Line 4: rank by utility and select under the storage budget.
+  RankingResult ranking = RankAndSelect(candidates,
+                                        report.selected_workload, &what_if,
+                                        options_.ranking);
+  report.recommended = std::move(ranking.selected);
+  report.stats.indexes_recommended = report.recommended.size();
+  report.explanations = ExplainAll(report.recommended,
+                                   report.selected_workload,
+                                   db_->catalog());
+
+  report.stats.what_if_calls = what_if.call_count();
+  report.stats.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+Result<AimReport> AutomaticIndexManager::RunOnce(
+    const workload::Workload& workload,
+    const workload::WorkloadMonitor* monitor) {
+  AIM_ASSIGN_OR_RETURN(AimReport report, Recommend(workload, monitor));
+  const auto t0 = std::chrono::steady_clock::now();
+
+  if (options_.validate_on_clone && !report.recommended.empty()) {
+    // Line 3: materialize on a clone and keep only validated indexes.
+    AIM_ASSIGN_OR_RETURN(
+        report.validation,
+        ValidateOnClone(*db_, report.recommended,
+                        report.selected_workload, cm_,
+                        options_.validation));
+    report.stats.indexes_rejected_by_validation =
+        report.recommended.size() - report.validation.accepted.size();
+    report.recommended = report.validation.accepted;
+    report.explanations = ExplainAll(report.recommended,
+                                     report.selected_workload,
+                                     db_->catalog());
+  }
+
+  // Materialize the production indexes.
+  for (const CandidateIndex& c : report.recommended) {
+    catalog::IndexDef def = c.def;
+    def.hypothetical = false;
+    def.id = catalog::kInvalidIndex;
+    def.created_by_automation = true;
+    Result<catalog::IndexId> id = db_->CreateIndex(std::move(def));
+    if (!id.ok() &&
+        id.status().code() != Status::Code::kAlreadyExists) {
+      return id.status();
+    }
+  }
+  report.stats.indexes_recommended = report.recommended.size();
+  report.stats.runtime_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+}  // namespace aim::core

@@ -1,0 +1,99 @@
+#ifndef AIM_CORE_AIM_H_
+#define AIM_CORE_AIM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/candidate_generation.h"
+#include "core/clone_validation.h"
+#include "core/explain.h"
+#include "core/merge.h"
+#include "core/ranking.h"
+#include "core/workload_selection.h"
+#include "storage/database.h"
+
+namespace aim::core {
+
+/// End-to-end configuration of one AIM run (Algorithm 1).
+struct AimOptions {
+  CandidateGenOptions candidates;
+  WorkloadSelectionOptions selection;
+  RankingOptions ranking;
+  CloneValidationOptions validation;
+  MergeOptions merge;
+  /// Materialize-and-replay validation on a clone before recommending
+  /// (line 3 of Algorithm 1). Disable for estimate-only benchmarks.
+  bool validate_on_clone = true;
+  /// Two-phase generation (Sec. III-B): first narrow indexes for every
+  /// inefficient query, then covering indexes where the seek volume
+  /// justifies them.
+  bool two_phase = true;
+};
+
+/// Run statistics, for the runtime comparisons of Fig. 4.
+struct AimRunStats {
+  double runtime_seconds = 0.0;
+  uint64_t what_if_calls = 0;
+  size_t queries_selected = 0;
+  size_t partial_orders_generated = 0;
+  size_t partial_orders_after_merge = 0;
+  size_t candidates_evaluated = 0;
+  size_t indexes_recommended = 0;
+  size_t indexes_rejected_by_validation = 0;
+};
+
+/// The outcome of one AIM run.
+struct AimReport {
+  std::vector<CandidateIndex> recommended;
+  std::vector<std::string> explanations;
+  std::vector<SelectedQuery> selected_workload;
+  CloneValidationResult validation;
+  AimRunStats stats;
+};
+
+/// \brief AIM — the Automatic Index Manager (Algorithm 1).
+///
+/// Typical use:
+/// \code
+///   AutomaticIndexManager aim(&db, optimizer::CostModel(), options);
+///   AIM_ASSIGN_OR_RETURN(AimReport report, aim.RunOnce(workload, &mon));
+/// \endcode
+///
+/// `Recommend` computes (but does not apply) the recommendation;
+/// `RunOnce` additionally validates on a clone and materializes the
+/// accepted indexes on the production database, tagged
+/// `created_by_automation` for the regression detector.
+class AutomaticIndexManager {
+ public:
+  AutomaticIndexManager(storage::Database* db, optimizer::CostModel cm,
+                        AimOptions options = {})
+      : db_(db), cm_(cm), options_(options) {}
+
+  /// Lines 1–2 + ranking of Algorithm 1 (no materialization). `monitor`
+  /// may be null for pure bootstrap (weights drive the selection).
+  Result<AimReport> Recommend(const workload::Workload& workload,
+                              const workload::WorkloadMonitor* monitor);
+
+  /// Full Algorithm 1: recommend, validate on a clone, materialize the
+  /// survivors on the production database.
+  Result<AimReport> RunOnce(const workload::Workload& workload,
+                            const workload::WorkloadMonitor* monitor);
+
+  const AimOptions& options() const { return options_; }
+  AimOptions* mutable_options() { return &options_; }
+
+ private:
+  /// Wraps every workload query as a SelectedQuery when no monitor data
+  /// exists (static tuning / bootstrapping, Sec. II-A).
+  std::vector<SelectedQuery> SelectQueries(
+      const workload::Workload& workload,
+      const workload::WorkloadMonitor* monitor) const;
+
+  storage::Database* db_;
+  optimizer::CostModel cm_;
+  AimOptions options_;
+};
+
+}  // namespace aim::core
+
+#endif  // AIM_CORE_AIM_H_

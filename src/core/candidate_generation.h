@@ -1,0 +1,131 @@
+#ifndef AIM_CORE_CANDIDATE_GENERATION_H_
+#define AIM_CORE_CANDIDATE_GENERATION_H_
+
+#include <vector>
+
+#include "core/partial_order.h"
+#include "optimizer/what_if.h"
+#include "workload/monitor.h"
+#include "workload/workload.h"
+
+namespace aim::core {
+
+/// Per-query candidate-generation mode (Algorithm 2 line 3).
+enum class CoveringMode { kNonCovering, kCovering };
+
+/// Knobs for candidate generation (Sec. IV).
+struct CandidateGenOptions {
+  /// The join parameter j (Algorithm 3): tables joined with more than j
+  /// partners are not exhaustively explored for join orders.
+  int join_parameter = 2;
+  /// Allow the covering phase at all.
+  bool enable_covering = true;
+  /// Minimum estimated primary-key lookups per interval before a covering
+  /// index is worth its storage (Sec. III-D: "this threshold is high for
+  /// fast storage media such as SSDs").
+  double covering_seek_threshold = 1000.0;
+  /// Maximum index width; wider candidates are truncated (prefix kept).
+  size_t max_index_width = 8;
+  /// Optimizer feature switches in effect on the fleet (Sec. VIII-a):
+  /// candidate generation skips candidates whose execution strategy is
+  /// disabled — per-OR-factor candidates when index_merge is off,
+  /// group/order candidates when sort avoidance is off.
+  optimizer::OptimizerSwitches switches;
+  /// IPP relaxation (Sec. V-A): once the cumulative selectivity of the
+  /// most selective index-prefix columns falls below this floor, further
+  /// IPP columns add no selectivity and are dropped from the candidate
+  /// (narrower index, less storage). 0 disables relaxation.
+  double ipp_selectivity_floor = 0.0;
+  /// Use the what-if optimizer to pick the most selective residual range
+  /// column (Algorithm 5's dataless_index_cost). When false, fall back to
+  /// raw column selectivity — the ablation knob for the paper's "reduced
+  /// reliance on the optimizer" claim.
+  bool use_dataless_cost = true;
+};
+
+/// \brief Implements Algorithms 2–7: transforms query structure into
+/// candidate partial orders of index columns.
+///
+/// The generator consults the what-if optimizer only for the
+/// `dataless_index_cost` argmin of Algorithm 5 (choosing the most
+/// selective residual range column) — the "reduced reliance on the
+/// optimizer" the paper highlights.
+class CandidateGenerator {
+ public:
+  CandidateGenerator(const catalog::Catalog& catalog,
+                     optimizer::WhatIfOptimizer* what_if,
+                     CandidateGenOptions options = {})
+      : catalog_(&catalog), what_if_(what_if), options_(options) {}
+
+  /// Algorithm 2 body for one query: covering decision + the three
+  /// generators. `stats` (optional) feeds the covering threshold.
+  std::vector<PartialOrder> GenerateForQuery(
+      const workload::Query& query, const optimizer::AnalyzedQuery& aq,
+      const workload::QueryStats* stats);
+
+  /// Algorithm 2 over a whole workload: per-query generation, then
+  /// MergePartialOrders.
+  Result<std::vector<PartialOrder>> GenerateForWorkload(
+      const workload::Workload& workload,
+      const workload::WorkloadMonitor* monitor);
+
+  // --- individual steps, exposed for tests ---------------------------------
+
+  /// TryCoveringIndex (Sec. III-D): covering only when selectivity cannot
+  /// improve further with the current indexes and the PK seek volume
+  /// justifies the extra storage.
+  CoveringMode TryCoveringIndex(const workload::Query& query,
+                                const optimizer::AnalyzedQuery& aq,
+                                const workload::QueryStats* stats);
+
+  /// Algorithm 3: power set of join-partner instance sets of `instance`,
+  /// empty-set-only when the partner count exceeds j.
+  std::vector<std::vector<int>> JoinedTablesPowerset(
+      const optimizer::AnalyzedQuery& aq, int instance, int j) const;
+
+  /// Algorithm 4.
+  std::vector<PartialOrder> GenerateCandidatesForSelection(
+      const workload::Query& query, const optimizer::AnalyzedQuery& aq,
+      int j, CoveringMode mode);
+  /// Algorithm 6.
+  std::vector<PartialOrder> GenerateCandidatesForGroupBy(
+      const workload::Query& query, const optimizer::AnalyzedQuery& aq,
+      int j, CoveringMode mode);
+  /// Algorithm 7.
+  std::vector<PartialOrder> GenerateCandidatesForOrderBy(
+      const workload::Query& query, const optimizer::AnalyzedQuery& aq,
+      int j, CoveringMode mode);
+
+  /// Algorithm 5: factorize the predicates over `columns` of `instance`
+  /// into DNF groups and emit `<C_IPP, {most selective residual}>` per
+  /// group. `join_columns` are treated as index-prefix columns.
+  std::vector<PartialOrder> GenerateCandidateIndexPredicates(
+      const workload::Query& query, const optimizer::AnalyzedQuery& aq,
+      int instance, const std::vector<catalog::ColumnId>& columns,
+      const std::vector<catalog::ColumnId>& join_columns);
+
+  /// Converts each final partial order to one concrete index definition
+  /// (Algorithm 2 line 7), truncated to max_index_width.
+  std::vector<catalog::IndexDef> GenerateCandidateIndexPerPO(
+      const std::vector<PartialOrder>& orders) const;
+
+  /// What-if calls consumed by dataless_index_cost decisions.
+  uint64_t dataless_cost_calls() const { return dataless_cost_calls_; }
+
+ private:
+  /// dataless_index_cost(Q, <C_IPP, {c}>) of Algorithm 5: the estimated
+  /// cost of Q with a hypothetical index on C_IPP + c.
+  double DatalessIndexCost(const workload::Query& query,
+                           catalog::TableId table,
+                           const std::vector<catalog::ColumnId>& ipp,
+                           catalog::ColumnId extra);
+
+  const catalog::Catalog* catalog_;
+  optimizer::WhatIfOptimizer* what_if_;
+  CandidateGenOptions options_;
+  uint64_t dataless_cost_calls_ = 0;
+};
+
+}  // namespace aim::core
+
+#endif  // AIM_CORE_CANDIDATE_GENERATION_H_

@@ -1,0 +1,88 @@
+#include "core/clone_validation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "executor/executor.h"
+
+namespace aim::core {
+
+Result<CloneValidationResult> ValidateOnClone(
+    const storage::Database& production,
+    const std::vector<CandidateIndex>& selected,
+    const std::vector<SelectedQuery>& queries, optimizer::CostModel cm,
+    const CloneValidationOptions& options) {
+  CloneValidationResult result;
+  if (selected.empty()) return result;
+
+  // Control clone: production as-is. Test clone: production + candidates,
+  // actually materialized (B+Trees built).
+  storage::Database control = production;
+  storage::Database test = production;
+  std::vector<catalog::IndexId> created;
+  for (const CandidateIndex& c : selected) {
+    catalog::IndexDef def = c.def;
+    def.hypothetical = false;
+    def.id = catalog::kInvalidIndex;
+    def.created_by_automation = true;
+    Result<catalog::IndexId> id = test.CreateIndex(std::move(def));
+    if (!id.ok()) {
+      AIM_LOG(Warn) << "clone materialization failed: "
+                    << id.status().ToString();
+      created.push_back(catalog::kInvalidIndex);
+      continue;
+    }
+    created.push_back(id.ValueOrDie());
+  }
+
+  executor::Executor control_exec(&control, cm);
+  executor::Executor test_exec(&test, cm);
+
+  std::set<catalog::IndexId> used;
+  bool improved = false;
+  for (const SelectedQuery& sq : queries) {
+    Result<executor::ExecuteResult> before =
+        control_exec.Execute(sq.query->stmt);
+    Result<executor::ExecuteResult> after =
+        test_exec.Execute(sq.query->stmt);
+    if (!before.ok() || !after.ok()) {
+      AIM_LOG(Warn) << "validation replay failed: "
+                    << (before.ok() ? after.status() : before.status())
+                           .ToString();
+      continue;
+    }
+    for (catalog::IndexId id :
+         after.ValueOrDie().metrics.used_indexes) {
+      used.insert(id);
+    }
+    QueryValidation v;
+    v.fingerprint = sq.query->fingerprint;
+    v.cpu_before = before.ValueOrDie().metrics.cpu_seconds;
+    v.cpu_after = after.ValueOrDie().metrics.cpu_seconds;
+    v.improved =
+        v.cpu_after <= (1.0 - options.lambda2) * v.cpu_before &&
+        v.cpu_before > 0;
+    v.regressed = v.cpu_after > (1.0 + options.lambda3) * v.cpu_before &&
+                  v.cpu_after - v.cpu_before > 1e-9;
+    improved = improved || v.improved;
+    if (v.regressed) result.no_regressions = false;
+    result.per_query.push_back(v);
+  }
+  result.any_query_improved = improved;
+
+  for (size_t i = 0; i < selected.size(); ++i) {
+    const catalog::IndexId id =
+        i < created.size() ? created[i] : catalog::kInvalidIndex;
+    const bool index_used =
+        id != catalog::kInvalidIndex && used.count(id) > 0;
+    if (index_used || !options.drop_unused) {
+      result.accepted.push_back(selected[i]);
+    } else {
+      result.rejected_unused.push_back(selected[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace aim::core

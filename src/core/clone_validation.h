@@ -1,0 +1,55 @@
+#ifndef AIM_CORE_CLONE_VALIDATION_H_
+#define AIM_CORE_CLONE_VALIDATION_H_
+
+#include <vector>
+
+#include "core/ranking.h"
+#include "storage/database.h"
+
+namespace aim::core {
+
+/// Validation knobs (λ₂ / λ₃ of the continuous tuning problem, Sec. II-B).
+struct CloneValidationOptions {
+  /// Required relative improvement for "at least one query improved"
+  /// (Eq. 3).
+  double lambda2 = 0.05;
+  /// Maximum tolerated per-query regression (Eq. 4).
+  double lambda3 = 0.20;
+  /// Drop candidates no query plan actually uses on the clone.
+  bool drop_unused = true;
+};
+
+/// Per-query before/after record from the clone replay.
+struct QueryValidation {
+  uint64_t fingerprint = 0;
+  double cpu_before = 0.0;
+  double cpu_after = 0.0;
+  bool regressed = false;
+  bool improved = false;
+};
+
+/// Outcome of materialize-and-replay validation.
+struct CloneValidationResult {
+  std::vector<CandidateIndex> accepted;
+  std::vector<CandidateIndex> rejected_unused;
+  /// True when Eq. 3 holds (some query improved by ≥ λ₂).
+  bool any_query_improved = false;
+  /// True when Eq. 4 held for every query (after rejections).
+  bool no_regressions = true;
+  std::vector<QueryValidation> per_query;
+};
+
+/// \brief Line 3 of Algorithm 1: materializes the selected candidates on a
+/// *clone* of the database (the MyShadow contract, Sec. VII-B), replays
+/// the workload, and keeps only indexes the optimizer actually uses
+/// without regressing any query beyond λ₃ — the paper's "no regression"
+/// guarantee for production.
+Result<CloneValidationResult> ValidateOnClone(
+    const storage::Database& production,
+    const std::vector<CandidateIndex>& selected,
+    const std::vector<SelectedQuery>& queries, optimizer::CostModel cm,
+    const CloneValidationOptions& options = {});
+
+}  // namespace aim::core
+
+#endif  // AIM_CORE_CLONE_VALIDATION_H_

@@ -1,0 +1,117 @@
+#include "core/continuous.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aim::core {
+
+void ContinuousTuner::ObserveUsage(const workload::Workload& workload) {
+  // Fresh usage snapshot for this interval.
+  std::map<catalog::IndexId, size_t> used_prefix;
+  optimizer::Optimizer opt(db_->catalog(), cm_);
+  optimizer::OptimizeOptions options;
+  options.include_hypothetical = false;
+  for (const workload::Query& q : workload.queries) {
+    Result<optimizer::AnalyzedQuery> aq =
+        optimizer::Analyze(q.stmt, db_->catalog());
+    if (!aq.ok()) continue;
+    optimizer::Plan plan = opt.OptimizeAnalyzed(aq.ValueOrDie(), options);
+    for (const optimizer::JoinStep& step : plan.steps) {
+      if (step.path.index == nullptr) continue;
+      size_t& p = used_prefix[step.path.index->id];
+      size_t used = step.path.eq_prefix_len +
+                    (step.path.range_on_next ? 1 : 0);
+      if (step.path.covering || step.path.delivers_group ||
+          step.path.delivers_order) {
+        // Key parts beyond the matching prefix still earn their keep when
+        // the query reads them from the index (covering / ordered reads):
+        // count up to the deepest referenced key part.
+        const auto& refs =
+            aq.ValueOrDie().instances[step.instance].referenced_columns;
+        const auto& key = step.path.index->columns;
+        for (size_t pos = 0; pos < key.size(); ++pos) {
+          if (std::find(refs.begin(), refs.end(), key[pos]) != refs.end()) {
+            used = std::max(used, pos + 1);
+          }
+        }
+      }
+      p = std::max(p, used);
+    }
+  }
+
+  for (const catalog::IndexDef* idx :
+       db_->catalog().AllIndexes(false, false)) {
+    if (!idx->created_by_automation) continue;
+    UsageState& state = usage_[idx->id];
+    auto it = used_prefix.find(idx->id);
+    if (it == used_prefix.end()) {
+      ++state.idle_intervals;
+      ++state.prefix_idle_intervals;
+    } else {
+      state.idle_intervals = 0;
+      state.max_used_prefix = std::max(state.max_used_prefix, it->second);
+      if (it->second >= idx->columns.size()) {
+        state.prefix_idle_intervals = 0;
+      } else {
+        ++state.prefix_idle_intervals;
+      }
+    }
+  }
+}
+
+Result<IntervalReport> ContinuousTuner::Tick(
+    const workload::Workload& workload,
+    const workload::WorkloadMonitor* monitor) {
+  IntervalReport report;
+  ObserveUsage(workload);
+
+  // Garbage-collect automation indexes the workload stopped using.
+  // Snapshot definitions by value: CreateIndex below can reallocate the
+  // catalog's index storage and invalidate pointers.
+  std::vector<catalog::IndexDef> automation;
+  for (const catalog::IndexDef* p : db_->catalog().AllIndexes(false, false)) {
+    automation.push_back(*p);
+  }
+  for (const catalog::IndexDef& def : automation) {
+    const catalog::IndexDef* idx = &def;
+    if (!idx->created_by_automation) continue;
+    auto it = usage_.find(idx->id);
+    if (it == usage_.end()) continue;
+    const UsageState& state = it->second;
+    if (options_.enable_drop &&
+        state.idle_intervals >= options_.drop_after_idle_intervals) {
+      report.dropped.push_back(*idx);
+      AIM_RETURN_NOT_OK(db_->DropIndex(idx->id));
+      usage_.erase(it);
+      continue;
+    }
+    if (options_.enable_shrink && state.max_used_prefix > 0 &&
+        state.max_used_prefix < idx->columns.size() &&
+        state.prefix_idle_intervals >=
+            options_.shrink_after_idle_intervals) {
+      catalog::IndexDef narrower = *idx;
+      narrower.columns.resize(state.max_used_prefix);
+      narrower.id = catalog::kInvalidIndex;
+      narrower.name.clear();
+      if (db_->catalog().FindIndex(narrower.table, narrower.columns) !=
+          nullptr) {
+        continue;  // the prefix already exists as its own index
+      }
+      catalog::IndexDef old = *idx;
+      AIM_RETURN_NOT_OK(db_->DropIndex(idx->id));
+      Result<catalog::IndexId> nid = db_->CreateIndex(narrower);
+      if (nid.ok()) {
+        usage_.erase(it);
+        report.shrunk.emplace_back(old, narrower);
+      }
+    }
+  }
+
+  // Run AIM on this interval's statistics.
+  AutomaticIndexManager aim(db_, cm_, options_.aim);
+  AIM_ASSIGN_OR_RETURN(report.aim, aim.RunOnce(workload, monitor));
+  return report;
+}
+
+}  // namespace aim::core

@@ -1,0 +1,67 @@
+#ifndef AIM_CORE_CONTINUOUS_H_
+#define AIM_CORE_CONTINUOUS_H_
+
+#include <map>
+#include <vector>
+
+#include "core/aim.h"
+
+namespace aim::core {
+
+/// Options for the continuous tuner (Sec. VI-D).
+struct ContinuousTunerOptions {
+  AimOptions aim;
+  /// Automation-created indexes unused for this many consecutive
+  /// intervals are dropped ("detect and drop unused indexes").
+  int drop_after_idle_intervals = 3;
+  /// Shrink automation-created indexes whose trailing key parts go unused
+  /// for this many intervals ("drop *parts of* unused indexes").
+  int shrink_after_idle_intervals = 3;
+  bool enable_drop = true;
+  bool enable_shrink = true;
+};
+
+/// What one tuning interval did.
+struct IntervalReport {
+  AimReport aim;
+  std::vector<catalog::IndexDef> dropped;
+  /// (old definition, new narrower definition) pairs.
+  std::vector<std::pair<catalog::IndexDef, catalog::IndexDef>> shrunk;
+};
+
+/// \brief Periodic (naïve, per Sec. VI-D) continuous tuning: run AIM at
+/// the end of every statistics interval, and garbage-collect
+/// automation-created indexes that the current workload's plans no longer
+/// use — entirely or in their trailing key parts.
+class ContinuousTuner {
+ public:
+  ContinuousTuner(storage::Database* db, optimizer::CostModel cm,
+                  ContinuousTunerOptions options = {})
+      : db_(db), cm_(cm), options_(options) {}
+
+  /// One tuning interval: analyze usage of existing automation indexes
+  /// against the current workload, drop/shrink idle ones, then run AIM on
+  /// the interval's statistics.
+  Result<IntervalReport> Tick(const workload::Workload& workload,
+                              const workload::WorkloadMonitor* monitor);
+
+ private:
+  struct UsageState {
+    int idle_intervals = 0;
+    size_t max_used_prefix = 0;
+    int prefix_idle_intervals = 0;
+  };
+
+  /// Plans every workload query against the real configuration and
+  /// records which indexes (and how many leading key parts) are used.
+  void ObserveUsage(const workload::Workload& workload);
+
+  storage::Database* db_;
+  optimizer::CostModel cm_;
+  ContinuousTunerOptions options_;
+  std::map<catalog::IndexId, UsageState> usage_;
+};
+
+}  // namespace aim::core
+
+#endif  // AIM_CORE_CONTINUOUS_H_

@@ -1,0 +1,64 @@
+#include "core/explain.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace aim::core {
+
+std::string ExplainRecommendation(const CandidateIndex& candidate,
+                                  const std::vector<SelectedQuery>& queries,
+                                  const catalog::Catalog& catalog) {
+  std::string out = "CREATE INDEX ON " +
+                    catalog.DescribeIndex(candidate.def) + "\n";
+  out += StringPrintf(
+      "  expected benefit: %.4f CPU-s/interval, maintenance: %.4f "
+      "CPU-s/interval, storage: %s\n",
+      candidate.benefit, candidate.maintenance,
+      HumanBytes(candidate.size_bytes).c_str());
+  out += StringPrintf("  utility density: %.3g CPU-s per MiB\n",
+                      candidate.density() * 1024.0 * 1024.0);
+  // List benefiting queries with their observed statistics.
+  size_t listed = 0;
+  for (uint64_t fp : candidate.benefiting_queries) {
+    for (const SelectedQuery& sq : queries) {
+      if (sq.query->fingerprint != fp) continue;
+      if (sq.stats.executions > 0) {
+        out += StringPrintf(
+            "  serves: %s\n    (execs=%llu, cpu_avg=%.5fs, ddr=%.3f, "
+            "expected benefit=%.5fs/exec)\n",
+            sq.query->normalized_sql.c_str(),
+            static_cast<unsigned long long>(sq.stats.executions),
+            sq.stats.cpu_avg(), sq.stats.ddr_avg(), sq.expected_benefit);
+      } else {
+        // Bootstrap mode: no observed statistics yet, weights stand in
+        // for frequencies.
+        out += StringPrintf("  serves: %s\n    (bootstrap, weight=%.1f)\n",
+                            sq.query->normalized_sql.c_str(),
+                            sq.query->weight);
+      }
+      ++listed;
+      break;
+    }
+    if (listed >= 5) {
+      out += StringPrintf("  ... and %zu more queries\n",
+                          candidate.benefiting_queries.size() - listed);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ExplainAll(
+    const std::vector<CandidateIndex>& selection,
+    const std::vector<SelectedQuery>& queries,
+    const catalog::Catalog& catalog) {
+  std::vector<std::string> out;
+  out.reserve(selection.size());
+  for (const CandidateIndex& c : selection) {
+    out.push_back(ExplainRecommendation(c, queries, catalog));
+  }
+  return out;
+}
+
+}  // namespace aim::core

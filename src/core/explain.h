@@ -1,0 +1,28 @@
+#ifndef AIM_CORE_EXPLAIN_H_
+#define AIM_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/ranking.h"
+
+namespace aim::core {
+
+/// \brief Builds the metrics-driven explanation that accompanies each AIM
+/// recommendation ("Each index recommendation from AIM is accompanied
+/// with a metrics driven explanation", abstract): what the index is,
+/// which queries it serves, and the expected CPU benefit vs. maintenance
+/// and storage costs.
+std::string ExplainRecommendation(const CandidateIndex& candidate,
+                                  const std::vector<SelectedQuery>& queries,
+                                  const catalog::Catalog& catalog);
+
+/// Explanations for a whole selection, one string per index.
+std::vector<std::string> ExplainAll(
+    const std::vector<CandidateIndex>& selection,
+    const std::vector<SelectedQuery>& queries,
+    const catalog::Catalog& catalog);
+
+}  // namespace aim::core
+
+#endif  // AIM_CORE_EXPLAIN_H_

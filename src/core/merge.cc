@@ -1,0 +1,74 @@
+#include "core/merge.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <unordered_set>
+
+namespace aim::core {
+
+std::optional<PartialOrder> MergeCandidatesPairwise(const PartialOrder& p,
+                                                    const PartialOrder& q) {
+  if (p.table() != q.table()) return std::nullopt;
+
+  // cols(P) subset of cols(Q).
+  const std::vector<catalog::ColumnId> pc = p.Columns();
+  const std::vector<catalog::ColumnId> qc = q.Columns();
+  if (!std::includes(qc.begin(), qc.end(), pc.begin(), pc.end())) {
+    return std::nullopt;
+  }
+  // No conflicting pair: a <_P b while b <_Q a.
+  for (catalog::ColumnId a : pc) {
+    for (catalog::ColumnId b : pc) {
+      if (a == b) continue;
+      if (p.Precedes(a, b) && q.Precedes(b, a)) return std::nullopt;
+    }
+  }
+  // Ordinal sum: P's partitions, then Q's partitions minus P's columns.
+  PartialOrder out(p.table());
+  for (const auto& part : p.partitions()) out.AppendPartition(part);
+  for (const auto& part : q.partitions()) {
+    PartialOrder::Partition rest;
+    for (catalog::ColumnId c : part) {
+      if (!std::binary_search(pc.begin(), pc.end(), c)) rest.push_back(c);
+    }
+    out.AppendPartition(rest);
+  }
+  return out;
+}
+
+std::vector<PartialOrder> MergePartialOrders(std::vector<PartialOrder> orders,
+                                             const MergeOptions& options) {
+  // Dedup the input.
+  std::vector<PartialOrder> current;
+  std::unordered_set<std::string> seen;
+  for (auto& po : orders) {
+    if (po.empty()) continue;
+    if (seen.insert(po.CanonicalKey()).second) {
+      current.push_back(std::move(po));
+    }
+  }
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool grew = false;
+    const size_t n = current.size();
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        if (current.size() >= options.max_orders) break;
+        std::optional<PartialOrder> merged =
+            MergeCandidatesPairwise(current[i], current[j]);
+        if (!merged.has_value()) continue;
+        if (seen.insert(merged->CanonicalKey()).second) {
+          current.push_back(std::move(*merged));
+          grew = true;
+        }
+      }
+      if (current.size() >= options.max_orders) break;
+    }
+    if (!grew) break;  // fixpoint: PO_m == PO_{m+1}
+  }
+  return current;
+}
+
+}  // namespace aim::core

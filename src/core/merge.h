@@ -1,0 +1,39 @@
+#ifndef AIM_CORE_MERGE_H_
+#define AIM_CORE_MERGE_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/partial_order.h"
+
+namespace aim::core {
+
+/// \brief MergeCandidatesPairwise (Sec. III-E).
+///
+/// Defined when (a) both orders are on the same table, (b) cols(P) ⊆
+/// cols(Q), and (c) no pair of P's columns is ordered oppositely by P and
+/// Q (the C_merge condition). The result is the ordinal sum
+/// P ⊕ (Q restricted to cols(Q) \ cols(P)): P's partitions first, then
+/// Q's partitions with P's columns removed.
+///
+/// Returns nullopt when C_merge does not hold.
+std::optional<PartialOrder> MergeCandidatesPairwise(const PartialOrder& p,
+                                                    const PartialOrder& q);
+
+/// Options bounding the fixpoint iteration (defensive: the set of merges
+/// is finite but can be large for adversarial inputs).
+struct MergeOptions {
+  size_t max_orders = 4096;
+  size_t max_iterations = 8;
+};
+
+/// \brief MergePartialOrders (Algorithm 2, line 6): repeatedly applies
+/// pairwise merges until the set reaches a fixpoint (PO_m == PO_{m+1}),
+/// deduplicating by canonical form. Input orders may span multiple
+/// tables; merging only happens within a table.
+std::vector<PartialOrder> MergePartialOrders(
+    std::vector<PartialOrder> orders, const MergeOptions& options = {});
+
+}  // namespace aim::core
+
+#endif  // AIM_CORE_MERGE_H_

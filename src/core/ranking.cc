@@ -1,0 +1,153 @@
+#include "core/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+
+namespace aim::core {
+
+namespace {
+
+/// Effective executions per interval: observed executions when stats
+/// exist, otherwise the query's static weight (bootstrap mode).
+double Executions(const SelectedQuery& sq) {
+  if (sq.stats.executions > 0) {
+    return static_cast<double>(sq.stats.executions);
+  }
+  return sq.query != nullptr ? std::max(sq.query->weight, 0.0) : 1.0;
+}
+
+/// Observed average CPU seconds per execution; falls back to the
+/// estimated cost when the monitor has no data (bootstrap mode).
+double CpuAvg(const SelectedQuery& sq, double est_cost_phi,
+              const optimizer::CostModel& cm) {
+  if (sq.stats.executions > 0) return sq.stats.cpu_avg();
+  return cm.ToCpuSeconds(est_cost_phi);
+}
+
+}  // namespace
+
+RankingResult RankAndSelect(const std::vector<catalog::IndexDef>& candidates,
+                            const std::vector<SelectedQuery>& queries,
+                            optimizer::WhatIfOptimizer* what_if,
+                            const RankingOptions& options) {
+  RankingResult result;
+  if (candidates.empty() || what_if == nullptr) return result;
+
+  const uint64_t calls_before = what_if->call_count();
+
+  // cost(q, φ): plans under the *current* configuration (no candidates).
+  what_if->ClearConfiguration();
+  std::vector<double> cost_phi(queries.size(), 0.0);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    Result<double> c = what_if->QueryCost(queries[qi].query->stmt);
+    cost_phi[qi] = c.ok() ? c.ValueOrDie() : 0.0;
+  }
+
+  // Install all candidates hypothetically and identify their ids.
+  if (Status st = what_if->SetConfiguration(candidates); !st.ok()) {
+    AIM_LOG(Warn) << "SetConfiguration failed: " << st.ToString();
+    return result;
+  }
+  std::vector<CandidateIndex> ranked(candidates.size());
+  std::map<catalog::IndexId, size_t> candidate_by_id;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    ranked[i].def = candidates[i];
+    ranked[i].size_bytes =
+        what_if->catalog().IndexSizeBytes(ranked[i].def);
+    const catalog::IndexDef* installed = what_if->catalog().FindIndex(
+        candidates[i].table, candidates[i].columns);
+    if (installed != nullptr && installed->hypothetical) {
+      ranked[i].def.id = installed->id;
+      candidate_by_id[installed->id] = i;
+    }
+  }
+
+  const optimizer::CostModel& cm = what_if->cost_model();
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const SelectedQuery& sq = queries[qi];
+    Result<optimizer::Plan> plan_r = what_if->PlanQuery(sq.query->stmt);
+    if (!plan_r.ok()) continue;
+    const optimizer::Plan& plan = plan_r.ValueOrDie();
+    const double execs = Executions(sq);
+    const double cpu = CpuAvg(sq, cost_phi[qi], cm);
+
+    if (!sq.query->stmt.is_dml()) {
+      const double cost_with = plan.total_cost();
+      if (cost_phi[qi] <= 0.0) continue;
+      const double gain_fraction =
+          std::max(0.0, (cost_phi[qi] - cost_with) / cost_phi[qi]);
+      // U₊(q, I) · executions, Eq. 7 (per-interval CPU seconds).
+      const double u_plus = gain_fraction * cpu * execs;
+      if (u_plus <= 0.0) continue;
+      // Distribute across used candidate indexes proportional to each
+      // step's I/O reduction vs. a table scan (the share s_{i,q}).
+      std::vector<std::pair<size_t, double>> shares;
+      double share_total = 0.0;
+      auto credit = [&](const optimizer::AccessPath& path) {
+        if (path.index == nullptr) return;
+        auto it = candidate_by_id.find(path.index->id);
+        if (it == candidate_by_id.end()) return;  // pre-existing index
+        const double scan_cost =
+            cm.FullScanCost(what_if->catalog(), path.index->table);
+        const double reduction = std::max(scan_cost - path.cost, 1e-6);
+        shares.emplace_back(it->second, reduction);
+        share_total += reduction;
+      };
+      for (const optimizer::JoinStep& step : plan.steps) {
+        if (step.path.is_index_merge()) {
+          // Index-merge union: every OR arm's index earns a share.
+          for (const optimizer::AccessPath& part : step.path.union_parts) {
+            credit(part);
+          }
+        } else {
+          credit(step.path);
+        }
+      }
+      for (const auto& [ci, share] : shares) {
+        ranked[ci].benefit += u_plus * share / share_total;
+        ranked[ci].benefiting_queries.push_back(sq.query->fingerprint);
+      }
+    } else {
+      // Eq. 8: u₋(i) += cost_u(q,i)/cost(q,φ) · cpu_avg(q,φ) · freq.
+      if (cost_phi[qi] <= 0.0) continue;
+      for (const optimizer::IndexMaintenance& m : plan.maintenance) {
+        auto it = candidate_by_id.find(m.index);
+        if (it == candidate_by_id.end()) continue;
+        ranked[it->second].maintenance +=
+            (m.cost / cost_phi[qi]) * cpu * execs;
+      }
+    }
+  }
+  what_if->ClearConfiguration();
+
+  // Knapsack by utility density, budget-bounded (Sec. III-F).
+  std::vector<size_t> order(ranked.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ranked[a].density() > ranked[b].density();
+  });
+  double used = 0.0;
+  const double replication =
+      std::max(1.0, options.storage_replication_factor);
+  for (size_t i : order) {
+    CandidateIndex& c = ranked[i];
+    c.def.hypothetical = false;
+    c.def.id = catalog::kInvalidIndex;
+    const double effective_size = c.size_bytes * replication;
+    if (c.utility() > 0.0 &&
+        used + effective_size <= options.storage_budget_bytes) {
+      used += effective_size;
+      result.selected.push_back(c);
+    } else {
+      result.rejected.push_back(c);
+    }
+  }
+  result.selected_bytes = used;
+  result.what_if_calls = what_if->call_count() - calls_before;
+  return result;
+}
+
+}  // namespace aim::core

@@ -1,0 +1,67 @@
+#ifndef AIM_CORE_RANKING_H_
+#define AIM_CORE_RANKING_H_
+
+#include <vector>
+
+#include "core/workload_selection.h"
+#include "optimizer/what_if.h"
+
+namespace aim::core {
+
+/// \brief A concrete candidate index with its utility accounting
+/// (Sec. III-F).
+struct CandidateIndex {
+  catalog::IndexDef def;
+  /// Σ_q s_{i,q} · U₊(q, I) · freq — CPU seconds per interval gained.
+  double benefit = 0.0;
+  /// u₋(i) of Eq. 8 — CPU seconds per interval spent on maintenance.
+  double maintenance = 0.0;
+  double size_bytes = 0.0;
+  /// Fingerprints of queries whose plans use this index.
+  std::vector<uint64_t> benefiting_queries;
+
+  /// Overall utility u(i) = benefit − maintenance.
+  double utility() const { return benefit - maintenance; }
+  /// Knapsack ordering criterion: utility per byte of storage.
+  double density() const {
+    return utility() / (size_bytes > 1.0 ? size_bytes : 1.0);
+  }
+};
+
+struct RankingOptions {
+  /// Storage budget for new indexes, bytes (B of the problem statement).
+  double storage_budget_bytes = 1e18;
+  /// Δt used to convert per-execution stats into rates.
+  double interval_seconds = 60.0;
+  /// Sharded-deployment economics (Sec. VIII-b): every shard stores every
+  /// index, so the effective storage cost of a candidate is its size
+  /// times this factor (the shard count). Benefits come from aggregated
+  /// cross-shard statistics and are not multiplied.
+  double storage_replication_factor = 1.0;
+};
+
+struct RankingResult {
+  std::vector<CandidateIndex> selected;
+  std::vector<CandidateIndex> rejected;
+  double selected_bytes = 0.0;
+  /// cost(q, φ) per query fingerprint (diagnostics / explanations).
+  uint64_t what_if_calls = 0;
+};
+
+/// \brief Ranks candidates by utility (Eqs. 7–8) and selects a subset
+/// under the storage budget, knapsack-style by utility density
+/// (Sec. III-F).
+///
+/// The gain U₊ of each query is computed from two what-if plans (current
+/// configuration vs. all candidates installed) and distributed across the
+/// candidate indexes its new plan uses, proportional to each index's
+/// estimated I/O reduction versus a table scan. Maintenance u₋ is read
+/// off the DML plans' per-index maintenance costs.
+RankingResult RankAndSelect(const std::vector<catalog::IndexDef>& candidates,
+                            const std::vector<SelectedQuery>& queries,
+                            optimizer::WhatIfOptimizer* what_if,
+                            const RankingOptions& options = {});
+
+}  // namespace aim::core
+
+#endif  // AIM_CORE_RANKING_H_

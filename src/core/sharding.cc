@@ -1,0 +1,113 @@
+#include "core/sharding.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace aim::core {
+
+namespace {
+std::string Key(const catalog::IndexDef& def) {
+  std::string k = std::to_string(def.table);
+  for (catalog::ColumnId c : def.columns) k += "," + std::to_string(c);
+  return k;
+}
+}  // namespace
+
+Result<ShardedReport> ShardedIndexManager::Recommend(
+    const workload::Workload& workload, const std::vector<Shard>& shards,
+    optimizer::CostModel cm) {
+  ShardedReport report;
+  if (shards.empty() || shards[0].db == nullptr) {
+    return Status::InvalidArgument("no shards");
+  }
+
+  // Holistic statistics: the cross-shard aggregate (the stats pipeline of
+  // Sec. VII-A feeds exactly this view).
+  workload::WorkloadMonitor aggregate;
+  bool any_stats = false;
+  for (const Shard& s : shards) {
+    if (s.monitor != nullptr) {
+      aggregate.MergeFrom(*s.monitor);
+      any_stats = true;
+    }
+  }
+
+  AimOptions aim_options = options_.aim;
+  aim_options.validate_on_clone = false;  // validation handled per shard
+  // Sharded economics: every shard stores every index, so a candidate's
+  // effective storage is its size times the shard count, while its
+  // benefit comes from the aggregated statistics.
+  aim_options.ranking.storage_replication_factor =
+      static_cast<double>(shards.size());
+  AutomaticIndexManager aim(shards[0].db, cm, aim_options);
+  AIM_ASSIGN_OR_RETURN(report.aim,
+                       aim.Recommend(workload,
+                                     any_stats ? &aggregate : nullptr));
+  return report;
+}
+
+Result<ShardedReport> ShardedIndexManager::RunOnce(
+    const workload::Workload& workload, const std::vector<Shard>& shards,
+    optimizer::CostModel cm) {
+  AIM_ASSIGN_OR_RETURN(ShardedReport report,
+                       Recommend(workload, shards, cm));
+  if (report.aim.recommended.empty()) return report;
+
+  // Per-shard clone validation: an index survives only if it is actually
+  // used on at least one validated shard and no validated shard regresses
+  // while the candidates are installed. Query regressions confined to a
+  // subset of shards are invisible in aggregate statistics — hence the
+  // `comprehensive_validation` knob for performance-sensitive databases
+  // (Sec. VIII-b); the rest of the fleet relies on the continuous
+  // regression detector to revert bad changes after the fact.
+  const size_t shards_to_validate =
+      options_.comprehensive_validation ? shards.size() : 1;
+  std::set<std::string> used_somewhere;
+  bool any_shard_regressed = false;
+  for (size_t si = 0; si < shards_to_validate; ++si) {
+    Result<CloneValidationResult> r = ValidateOnClone(
+        *shards[si].db, report.aim.recommended,
+        report.aim.selected_workload, cm, options_.aim.validation);
+    if (!r.ok()) return r.status();
+    for (const CandidateIndex& c : r.ValueOrDie().accepted) {
+      used_somewhere.insert(Key(c.def));
+    }
+    any_shard_regressed =
+        any_shard_regressed || !r.ValueOrDie().no_regressions;
+    ShardValidation sv;
+    sv.shard = si;
+    sv.result = r.MoveValue();
+    report.validations.push_back(std::move(sv));
+  }
+
+  std::vector<CandidateIndex> accepted;
+  for (const CandidateIndex& c : report.aim.recommended) {
+    // A whole-batch regression on any validated shard vetoes the change
+    // (the conservative reading of Eq. 4 across shards).
+    if (!any_shard_regressed && used_somewhere.count(Key(c.def)) > 0) {
+      accepted.push_back(c);
+    } else {
+      report.rejected_by_shards.push_back(c);
+    }
+  }
+  report.aim.recommended = std::move(accepted);
+
+  // Common physical design: materialize the survivors on every shard.
+  for (const Shard& s : shards) {
+    for (const CandidateIndex& c : report.aim.recommended) {
+      catalog::IndexDef def = c.def;
+      def.id = catalog::kInvalidIndex;
+      def.hypothetical = false;
+      def.created_by_automation = true;
+      Result<catalog::IndexId> id = s.db->CreateIndex(std::move(def));
+      if (!id.ok() &&
+          id.status().code() != Status::Code::kAlreadyExists) {
+        return id.status();
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace aim::core

@@ -1,0 +1,69 @@
+#ifndef AIM_CORE_SHARDING_H_
+#define AIM_CORE_SHARDING_H_
+
+#include <vector>
+
+#include "core/aim.h"
+
+namespace aim::core {
+
+/// One shard of a horizontally partitioned database. All shards share the
+/// same schema and — by deployment mandate — the same physical design
+/// (Sec. VIII-b).
+struct Shard {
+  storage::Database* db = nullptr;
+  /// The shard's own observed statistics (may be null in bootstrap mode).
+  const workload::WorkloadMonitor* monitor = nullptr;
+};
+
+struct ShardedOptions {
+  AimOptions aim;
+  /// Validate candidates on a clone of *every* shard before accepting
+  /// (the paper's "comprehensive validation" knob for performance
+  /// sensitive databases); otherwise only the first shard is validated.
+  bool comprehensive_validation = false;
+};
+
+/// Per-shard validation outcome.
+struct ShardValidation {
+  size_t shard = 0;
+  CloneValidationResult result;
+};
+
+struct ShardedReport {
+  AimReport aim;
+  std::vector<ShardValidation> validations;
+  /// Candidates rejected because some shard regressed or never used them.
+  std::vector<CandidateIndex> rejected_by_shards;
+};
+
+/// \brief Index management for sharded deployments (Sec. VIII-b).
+///
+/// The economics differ from a single database: statistics are aggregated
+/// across shards (a hot query may run on few shards), but *every* shard
+/// pays the storage and maintenance cost of every index. The ranking
+/// therefore multiplies maintenance and storage by the shard count while
+/// benefits come from the aggregated statistics.
+class ShardedIndexManager {
+ public:
+  explicit ShardedIndexManager(ShardedOptions options = {})
+      : options_(options) {}
+
+  /// Recommends one shared physical design for all shards.
+  Result<ShardedReport> Recommend(const workload::Workload& workload,
+                                  const std::vector<Shard>& shards,
+                                  optimizer::CostModel cm);
+
+  /// Recommends, validates per shard, and materializes the survivors on
+  /// every shard (the common physical design mandate).
+  Result<ShardedReport> RunOnce(const workload::Workload& workload,
+                                const std::vector<Shard>& shards,
+                                optimizer::CostModel cm);
+
+ private:
+  ShardedOptions options_;
+};
+
+}  // namespace aim::core
+
+#endif  // AIM_CORE_SHARDING_H_

@@ -1,0 +1,44 @@
+#include "core/workload_selection.h"
+
+#include <algorithm>
+
+namespace aim::core {
+
+std::vector<SelectedQuery> SelectRepresentativeWorkload(
+    const workload::Workload& workload,
+    const workload::WorkloadMonitor& monitor,
+    const WorkloadSelectionOptions& options) {
+  std::vector<SelectedQuery> selected;
+  std::vector<SelectedQuery> dml;
+  for (const workload::Query& q : workload.queries) {
+    const workload::QueryStats* stats = monitor.Find(q.fingerprint);
+    if (stats == nullptr) continue;
+    SelectedQuery sq;
+    sq.query = &q;
+    sq.stats = *stats;
+    if (q.stmt.is_dml()) {
+      // DML never earns read benefit; keep for maintenance pricing.
+      dml.push_back(std::move(sq));
+      continue;
+    }
+    if (stats->executions < options.min_executions) continue;
+    sq.expected_benefit = stats->expected_benefit();
+    sq.benefit_cores = sq.expected_benefit *
+                       static_cast<double>(stats->executions) /
+                       std::max(options.interval_seconds, 1e-9);
+    if (sq.benefit_cores < options.min_benefit_cores) continue;
+    selected.push_back(std::move(sq));
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const SelectedQuery& a, const SelectedQuery& b) {
+              return a.benefit_cores > b.benefit_cores;
+            });
+  if (selected.size() > options.max_queries) {
+    selected.resize(options.max_queries);
+  }
+  // DML statements ride along after the ranked reads.
+  for (auto& sq : dml) selected.push_back(std::move(sq));
+  return selected;
+}
+
+}  // namespace aim::core

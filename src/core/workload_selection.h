@@ -1,0 +1,49 @@
+#ifndef AIM_CORE_WORKLOAD_SELECTION_H_
+#define AIM_CORE_WORKLOAD_SELECTION_H_
+
+#include <vector>
+
+#include "workload/monitor.h"
+#include "workload/workload.h"
+
+namespace aim::core {
+
+/// Knobs for representative workload selection (Sec. III-C).
+struct WorkloadSelectionOptions {
+  /// Queries executed fewer times than this per interval are considered
+  /// spurious ad-hoc executions and skipped.
+  uint64_t min_executions = 5;
+  /// Threshold on the expected-benefit *rate* B·freq/Δt, in CPU cores
+  /// (the paper's example: 1/20 of a core).
+  double min_benefit_cores = 0.05;
+  /// Length of the observation interval Δt, seconds.
+  double interval_seconds = 60.0;
+  /// Cap on the representative sample size (top-k by benefit).
+  size_t max_queries = 64;
+};
+
+/// One selected query with its statistics and computed benefit.
+struct SelectedQuery {
+  const workload::Query* query = nullptr;
+  workload::QueryStats stats;
+  /// B(q, X, Δt) of Eq. 5 (CPU seconds per execution).
+  double expected_benefit = 0.0;
+  /// B · executions / Δt: CPU cores recoverable by optimizing q.
+  double benefit_cores = 0.0;
+};
+
+/// \brief Selects the representative workload: the most expensive
+/// inefficient queries by optimistic expected benefit (Eq. 5), ordered by
+/// benefit rate descending.
+///
+/// DML statements are always carried along (they never "benefit" via ddr
+/// but their maintenance costs must be priced during ranking), flagged by
+/// `SelectedQuery::query->stmt.is_dml()`.
+std::vector<SelectedQuery> SelectRepresentativeWorkload(
+    const workload::Workload& workload,
+    const workload::WorkloadMonitor& monitor,
+    const WorkloadSelectionOptions& options = {});
+
+}  // namespace aim::core
+
+#endif  // AIM_CORE_WORKLOAD_SELECTION_H_

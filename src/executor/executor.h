@@ -1,0 +1,56 @@
+#ifndef AIM_EXECUTOR_EXECUTOR_H_
+#define AIM_EXECUTOR_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "executor/metrics.h"
+#include "optimizer/optimizer.h"
+#include "storage/database.h"
+
+namespace aim::executor {
+
+/// A query result: output rows (select-list shaped) plus observed metrics.
+struct ExecuteResult {
+  std::vector<storage::Row> rows;
+  ExecutionMetrics metrics;
+};
+
+/// \brief Interprets optimizer plans against the storage engine.
+///
+/// Execution is nested-loop join over the plan's join order, using real
+/// B+Tree index scans for index paths and heap scans otherwise, with
+/// grouping / ordering / limit applied at the end. Every row and index
+/// entry touched is counted; the cost model converts the counts into the
+/// "CPU seconds" currency the workload monitor reports.
+///
+/// Statements must be literal (no '?' parameters).
+class Executor {
+ public:
+  Executor(storage::Database* db, optimizer::CostModel cm)
+      : db_(db), cm_(cm) {}
+
+  /// Plans (using only real indexes) and executes.
+  Result<ExecuteResult> Execute(const sql::Statement& stmt);
+
+  /// Executes with a caller-provided plan (the plan must have been built
+  /// against this database's catalog without hypothetical indexes).
+  Result<ExecuteResult> ExecutePlanned(const sql::Statement& stmt,
+                                       const optimizer::AnalyzedQuery& query,
+                                       const optimizer::Plan& plan);
+
+ private:
+  Result<ExecuteResult> ExecuteSelect(const sql::Statement& stmt,
+                                      const optimizer::AnalyzedQuery& query,
+                                      const optimizer::Plan& plan);
+  Result<ExecuteResult> ExecuteDml(const sql::Statement& stmt,
+                                   const optimizer::AnalyzedQuery& query,
+                                   const optimizer::Plan& plan);
+
+  storage::Database* db_;
+  optimizer::CostModel cm_;
+};
+
+}  // namespace aim::executor
+
+#endif  // AIM_EXECUTOR_EXECUTOR_H_

@@ -1,0 +1,321 @@
+#include "optimizer/access_path.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "optimizer/selectivity.h"
+
+namespace aim::optimizer {
+
+namespace {
+
+/// Does the index deliver the instance's GROUP BY grouping after an
+/// equality prefix of length `eq_len`? The group columns must occupy the
+/// key parts right after the prefix (any order among themselves).
+bool DeliversGroup(const catalog::IndexDef& index, size_t eq_len,
+                   const std::vector<catalog::ColumnId>& group_cols) {
+  if (group_cols.empty()) return false;
+  if (index.columns.size() < eq_len + group_cols.size()) return false;
+  for (size_t i = 0; i < group_cols.size(); ++i) {
+    const catalog::ColumnId key_part = index.columns[eq_len + i];
+    if (std::find(group_cols.begin(), group_cols.end(), key_part) ==
+        group_cols.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Does the index deliver the ORDER BY sequence after the equality prefix?
+/// Requires exact column sequence and a uniform direction (a descending
+/// order is served by a reverse scan).
+bool DeliversOrder(const catalog::IndexDef& index, size_t eq_len,
+                   const std::vector<BoundOrderItem>& order_cols) {
+  if (order_cols.empty()) return false;
+  if (index.columns.size() < eq_len + order_cols.size()) return false;
+  const bool dir = order_cols[0].ascending;
+  for (size_t i = 0; i < order_cols.size(); ++i) {
+    if (order_cols[i].ascending != dir) return false;
+    if (index.columns[eq_len + i] != order_cols[i].column.column) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+AccessPath FullScanPath(const AccessPathRequest& req,
+                        const catalog::Catalog& catalog,
+                        const CostModel& cm) {
+  const TableInstance& inst = req.query->instances[req.instance];
+  const auto& table_stats = catalog.table(inst.table).stats;
+  AccessPath path;
+  path.index = nullptr;
+  // Join-bound columns act as additional (unknown-literal) equalities.
+  std::vector<AtomicPredicate> all = req.predicates;
+  for (catalog::ColumnId c : req.join_eq_columns) {
+    AtomicPredicate p;
+    p.column = BoundColumn{req.instance, c};
+    p.kind = PredKind::kEq;
+    all.push_back(p);
+  }
+  path.result_selectivity = CombinedSelectivity(all, catalog, inst.table);
+  path.rows_examined = static_cast<double>(table_stats.row_count);
+  path.rows_fetched = 0;
+  path.cost = cm.FullScanCost(catalog, inst.table);
+  path.covering = true;  // a heap scan sees every column
+  return path;
+}
+
+AccessPath EvaluateIndexPath(const AccessPathRequest& req,
+                             const catalog::IndexDef& index,
+                             const catalog::Catalog& catalog,
+                             const CostModel& cm) {
+  const TableInstance& inst = req.query->instances[req.instance];
+  const catalog::TableDef& table = catalog.table(inst.table);
+  const double rows = static_cast<double>(table.stats.row_count);
+
+  AccessPath path;
+  path.index = &index;
+
+  // Predicates per column (first usable per key part wins).
+  auto find_eq = [&](catalog::ColumnId col) -> const AtomicPredicate* {
+    for (const auto& p : req.predicates) {
+      if (p.column.column == col && p.is_index_prefix()) return &p;
+    }
+    return nullptr;
+  };
+  auto find_range = [&](catalog::ColumnId col) -> const AtomicPredicate* {
+    for (const auto& p : req.predicates) {
+      if (p.column.column == col &&
+          (p.kind == PredKind::kRange || p.kind == PredKind::kLikePrefix)) {
+        return &p;
+      }
+    }
+    return nullptr;
+  };
+  auto join_bound = [&](catalog::ColumnId col) {
+    return std::find(req.join_eq_columns.begin(), req.join_eq_columns.end(),
+                     col) != req.join_eq_columns.end();
+  };
+
+  std::vector<const AtomicPredicate*> matched;
+  double index_sel = 1.0;
+  double ranges = 1.0;
+  size_t eq_len = 0;
+  for (; eq_len < index.columns.size(); ++eq_len) {
+    const catalog::ColumnId col = index.columns[eq_len];
+    if (const AtomicPredicate* p = find_eq(col)) {
+      index_sel *= PredicateSelectivity(*p, catalog, inst.table);
+      if (p->kind == PredKind::kIn) {
+        ranges *= std::max(1, p->in_list_size);
+      }
+      matched.push_back(p);
+      continue;
+    }
+    if (join_bound(col)) {
+      index_sel *=
+          std::max(catalog.column_stats({inst.table, col})
+                       .DefaultEqSelectivity(),
+                   1e-9);
+      continue;
+    }
+    break;
+  }
+  path.eq_prefix_len = eq_len;
+  if (eq_len < index.columns.size()) {
+    if (const AtomicPredicate* p = find_range(index.columns[eq_len])) {
+      index_sel *= PredicateSelectivity(*p, catalog, inst.table);
+      matched.push_back(p);
+      path.range_on_next = true;
+    }
+  }
+
+  // Skip scan (MySQL 8, Sec. VIII-a): no usable prefix, but the *second*
+  // key part is filtered — descend once per distinct first-part value.
+  if (eq_len == 0 && !path.range_on_next &&
+      req.switches.index_skip_scan && !index.is_primary &&
+      index.columns.size() >= 2) {
+    const catalog::ColumnId second = index.columns[1];
+    const AtomicPredicate* p = find_eq(second);
+    if (p == nullptr) p = find_range(second);
+    if (p != nullptr) {
+      const double sel = PredicateSelectivity(*p, catalog, inst.table);
+      const double groups = static_cast<double>(std::min<uint64_t>(
+          std::max<uint64_t>(
+              1, catalog.column_stats({inst.table, index.columns[0]}).ndv),
+          std::max<uint64_t>(1, table.stats.row_count)));
+      path.skip_scan = true;
+      path.skip_width = 1;
+      index_sel = sel;
+      ranges = groups;  // one descent per group
+      matched.push_back(p);
+    }
+  }
+  // An index with no usable prefix can still serve order/group (index-
+  // ordered scan) or act as a covering "skinny table" scan.
+  path.index_selectivity = std::clamp(index_sel, 0.0, 1.0);
+
+  // Covering check: every needed column in key parts or the PK suffix.
+  // The clustered primary index stores the whole row: always covering.
+  const std::vector<catalog::ColumnId>& needed =
+      req.needed_columns.empty() ? inst.referenced_columns
+                                 : req.needed_columns;
+  path.covering = true;
+  if (index.is_primary) {
+    // fallthrough with covering = true
+  } else
+  for (catalog::ColumnId c : needed) {
+    const bool in_key =
+        std::find(index.columns.begin(), index.columns.end(), c) !=
+        index.columns.end();
+    const bool in_pk =
+        std::find(table.primary_key.begin(), table.primary_key.end(), c) !=
+        table.primary_key.end();
+    if (!in_key && !in_pk) {
+      path.covering = false;
+      break;
+    }
+  }
+
+  // Index condition pushdown: residual sargable predicates on *index*
+  // columns filter entries before PK fetches (disabled by switch on
+  // fleets where the optimization is off).
+  double icp_sel = 1.0;
+  if (req.switches.index_condition_pushdown) {
+    for (const auto& p : req.predicates) {
+      if (std::find(matched.begin(), matched.end(), &p) !=
+          matched.end()) {
+        continue;
+      }
+      if (!p.is_sargable()) continue;
+      if (std::find(index.columns.begin(), index.columns.end(),
+                    p.column.column) != index.columns.end()) {
+        icp_sel *= PredicateSelectivity(p, catalog, inst.table);
+      }
+    }
+  }
+
+  // Result selectivity over all predicates + join bindings.
+  std::vector<AtomicPredicate> all = req.predicates;
+  for (catalog::ColumnId c : req.join_eq_columns) {
+    AtomicPredicate p;
+    p.column = BoundColumn{req.instance, c};
+    p.kind = PredKind::kEq;
+    all.push_back(p);
+  }
+  path.result_selectivity = CombinedSelectivity(all, catalog, inst.table);
+
+  path.ranges = ranges;
+  path.rows_examined = rows * path.index_selectivity;
+  path.rows_fetched = path.covering ? 0.0 : path.rows_examined * icp_sel;
+  path.cost = cm.IndexScanCost(catalog, index, path.rows_examined,
+                               path.rows_fetched, ranges);
+
+  path.delivers_group =
+      DeliversGroup(index, eq_len, inst.group_by_columns);
+  path.delivers_order = DeliversOrder(index, eq_len, inst.order_by_columns);
+  path.matched_predicates.reserve(matched.size());
+  for (const AtomicPredicate* p : matched) {
+    path.matched_predicates.push_back(*p);
+  }
+  return path;
+}
+
+std::vector<AccessPath> EnumeratePaths(const AccessPathRequest& req,
+                                       const catalog::Catalog& catalog,
+                                       const CostModel& cm) {
+  const TableInstance& inst = req.query->instances[req.instance];
+  std::vector<AccessPath> paths;
+  paths.push_back(FullScanPath(req, catalog, cm));
+  for (const catalog::IndexDef* idx :
+       catalog.TableIndexes(inst.table, req.include_hypothetical)) {
+    AccessPath p = EvaluateIndexPath(req, *idx, catalog, cm);
+    // Skip index paths that match nothing and help nothing: they are
+    // strictly worse than a scan. The primary index is the table itself,
+    // so "covering" alone does not make an unkeyed primary scan useful.
+    const bool keyed =
+        p.eq_prefix_len > 0 || p.range_on_next || p.skip_scan;
+    const bool ordered = p.delivers_group || p.delivers_order;
+    if (idx->is_primary) {
+      if (!keyed && !ordered) continue;
+    } else if (!keyed && !ordered && !p.covering) {
+      continue;
+    }
+    paths.push_back(std::move(p));
+  }
+  return paths;
+}
+
+AccessPath BestPath(const AccessPathRequest& req,
+                    const catalog::Catalog& catalog, const CostModel& cm) {
+  std::vector<AccessPath> paths = EnumeratePaths(req, catalog, cm);
+  size_t best = 0;
+  for (size_t i = 1; i < paths.size(); ++i) {
+    if (paths[i].cost < paths[best].cost) best = i;
+  }
+  return paths[best];
+}
+
+std::optional<AccessPath> IndexMergeUnionPath(
+    const AnalyzedQuery& query, int instance,
+    const catalog::Catalog& catalog, const CostModel& cm,
+    bool include_hypothetical, const OptimizerSwitches& switches) {
+  if (!switches.index_merge_union) return std::nullopt;
+  if (!query.dnf_exact || query.dnf.size() < 2) return std::nullopt;
+  // The union only applies when the whole WHERE is the disjunction: a
+  // conjunctive skeleton would already be handled by a single index.
+  if (!query.conjuncts.empty()) return std::nullopt;
+
+  const TableInstance& inst = query.instances[instance];
+  const double rows =
+      static_cast<double>(catalog.table(inst.table).stats.row_count);
+
+  AccessPath merged;
+  double fetch_rows = 0.0;
+  double scan_cost = 0.0;
+  bool all_covering = true;
+  for (const Factor& factor : query.dnf) {
+    AccessPathRequest req;
+    req.query = &query;
+    req.instance = instance;
+    req.predicates = query.FactorForInstance(factor, instance);
+    req.include_hypothetical = include_hypothetical;
+    req.switches = switches;
+    if (req.predicates.empty()) return std::nullopt;
+    // Best *index* path for this factor (scans disqualify the union).
+    std::optional<AccessPath> best;
+    for (const catalog::IndexDef* idx :
+         catalog.TableIndexes(inst.table, include_hypothetical)) {
+      AccessPath p = EvaluateIndexPath(req, *idx, catalog, cm);
+      if (p.eq_prefix_len == 0 && !p.range_on_next) continue;
+      if (!best.has_value() || p.cost < best->cost) best = std::move(p);
+    }
+    if (!best.has_value()) return std::nullopt;
+    // The scan part of the factor's cost: entries are collected as row
+    // ids first; base rows are fetched once after the union.
+    scan_cost += cm.IndexScanCost(catalog, *best->index,
+                                  best->rows_examined, 0.0, best->ranges);
+    fetch_rows += best->rows_examined;
+    merged.rows_examined += best->rows_examined;
+    all_covering = all_covering && best->covering;
+    merged.matched_predicates.insert(merged.matched_predicates.end(),
+                                     best->matched_predicates.begin(),
+                                     best->matched_predicates.end());
+    merged.union_parts.push_back(std::move(*best));
+  }
+  fetch_rows = std::min(fetch_rows, rows);  // dedup bound
+  merged.index = nullptr;
+  merged.covering = all_covering;
+  merged.result_selectivity =
+      InstanceResultSelectivity(query, instance, catalog);
+  merged.rows_fetched = all_covering ? 0.0 : fetch_rows;
+  merged.cost = scan_cost +
+                merged.rows_fetched * (cm.params().random_page_cost +
+                                       cm.params().cpu_row_cost) +
+                merged.rows_examined * cm.params().cpu_index_entry_cost;
+  return merged;
+}
+
+}  // namespace aim::optimizer

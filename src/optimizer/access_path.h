@@ -1,0 +1,118 @@
+#ifndef AIM_OPTIMIZER_ACCESS_PATH_H_
+#define AIM_OPTIMIZER_ACCESS_PATH_H_
+
+#include <optional>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/predicate.h"
+#include "optimizer/switches.h"
+
+namespace aim::optimizer {
+
+/// \brief One way to access a single table instance.
+///
+/// `index == nullptr` means a full table scan. For index paths, the access
+/// uses an equality-matched key prefix (`eq_prefix_len` parts, fed by
+/// filter equalities, IN lists, IS NULL, and join-column bindings) plus an
+/// optional range on the next key part. Residual sargable predicates on
+/// later index columns are applied via index condition pushdown before
+/// primary-key fetches.
+struct AccessPath {
+  const catalog::IndexDef* index = nullptr;
+  size_t eq_prefix_len = 0;
+  bool range_on_next = false;
+  /// True when all referenced columns are in the index (+ PK): no heap
+  /// fetches needed.
+  bool covering = false;
+  /// The index delivers rows grouped by the instance's GROUP BY columns.
+  bool delivers_group = false;
+  /// The index delivers rows in the instance's ORDER BY order.
+  bool delivers_order = false;
+
+  /// Fraction of the index entries scanned.
+  double index_selectivity = 1.0;
+  /// Fraction of table rows surviving *all* predicates on this instance.
+  double result_selectivity = 1.0;
+  /// Index entries (or heap rows, for a scan) examined.
+  double rows_examined = 0.0;
+  /// Heap rows fetched by PK lookup (0 when covering or scanning).
+  double rows_fetched = 0.0;
+  /// Number of disjoint key ranges probed (IN lists multiply this).
+  double ranges = 1.0;
+  double cost = 0.0;
+
+  /// Skip scan (MySQL 8): the first `skip_width` key parts are
+  /// unconstrained; the scan descends once per distinct prefix group.
+  bool skip_scan = false;
+  size_t skip_width = 0;
+
+  /// Predicates consumed by the key prefix / range (copies: the path may
+  /// outlive the request that produced it).
+  std::vector<AtomicPredicate> matched_predicates;
+
+  /// Index-merge union (MySQL "index_merge"): when non-empty, this path
+  /// resolves a top-level OR by scanning one index per DNF factor and
+  /// unioning the row ids; `index` is nullptr.
+  std::vector<AccessPath> union_parts;
+
+  bool is_full_scan() const {
+    return index == nullptr && union_parts.empty();
+  }
+  bool is_index_merge() const { return !union_parts.empty(); }
+};
+
+/// \brief Inputs for evaluating access paths on one instance.
+struct AccessPathRequest {
+  const AnalyzedQuery* query = nullptr;
+  int instance = 0;
+  /// Applicable single-instance predicates (normally the conjuncts of the
+  /// instance; join planning may evaluate per-factor sets too).
+  std::vector<AtomicPredicate> predicates;
+  /// Columns bound to constants by join edges to already-joined tables.
+  std::vector<catalog::ColumnId> join_eq_columns;
+  /// Consider hypothetical (dataless) indexes.
+  bool include_hypothetical = true;
+  /// Optimizer feature switches in effect.
+  OptimizerSwitches switches;
+  /// Columns the path must produce (for covering detection). When empty,
+  /// the instance's referenced_columns are used.
+  std::vector<catalog::ColumnId> needed_columns;
+};
+
+/// Evaluates a specific index for the request; `cost` covers one full
+/// access of the instance (all matching rows).
+AccessPath EvaluateIndexPath(const AccessPathRequest& req,
+                             const catalog::IndexDef& index,
+                             const catalog::Catalog& catalog,
+                             const CostModel& cm);
+
+/// The full-scan path for the request.
+AccessPath FullScanPath(const AccessPathRequest& req,
+                        const catalog::Catalog& catalog, const CostModel& cm);
+
+/// All candidate paths: every applicable index plus the full scan.
+std::vector<AccessPath> EnumeratePaths(const AccessPathRequest& req,
+                                       const catalog::Catalog& catalog,
+                                       const CostModel& cm);
+
+/// The cheapest path by raw access cost (sort avoidance is arbitrated by
+/// the optimizer, which sees the query-level sort).
+AccessPath BestPath(const AccessPathRequest& req,
+                    const catalog::Catalog& catalog, const CostModel& cm);
+
+/// \brief Builds an index-merge union path (MySQL "index_merge" union)
+/// for a single-instance query whose WHERE is a multi-factor DNF: one
+/// index scan per OR factor, row ids unioned, base rows fetched once.
+///
+/// Returns nullopt when the query shape does not qualify (joins, inexact
+/// DNF, a single factor) or when some factor has no usable index scan.
+std::optional<AccessPath> IndexMergeUnionPath(
+    const AnalyzedQuery& query, int instance,
+    const catalog::Catalog& catalog, const CostModel& cm,
+    bool include_hypothetical, const OptimizerSwitches& switches);
+
+}  // namespace aim::optimizer
+
+#endif  // AIM_OPTIMIZER_ACCESS_PATH_H_

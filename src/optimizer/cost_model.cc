@@ -1,0 +1,56 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aim::optimizer {
+
+double CostModel::TablePages(const catalog::Catalog& cat,
+                             catalog::TableId table) const {
+  return std::max(1.0, cat.TableSizeBytes(table) / params_.page_size);
+}
+
+double CostModel::IndexPages(const catalog::Catalog& cat,
+                             const catalog::IndexDef& index,
+                             double fraction) const {
+  return std::max(1.0,
+                  cat.IndexSizeBytes(index) * std::clamp(fraction, 0.0, 1.0) /
+                      params_.page_size);
+}
+
+double CostModel::FullScanCost(const catalog::Catalog& cat,
+                               catalog::TableId table) const {
+  const double rows =
+      static_cast<double>(cat.table(table).stats.row_count);
+  return TablePages(cat, table) * params_.seq_page_cost +
+         rows * params_.cpu_row_cost;
+}
+
+double CostModel::IndexScanCost(const catalog::Catalog& cat,
+                                const catalog::IndexDef& index,
+                                double entries, double fetched,
+                                double ranges) const {
+  const double rows = static_cast<double>(
+      cat.table(index.table).stats.row_count);
+  const double fraction = rows > 0 ? std::min(1.0, entries / rows) : 0.0;
+  double cost = std::max(1.0, ranges) * params_.btree_descent_cost *
+                params_.random_page_cost / 4.0;
+  cost += IndexPages(cat, index, fraction) * params_.seq_page_cost;
+  cost += entries * params_.cpu_index_entry_cost;
+  // Primary-key lookups are random unless the secondary key correlates
+  // with the PK; charge full random cost (pessimistic, like InnoDB).
+  cost += fetched * params_.random_page_cost;
+  cost += fetched * params_.cpu_row_cost;
+  return cost;
+}
+
+double CostModel::SortCost(double n) const {
+  if (n <= 1.0) return 0.0;
+  return n * std::log2(std::max(2.0, n)) * params_.cpu_sort_row_cost;
+}
+
+double CostModel::IndexMaintenanceCost(double entry_writes) const {
+  return entry_writes * params_.index_entry_write_cost;
+}
+
+}  // namespace aim::optimizer

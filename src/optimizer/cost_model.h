@@ -1,0 +1,94 @@
+#ifndef AIM_OPTIMIZER_COST_MODEL_H_
+#define AIM_OPTIMIZER_COST_MODEL_H_
+
+#include "catalog/catalog.h"
+
+namespace aim::optimizer {
+
+/// \brief Cost-model constants, parameterized by storage engine flavour.
+///
+/// Costs are in abstract units where 1.0 ~ one sequential 16 KiB page read.
+/// `cpu_seconds_per_unit` converts units into the "CPU seconds including
+/// CPU_IOWAIT" currency the paper's workload monitor reports (Sec. III-C).
+struct CostParams {
+  catalog::EngineKind engine = catalog::EngineKind::kBTree;
+
+  double page_size = 16384.0;
+  double seq_page_cost = 1.0;
+  double random_page_cost = 4.0;
+  /// CPU cost of evaluating one heap row against residual predicates.
+  double cpu_row_cost = 0.05;
+  /// CPU cost of touching one index entry.
+  double cpu_index_entry_cost = 0.02;
+  /// Coefficient of the n·log2(n) sort term.
+  double cpu_sort_row_cost = 0.03;
+  /// Cost of one index-entry write during DML maintenance.
+  double index_entry_write_cost = 2.0;
+  /// B+Tree descent cost (root-to-leaf), charged once per lookup/range.
+  double btree_descent_cost = 3.0;
+  /// Conversion: cost units -> CPU seconds (incl. IOWAIT).
+  double cpu_seconds_per_unit = 1e-4;
+
+  /// InnoDB-style B+Tree engine (default).
+  static CostParams BTree() { return CostParams{}; }
+
+  /// MyRocks-style LSM engine: cheaper (batched, sequential) writes,
+  /// slightly costlier point reads due to level checks.
+  static CostParams Lsm() {
+    CostParams p;
+    p.engine = catalog::EngineKind::kLsm;
+    p.index_entry_write_cost = 0.6;
+    p.random_page_cost = 5.0;
+    p.btree_descent_cost = 4.0;
+    return p;
+  }
+};
+
+/// \brief Derived cost formulas over a catalog.
+class CostModel {
+ public:
+  explicit CostModel(CostParams params = CostParams())
+      : params_(params) {}
+
+  const CostParams& params() const { return params_; }
+
+  /// Pages occupied by the base table.
+  double TablePages(const catalog::Catalog& cat,
+                    catalog::TableId table) const;
+  /// Pages occupied by `fraction` of an index's entries.
+  double IndexPages(const catalog::Catalog& cat,
+                    const catalog::IndexDef& index, double fraction) const;
+
+  /// Cost of a full table scan evaluating predicates on every row.
+  double FullScanCost(const catalog::Catalog& cat,
+                      catalog::TableId table) const;
+
+  /// \brief Cost of an index (range) scan.
+  ///
+  /// \param entries   index entries touched
+  /// \param fetched   heap rows fetched via primary key (0 when covering)
+  /// \param ranges    number of disjoint ranges (IN lists multiply ranges;
+  ///                  each re-descends the tree)
+  double IndexScanCost(const catalog::Catalog& cat,
+                       const catalog::IndexDef& index, double entries,
+                       double fetched, double ranges) const;
+
+  /// Cost of sorting n rows (filesort).
+  double SortCost(double n) const;
+
+  /// Cost of maintaining one index for one row write (insert/delete = 1
+  /// entry; update of keyed column = 2).
+  double IndexMaintenanceCost(double entry_writes) const;
+
+  /// Converts cost units to CPU-seconds (incl. IOWAIT).
+  double ToCpuSeconds(double cost_units) const {
+    return cost_units * params_.cpu_seconds_per_unit;
+  }
+
+ private:
+  CostParams params_;
+};
+
+}  // namespace aim::optimizer
+
+#endif  // AIM_OPTIMIZER_COST_MODEL_H_

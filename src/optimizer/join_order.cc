@@ -1,0 +1,196 @@
+#include "optimizer/join_order.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "optimizer/selectivity.h"
+
+namespace aim::optimizer {
+
+namespace {
+
+/// Join-edge reduction factor when `inner` joins into a prefix containing
+/// its partner: 1 / max(ndv_left, ndv_right) per edge (textbook equi-join
+/// estimate).
+double JoinReduction(const AnalyzedQuery& query,
+                     const catalog::Catalog& catalog, uint32_t prefix_mask,
+                     int inner) {
+  double factor = 1.0;
+  for (const JoinEdge& e : query.joins) {
+    int other = -1;
+    catalog::ColumnRef inner_col;
+    catalog::ColumnRef outer_col;
+    if (e.left.instance == inner &&
+        (prefix_mask >> e.right.instance) & 1u) {
+      other = e.right.instance;
+      inner_col = {query.instances[inner].table, e.left.column};
+      outer_col = {query.instances[other].table, e.right.column};
+    } else if (e.right.instance == inner &&
+               (prefix_mask >> e.left.instance) & 1u) {
+      other = e.left.instance;
+      inner_col = {query.instances[inner].table, e.right.column};
+      outer_col = {query.instances[other].table, e.left.column};
+    }
+    if (other < 0) continue;
+    const uint64_t ndv_inner =
+        std::max<uint64_t>(1, catalog.column_stats(inner_col).ndv);
+    const uint64_t ndv_outer =
+        std::max<uint64_t>(1, catalog.column_stats(outer_col).ndv);
+    factor /= static_cast<double>(std::max(ndv_inner, ndv_outer));
+  }
+  return factor;
+}
+
+/// Columns of `inner` bound by join edges into the prefix.
+std::vector<catalog::ColumnId> BoundJoinColumns(const AnalyzedQuery& query,
+                                                uint32_t prefix_mask,
+                                                int inner) {
+  std::vector<catalog::ColumnId> cols;
+  for (const JoinEdge& e : query.joins) {
+    if (e.left.instance == inner && (prefix_mask >> e.right.instance) & 1u) {
+      cols.push_back(e.left.column);
+    } else if (e.right.instance == inner &&
+               (prefix_mask >> e.left.instance) & 1u) {
+      cols.push_back(e.right.column);
+    }
+  }
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return cols;
+}
+
+struct StepEval {
+  AccessPath path;
+  double out_rows_per_probe = 0.0;  // rows surviving all preds + joins
+};
+
+StepEval EvaluateInner(const AnalyzedQuery& query,
+                       const catalog::Catalog& catalog, const CostModel& cm,
+                       const JoinOrderOptions& options, uint32_t prefix_mask,
+                       int inner) {
+  AccessPathRequest req;
+  req.query = &query;
+  req.instance = inner;
+  req.predicates = query.ConjunctsForInstance(inner);
+  req.join_eq_columns = BoundJoinColumns(query, prefix_mask, inner);
+  req.include_hypothetical = options.include_hypothetical;
+  req.switches = options.switches;
+  StepEval eval;
+  eval.path = BestPath(req, catalog, cm);
+  const double rows = static_cast<double>(
+      catalog.table(query.instances[inner].table).stats.row_count);
+  const double filter_sel =
+      InstanceResultSelectivity(query, inner, catalog);
+  eval.out_rows_per_probe =
+      std::max(rows * filter_sel *
+                   JoinReduction(query, catalog, prefix_mask, inner),
+               0.0);
+  return eval;
+}
+
+struct DpState {
+  double cost = std::numeric_limits<double>::infinity();
+  double rows = 0.0;
+  uint32_t last = 0;          // instance added last
+  uint32_t prev_mask = 0;     // mask before adding `last`
+};
+
+}  // namespace
+
+std::vector<JoinStep> PlanJoins(const AnalyzedQuery& query,
+                                const catalog::Catalog& catalog,
+                                const CostModel& cm,
+                                const JoinOrderOptions& options) {
+  const int n = static_cast<int>(query.instances.size());
+  std::vector<JoinStep> steps;
+  if (n == 0) return steps;
+
+  if (n <= options.dp_instance_limit) {
+    // Exhaustive DP over subsets (left-deep plans).
+    const uint32_t full = (n >= 32) ? 0xFFFFFFFFu : ((1u << n) - 1u);
+    std::vector<DpState> dp(full + 1);
+    for (int t = 0; t < n; ++t) {
+      StepEval eval = EvaluateInner(query, catalog, cm, options, 0, t);
+      DpState& s = dp[1u << t];
+      s.cost = eval.path.cost;
+      s.rows = eval.out_rows_per_probe;
+      s.last = t;
+      s.prev_mask = 0;
+    }
+    for (uint32_t mask = 1; mask <= full; ++mask) {
+      if (std::isinf(dp[mask].cost)) continue;
+      for (int t = 0; t < n; ++t) {
+        if ((mask >> t) & 1u) continue;
+        StepEval eval = EvaluateInner(query, catalog, cm, options, mask, t);
+        const double probes = std::max(1.0, dp[mask].rows);
+        const double cost = dp[mask].cost + probes * eval.path.cost;
+        const uint32_t next = mask | (1u << t);
+        if (cost < dp[next].cost) {
+          dp[next].cost = cost;
+          dp[next].rows = probes * eval.out_rows_per_probe;
+          dp[next].last = t;
+          dp[next].prev_mask = mask;
+        }
+      }
+    }
+    // Reconstruct the order.
+    std::vector<int> order;
+    uint32_t mask = full;
+    while (mask != 0) {
+      order.push_back(static_cast<int>(dp[mask].last));
+      mask = dp[mask].prev_mask;
+    }
+    std::reverse(order.begin(), order.end());
+    // Re-evaluate along the chosen order to fill step details.
+    uint32_t prefix = 0;
+    double rows = 1.0;
+    for (int t : order) {
+      StepEval eval = EvaluateInner(query, catalog, cm, options, prefix, t);
+      JoinStep step;
+      step.instance = t;
+      step.path = eval.path;
+      const double probes = prefix == 0 ? 1.0 : std::max(1.0, rows);
+      step.step_cost = probes * eval.path.cost;
+      rows = (prefix == 0 ? 1.0 : std::max(1.0, rows)) *
+             eval.out_rows_per_probe;
+      step.rows_after = rows;
+      steps.push_back(std::move(step));
+      prefix |= (1u << t);
+    }
+    return steps;
+  }
+
+  // Greedy: start from the cheapest single table (by produced rows), then
+  // repeatedly add the instance with the lowest added cost.
+  uint32_t prefix = 0;
+  double rows = 1.0;
+  for (int k = 0; k < n; ++k) {
+    int best_t = -1;
+    StepEval best_eval;
+    double best_added = std::numeric_limits<double>::infinity();
+    for (int t = 0; t < n; ++t) {
+      if ((prefix >> t) & 1u) continue;
+      StepEval eval = EvaluateInner(query, catalog, cm, options, prefix, t);
+      const double probes = prefix == 0 ? 1.0 : std::max(1.0, rows);
+      const double added = probes * eval.path.cost;
+      if (added < best_added) {
+        best_added = added;
+        best_t = t;
+        best_eval = eval;
+      }
+    }
+    JoinStep step;
+    step.instance = best_t;
+    step.path = best_eval.path;
+    step.step_cost = best_added;
+    rows = (prefix == 0 ? 1.0 : std::max(1.0, rows)) *
+           best_eval.out_rows_per_probe;
+    step.rows_after = rows;
+    steps.push_back(std::move(step));
+    prefix |= (1u << best_t);
+  }
+  return steps;
+}
+
+}  // namespace aim::optimizer

@@ -1,0 +1,32 @@
+#ifndef AIM_OPTIMIZER_JOIN_ORDER_H_
+#define AIM_OPTIMIZER_JOIN_ORDER_H_
+
+#include "optimizer/plan.h"
+#include "optimizer/switches.h"
+
+namespace aim::optimizer {
+
+/// Options for join enumeration.
+struct JoinOrderOptions {
+  bool include_hypothetical = true;
+  OptimizerSwitches switches;
+  /// Instances up to this count use exhaustive dynamic programming over
+  /// subsets; beyond it, a greedy smallest-next heuristic (mirrors real
+  /// optimizers bounding their search, Sec. IV-C).
+  int dp_instance_limit = 9;
+};
+
+/// \brief Chooses a join order and per-instance access paths for a
+/// multi-instance query, nested-loop style (MySQL's execution model).
+///
+/// Inner table accesses treat join columns bound by the already-joined
+/// prefix as equality predicates, so index usability depends on the join
+/// order — the circular dependency Sec. IV-C describes.
+std::vector<JoinStep> PlanJoins(const AnalyzedQuery& query,
+                                const catalog::Catalog& catalog,
+                                const CostModel& cm,
+                                const JoinOrderOptions& options);
+
+}  // namespace aim::optimizer
+
+#endif  // AIM_OPTIMIZER_JOIN_ORDER_H_

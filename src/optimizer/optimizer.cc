@@ -1,0 +1,256 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "optimizer/selectivity.h"
+
+namespace aim::optimizer {
+
+namespace {
+
+/// LIMIT early-termination factor: when the first access delivers the
+/// required order, execution stops after `limit` output rows.
+double LimitFraction(double limit, double result_rows) {
+  if (limit < 0 || result_rows <= 0) return 1.0;
+  return std::clamp(limit / result_rows, 0.005, 1.0);
+}
+
+}  // namespace
+
+std::string Plan::Describe(const catalog::Catalog& catalog) const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) out += " -> ";
+    const JoinStep& s = steps[i];
+    if (s.path.is_index_merge()) {
+      out += StringPrintf("index_merge#%d[%zu ways]", s.instance,
+                          s.path.union_parts.size());
+    } else if (s.path.is_full_scan()) {
+      out += StringPrintf("scan#%d", s.instance);
+    } else {
+      out += StringPrintf(
+          "idx#%d[%s eq=%zu%s%s]", s.instance,
+          catalog.DescribeIndex(*s.path.index).c_str(),
+          s.path.eq_prefix_len, s.path.range_on_next ? "+range" : "",
+          s.path.covering ? " covering" : "");
+    }
+  }
+  if (needs_sort) out += " +sort";
+  out += StringPrintf(" cost=%.1f rows=%.0f", total_cost(),
+                      est_result_rows);
+  return out;
+}
+
+Result<Plan> Optimizer::Optimize(const sql::Statement& stmt,
+                                 const OptimizeOptions& options) const {
+  AIM_ASSIGN_OR_RETURN(AnalyzedQuery query, Analyze(stmt, *catalog_));
+  return OptimizeAnalyzed(query, options);
+}
+
+Plan Optimizer::OptimizeAnalyzed(const AnalyzedQuery& query,
+                                 const OptimizeOptions& options) const {
+  if (query.dml != AnalyzedQuery::DmlKind::kNone) {
+    return PlanDml(query, options);
+  }
+  return PlanSelect(query, options);
+}
+
+Plan Optimizer::PlanSelect(const AnalyzedQuery& query,
+                           const OptimizeOptions& options) const {
+  Plan plan;
+  const int n = static_cast<int>(query.instances.size());
+  const double limit = query.limit >= 0
+                           ? static_cast<double>(query.limit)
+                           : -1.0;
+
+  if (n == 1) {
+    // Single-table: arbitrate sort avoidance and LIMIT pushdown across all
+    // paths, not just the cheapest raw access.
+    AccessPathRequest req;
+    req.query = &query;
+    req.instance = 0;
+    req.predicates = query.ConjunctsForInstance(0);
+    req.include_hypothetical = options.include_hypothetical;
+    req.switches = options.switches;
+    const catalog::TableId table = query.instances[0].table;
+    const double rows =
+        static_cast<double>(catalog_->table(table).stats.row_count);
+    const double result_sel = InstanceResultSelectivity(query, 0, *catalog_);
+    const double result_rows = std::max(rows * result_sel, 0.0);
+
+    std::vector<AccessPath> paths = EnumeratePaths(req, *catalog_, cm_);
+    if (std::optional<AccessPath> merge = IndexMergeUnionPath(
+            query, 0, *catalog_, cm_, options.include_hypothetical,
+            options.switches)) {
+      paths.push_back(std::move(*merge));
+    }
+    double best_total = -1.0;
+    AccessPath best;
+    bool best_sort = false;
+    double best_sort_cost = 0.0;
+    double best_access_cost = 0.0;
+    double best_examined = 0.0;
+    for (const AccessPath& p : paths) {
+      const bool order_ok =
+          !query.has_order_by ||
+          (options.switches.sort_avoidance && p.delivers_order);
+      const bool group_ok =
+          !query.has_group_by ||
+          (options.switches.sort_avoidance && p.delivers_group);
+      const bool needs_sort = !(order_ok && group_ok);
+      double sort_input = result_rows;
+      double sort_cost = needs_sort ? cm_.SortCost(sort_input) : 0.0;
+      double access_cost = p.cost;
+      double examined = p.rows_examined;
+      // LIMIT pushdown only when output order is already correct and the
+      // query is not an aggregation over everything.
+      if (limit >= 0 && !needs_sort && !query.has_group_by &&
+          !query.has_aggregate && result_rows > limit) {
+        const double frac = LimitFraction(limit, result_rows);
+        access_cost = access_cost * frac + cm_.params().btree_descent_cost;
+        examined *= frac;
+      }
+      const double total = access_cost + sort_cost;
+      if (best_total < 0 || total < best_total) {
+        best_total = total;
+        best = p;
+        best_sort = needs_sort;
+        best_sort_cost = sort_cost;
+        best_access_cost = access_cost;
+        best_examined = examined;
+      }
+    }
+    JoinStep step;
+    step.instance = 0;
+    step.path = best;
+    step.step_cost = best_access_cost;
+    step.rows_after = result_rows;
+    plan.steps.push_back(std::move(step));
+    plan.needs_sort = best_sort;
+    plan.sort_cost = best_sort_cost;
+    plan.read_cost = best_access_cost;
+    plan.est_result_rows =
+        query.has_group_by
+            ? EstimateGroupCount(*catalog_, table,
+                                 query.instances[0].group_by_columns,
+                                 result_rows)
+            : (limit >= 0 ? std::min(result_rows, limit) : result_rows);
+    plan.est_rows_examined = best_examined;
+    return plan;
+  }
+
+  // Multi-table: join ordering, then a final sort if the first table's
+  // access does not deliver the global order.
+  JoinOrderOptions join_options = options.join;
+  join_options.include_hypothetical = options.include_hypothetical;
+  join_options.switches = options.switches;
+  plan.steps = PlanJoins(query, *catalog_, cm_, join_options);
+  double read_cost = 0.0;
+  double examined = 0.0;
+  for (const JoinStep& s : plan.steps) {
+    read_cost += s.step_cost;
+    examined += s.path.rows_examined *
+                (s.step_cost > 0 && s.path.cost > 0
+                     ? s.step_cost / s.path.cost
+                     : 1.0);
+  }
+  double result_rows =
+      plan.steps.empty() ? 0.0 : plan.steps.back().rows_after;
+
+  bool needs_sort = false;
+  if (query.has_order_by || query.has_group_by) {
+    const JoinStep& first = plan.steps.front();
+    const bool order_ok =
+        !query.has_order_by ||
+        (options.switches.sort_avoidance && first.path.delivers_order);
+    const bool group_ok =
+        !query.has_group_by ||
+        (options.switches.sort_avoidance && first.path.delivers_group);
+    needs_sort = !(order_ok && group_ok);
+  }
+  plan.needs_sort = needs_sort;
+  plan.sort_cost = needs_sort ? cm_.SortCost(result_rows) : 0.0;
+
+  if (limit >= 0 && !needs_sort && !query.has_group_by &&
+      !query.has_aggregate && result_rows > limit) {
+    const double frac = LimitFraction(limit, result_rows);
+    read_cost = read_cost * frac + cm_.params().btree_descent_cost;
+    examined *= frac;
+    result_rows = limit;
+  }
+  plan.read_cost = read_cost;
+  plan.est_rows_examined = examined;
+  plan.est_result_rows = result_rows;
+  return plan;
+}
+
+Plan Optimizer::PlanDml(const AnalyzedQuery& query,
+                        const OptimizeOptions& options) const {
+  Plan plan;
+  const catalog::TableId table = query.instances[0].table;
+  const double rows =
+      static_cast<double>(catalog_->table(table).stats.row_count);
+
+  double rows_modified = 1.0;
+  if (query.dml != AnalyzedQuery::DmlKind::kInsert) {
+    AccessPathRequest req;
+    req.query = &query;
+    req.instance = 0;
+    req.predicates = query.ConjunctsForInstance(0);
+    req.include_hypothetical = options.include_hypothetical;
+    req.switches = options.switches;
+    AccessPath path = BestPath(req, *catalog_, cm_);
+    JoinStep step;
+    step.instance = 0;
+    step.path = path;
+    step.step_cost = path.cost;
+    plan.read_cost = path.cost;
+    plan.est_rows_examined = path.rows_examined;
+    rows_modified =
+        std::max(rows * InstanceResultSelectivity(query, 0, *catalog_), 0.0);
+    step.rows_after = rows_modified;
+    plan.steps.push_back(std::move(step));
+  }
+
+  // Base-table (clustered PK) write.
+  plan.maintenance_cost += rows_modified * cm_.IndexMaintenanceCost(1.0);
+
+  for (const catalog::IndexDef* idx : catalog_->TableIndexes(
+           table, options.include_hypothetical)) {
+    // The clustered-PK write is the base-table write charged above.
+    if (idx->is_primary) continue;
+    double entry_writes = 0.0;
+    switch (query.dml) {
+      case AnalyzedQuery::DmlKind::kInsert:
+      case AnalyzedQuery::DmlKind::kDelete:
+        entry_writes = 1.0;
+        break;
+      case AnalyzedQuery::DmlKind::kUpdate: {
+        // Only indexes keyed on an updated column pay maintenance
+        // (delete + insert of the entry).
+        for (catalog::ColumnId c : query.updated_columns) {
+          if (std::find(idx->columns.begin(), idx->columns.end(), c) !=
+              idx->columns.end()) {
+            entry_writes = 2.0;
+            break;
+          }
+        }
+        break;
+      }
+      case AnalyzedQuery::DmlKind::kNone:
+        break;
+    }
+    if (entry_writes == 0.0) continue;
+    IndexMaintenance m;
+    m.index = idx->id;
+    m.cost = rows_modified * cm_.IndexMaintenanceCost(entry_writes);
+    plan.maintenance_cost += m.cost;
+    plan.maintenance.push_back(m);
+  }
+  plan.est_result_rows = rows_modified;
+  return plan;
+}
+
+}  // namespace aim::optimizer

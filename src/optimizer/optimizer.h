@@ -1,0 +1,56 @@
+#ifndef AIM_OPTIMIZER_OPTIMIZER_H_
+#define AIM_OPTIMIZER_OPTIMIZER_H_
+
+#include "common/result.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/join_order.h"
+#include "optimizer/plan.h"
+#include "optimizer/switches.h"
+#include "sql/ast.h"
+
+namespace aim::optimizer {
+
+/// Optimization knobs.
+struct OptimizeOptions {
+  /// See hypothetical (dataless) indexes during planning.
+  bool include_hypothetical = true;
+  OptimizerSwitches switches;
+  JoinOrderOptions join;
+};
+
+/// \brief The cost-based query optimizer: access-path selection, join
+/// ordering, sort avoidance, LIMIT pushdown, and DML maintenance costing.
+///
+/// The optimizer is the contract AIM and the baseline advisors share with
+/// the "database": given a statement and a catalog (including hypothetical
+/// indexes), produce a plan with estimated costs.
+class Optimizer {
+ public:
+  Optimizer(const catalog::Catalog& catalog, CostModel cm)
+      : catalog_(&catalog), cm_(cm) {}
+
+  /// Plans a statement. For DML, the plan's `maintenance` lists the
+  /// per-index update overhead (cost_u of Sec. III-F).
+  Result<Plan> Optimize(const sql::Statement& stmt,
+                        const OptimizeOptions& options = {}) const;
+
+  /// Plans an already-analyzed query (avoids re-binding).
+  Plan OptimizeAnalyzed(const AnalyzedQuery& query,
+                        const OptimizeOptions& options = {}) const;
+
+  const CostModel& cost_model() const { return cm_; }
+  const catalog::Catalog& catalog() const { return *catalog_; }
+
+ private:
+  Plan PlanSelect(const AnalyzedQuery& query,
+                  const OptimizeOptions& options) const;
+  Plan PlanDml(const AnalyzedQuery& query,
+               const OptimizeOptions& options) const;
+
+  const catalog::Catalog* catalog_;
+  CostModel cm_;
+};
+
+}  // namespace aim::optimizer
+
+#endif  // AIM_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,65 @@
+#ifndef AIM_OPTIMIZER_PLAN_H_
+#define AIM_OPTIMIZER_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "optimizer/access_path.h"
+
+namespace aim::optimizer {
+
+/// One step of a (left-deep) join plan: which instance is accessed, how,
+/// and the estimated running cardinality after this step.
+struct JoinStep {
+  int instance = 0;
+  AccessPath path;
+  /// Estimated rows produced by the join prefix ending at this step.
+  double rows_after = 0.0;
+  /// Estimated cost contribution of this step (probes x per-probe cost for
+  /// inner tables).
+  double step_cost = 0.0;
+};
+
+/// Per-index estimated maintenance cost of a DML statement
+/// (cost_u(q, i) of Sec. III-F).
+struct IndexMaintenance {
+  catalog::IndexId index = catalog::kInvalidIndex;
+  double cost = 0.0;
+};
+
+/// \brief The optimizer's chosen plan with cost breakdown.
+struct Plan {
+  std::vector<JoinStep> steps;  // in join order
+  bool needs_sort = false;
+  double sort_cost = 0.0;
+  /// cost_r: cost of locating/producing rows.
+  double read_cost = 0.0;
+  /// Sum of per-index maintenance costs (DML only).
+  double maintenance_cost = 0.0;
+  std::vector<IndexMaintenance> maintenance;
+
+  double est_result_rows = 0.0;
+  /// Estimated rows examined across all steps (drives the ddr estimate).
+  double est_rows_examined = 0.0;
+
+  double total_cost() const {
+    return read_cost + sort_cost + maintenance_cost;
+  }
+
+  /// Ids of indexes used by any step (for "is the index actually used"
+  /// validation).
+  std::vector<catalog::IndexId> used_indexes() const {
+    std::vector<catalog::IndexId> out;
+    for (const auto& s : steps) {
+      if (s.path.index != nullptr) out.push_back(s.path.index->id);
+    }
+    return out;
+  }
+
+  /// One-line EXPLAIN-style rendering (for tests and the example apps).
+  std::string Describe(const catalog::Catalog& catalog) const;
+};
+
+}  // namespace aim::optimizer
+
+#endif  // AIM_OPTIMIZER_PLAN_H_

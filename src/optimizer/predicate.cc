@@ -1,0 +1,571 @@
+#include "optimizer/predicate.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace aim::optimizer {
+
+namespace {
+
+/// Binder state: resolves (alias, column) names to BoundColumn.
+class Binder {
+ public:
+  Binder(const std::vector<TableInstance>* instances,
+         const catalog::Catalog* catalog)
+      : instances_(instances), catalog_(catalog) {}
+
+  Result<BoundColumn> Bind(const sql::Expr& col) const {
+    if (col.kind != sql::Expr::Kind::kColumn) {
+      return Status::Internal("binder expects a column expression");
+    }
+    if (!col.table.empty()) {
+      for (int i = 0; i < static_cast<int>(instances_->size()); ++i) {
+        const TableInstance& inst = (*instances_)[i];
+        if (EqualsIgnoreCase(inst.alias, col.table)) {
+          auto c = catalog_->table(inst.table).FindColumn(col.column);
+          if (!c.has_value()) {
+            return Status::NotFound("column '" + col.table + "." +
+                                    col.column + "' not found");
+          }
+          return BoundColumn{i, *c};
+        }
+      }
+      return Status::NotFound("table alias '" + col.table + "' not found");
+    }
+    // Unqualified: search all instances; require a unique match.
+    BoundColumn found{-1, 0};
+    for (int i = 0; i < static_cast<int>(instances_->size()); ++i) {
+      auto c = catalog_->table((*instances_)[i].table).FindColumn(col.column);
+      if (c.has_value()) {
+        if (found.instance >= 0) {
+          return Status::InvalidArgument("ambiguous column '" + col.column +
+                                         "'");
+        }
+        found = BoundColumn{i, *c};
+      }
+    }
+    if (found.instance < 0) {
+      return Status::NotFound("column '" + col.column + "' not found");
+    }
+    return found;
+  }
+
+ private:
+  const std::vector<TableInstance>* instances_;
+  const catalog::Catalog* catalog_;
+};
+
+bool TryLiteralInt(const sql::Expr& e, int64_t* out) {
+  if (e.kind != sql::Expr::Kind::kLiteral) return false;
+  switch (e.value.kind()) {
+    case sql::Value::Kind::kInt64:
+      *out = e.value.AsInt();
+      return true;
+    case sql::Value::Kind::kDouble:
+      *out = static_cast<int64_t>(e.value.AsDouble());
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Internal leaf: either an atomic predicate, a join edge, or opaque.
+struct Leaf {
+  enum class Kind { kAtomic, kJoin, kOpaque };
+  Kind kind = Kind::kOpaque;
+  AtomicPredicate atomic;
+  JoinEdge join;
+};
+
+class Analyzer {
+ public:
+  Analyzer(const catalog::Catalog& catalog) : catalog_(catalog) {}
+
+  Result<AnalyzedQuery> AnalyzeSelect(const sql::SelectStatement& stmt) {
+    AnalyzedQuery out;
+    AIM_RETURN_NOT_OK(SetupInstances(stmt.from, &out));
+    Binder binder(&out.instances, &catalog_);
+
+    // Select list: referenced columns + '*' + aggregates.
+    for (const auto& item : stmt.select_list) {
+      AIM_RETURN_NOT_OK(CollectSelectItem(*item, binder, &out));
+    }
+    if (stmt.where) {
+      AIM_RETURN_NOT_OK(AnalyzeWhere(*stmt.where, binder, &out));
+    } else {
+      out.dnf.push_back(Factor{});
+    }
+    for (const auto& g : stmt.group_by) {
+      AIM_ASSIGN_OR_RETURN(BoundColumn col, binder.Bind(*g));
+      auto& gb = out.instances[col.instance].group_by_columns;
+      if (std::find(gb.begin(), gb.end(), col.column) == gb.end()) {
+        gb.push_back(col.column);
+      }
+      AddReferenced(col, &out);
+      out.has_group_by = true;
+    }
+    for (const auto& o : stmt.order_by) {
+      AIM_ASSIGN_OR_RETURN(BoundColumn col, binder.Bind(*o.expr));
+      out.instances[col.instance].order_by_columns.push_back(
+          BoundOrderItem{col, o.ascending});
+      AddReferenced(col, &out);
+      out.has_order_by = true;
+    }
+    out.limit = stmt.limit;
+    return out;
+  }
+
+  Result<AnalyzedQuery> AnalyzeDml(const sql::Statement& stmt) {
+    AnalyzedQuery out;
+    std::string table_name;
+    const sql::Expr* where = nullptr;
+    switch (stmt.kind) {
+      case sql::Statement::Kind::kInsert:
+        table_name = stmt.insert->table_name;
+        out.dml = AnalyzedQuery::DmlKind::kInsert;
+        break;
+      case sql::Statement::Kind::kUpdate:
+        table_name = stmt.update->table_name;
+        where = stmt.update->where.get();
+        out.dml = AnalyzedQuery::DmlKind::kUpdate;
+        break;
+      case sql::Statement::Kind::kDelete:
+        table_name = stmt.del->table_name;
+        where = stmt.del->where.get();
+        out.dml = AnalyzedQuery::DmlKind::kDelete;
+        break;
+      default:
+        return Status::Internal("AnalyzeDml on non-DML");
+    }
+    std::vector<sql::TableRef> from;
+    from.push_back(sql::TableRef{table_name, ""});
+    AIM_RETURN_NOT_OK(SetupInstances(from, &out));
+    Binder binder(&out.instances, &catalog_);
+    if (stmt.kind == sql::Statement::Kind::kUpdate) {
+      const auto& table = catalog_.table(out.instances[0].table);
+      for (const auto& [col, _] : stmt.update->assignments) {
+        auto c = table.FindColumn(col);
+        if (!c.has_value()) {
+          return Status::NotFound("updated column '" + col + "' not found");
+        }
+        out.updated_columns.push_back(*c);
+        AddReferenced(BoundColumn{0, *c}, &out);
+      }
+    }
+    if (where) {
+      AIM_RETURN_NOT_OK(AnalyzeWhere(*where, binder, &out));
+    } else {
+      out.dnf.push_back(Factor{});
+    }
+    return out;
+  }
+
+ private:
+  Status SetupInstances(const std::vector<sql::TableRef>& from,
+                        AnalyzedQuery* out) {
+    if (from.empty()) {
+      return Status::InvalidArgument("query has no FROM tables");
+    }
+    for (const auto& ref : from) {
+      AIM_ASSIGN_OR_RETURN(catalog::TableId tid,
+                           catalog_.FindTable(ref.table_name));
+      TableInstance inst;
+      inst.alias = ref.effective_alias();
+      inst.table = tid;
+      out->instances.push_back(std::move(inst));
+    }
+    return Status::OK();
+  }
+
+  void AddReferenced(BoundColumn col, AnalyzedQuery* out) {
+    auto& refs = out->instances[col.instance].referenced_columns;
+    if (std::find(refs.begin(), refs.end(), col.column) == refs.end()) {
+      refs.push_back(col.column);
+    }
+  }
+
+  Status CollectSelectItem(const sql::Expr& item, const Binder& binder,
+                           AnalyzedQuery* out) {
+    switch (item.kind) {
+      case sql::Expr::Kind::kStar:
+        for (auto& inst : out->instances) {
+          inst.selects_all_columns = true;
+          for (catalog::ColumnId c = 0;
+               c < catalog_.table(inst.table).columns.size(); ++c) {
+            auto& refs = inst.referenced_columns;
+            if (std::find(refs.begin(), refs.end(), c) == refs.end()) {
+              refs.push_back(c);
+            }
+          }
+        }
+        return Status::OK();
+      case sql::Expr::Kind::kColumn: {
+        AIM_ASSIGN_OR_RETURN(BoundColumn col, binder.Bind(item));
+        AddReferenced(col, out);
+        return Status::OK();
+      }
+      case sql::Expr::Kind::kAggregate: {
+        out->has_aggregate = true;
+        if (!item.children.empty() &&
+            item.children[0]->kind == sql::Expr::Kind::kColumn) {
+          AIM_ASSIGN_OR_RETURN(BoundColumn col,
+                               binder.Bind(*item.children[0]));
+          AddReferenced(col, out);
+        }
+        return Status::OK();
+      }
+      default:
+        return Status::Unsupported("unsupported select item");
+    }
+  }
+
+  /// Classifies one leaf predicate expression.
+  Result<Leaf> ClassifyLeaf(const sql::Expr& e, const Binder& binder,
+                            AnalyzedQuery* out) {
+    Leaf leaf;
+    switch (e.kind) {
+      case sql::Expr::Kind::kComparison: {
+        const sql::Expr& lhs = *e.children[0];
+        const sql::Expr& rhs = *e.children[1];
+        if (lhs.kind != sql::Expr::Kind::kColumn) {
+          return leaf;  // opaque
+        }
+        AIM_ASSIGN_OR_RETURN(BoundColumn lcol, binder.Bind(lhs));
+        AddReferenced(lcol, out);
+        if (rhs.kind == sql::Expr::Kind::kColumn) {
+          AIM_ASSIGN_OR_RETURN(BoundColumn rcol, binder.Bind(rhs));
+          AddReferenced(rcol, out);
+          if (lcol.instance != rcol.instance &&
+              sql::IsEqualityLike(e.op)) {
+            leaf.kind = Leaf::Kind::kJoin;
+            leaf.join = JoinEdge{lcol, rcol, &e};
+            return leaf;
+          }
+          return leaf;  // same-instance col-col or non-eq: opaque
+        }
+        AtomicPredicate pred;
+        pred.column = lcol;
+        pred.op = e.op;
+        pred.expr = &e;
+        int64_t lit = 0;
+        const bool has_lit = TryLiteralInt(rhs, &lit);
+        switch (e.op) {
+          case sql::CompareOp::kEq:
+          case sql::CompareOp::kNullSafeEq:
+            pred.kind = PredKind::kEq;
+            if (rhs.kind == sql::Expr::Kind::kLiteral) {
+              pred.values.push_back(rhs.value);
+              if (has_lit) {
+                pred.has_lower = pred.has_upper = true;
+                pred.lower = pred.upper = lit;
+              }
+            }
+            break;
+          case sql::CompareOp::kLt:
+            pred.kind = PredKind::kRange;
+            pred.has_upper = has_lit;
+            pred.upper = lit;
+            pred.upper_inclusive = false;
+            break;
+          case sql::CompareOp::kLe:
+            pred.kind = PredKind::kRange;
+            pred.has_upper = has_lit;
+            pred.upper = lit;
+            break;
+          case sql::CompareOp::kGt:
+            pred.kind = PredKind::kRange;
+            pred.has_lower = has_lit;
+            pred.lower = lit;
+            pred.lower_inclusive = false;
+            break;
+          case sql::CompareOp::kGe:
+            pred.kind = PredKind::kRange;
+            pred.has_lower = has_lit;
+            pred.lower = lit;
+            break;
+          case sql::CompareOp::kLike:
+            // LIKE 'prefix%' is sargable; a parameterized or
+            // leading-wildcard pattern is not.
+            if (rhs.kind == sql::Expr::Kind::kLiteral &&
+                rhs.value.kind() == sql::Value::Kind::kString &&
+                !rhs.value.AsString().empty() &&
+                rhs.value.AsString()[0] != '%' &&
+                rhs.value.AsString()[0] != '_') {
+              pred.kind = PredKind::kLikePrefix;
+              pred.values.push_back(rhs.value);
+            } else {
+              pred.kind = PredKind::kOther;
+            }
+            break;
+          case sql::CompareOp::kNe:
+            pred.kind = PredKind::kOther;
+            break;
+        }
+        leaf.kind = Leaf::Kind::kAtomic;
+        leaf.atomic = std::move(pred);
+        return leaf;
+      }
+      case sql::Expr::Kind::kInList: {
+        const sql::Expr& col = *e.children[0];
+        if (col.kind != sql::Expr::Kind::kColumn) return leaf;
+        AIM_ASSIGN_OR_RETURN(BoundColumn bcol, binder.Bind(col));
+        AddReferenced(bcol, out);
+        AtomicPredicate pred;
+        pred.column = bcol;
+        pred.kind = PredKind::kIn;
+        pred.expr = &e;
+        pred.in_list_size = static_cast<int>(e.children.size()) - 1;
+        for (size_t i = 1; i < e.children.size(); ++i) {
+          if (e.children[i]->kind == sql::Expr::Kind::kLiteral) {
+            pred.values.push_back(e.children[i]->value);
+          }
+        }
+        leaf.kind = Leaf::Kind::kAtomic;
+        leaf.atomic = std::move(pred);
+        return leaf;
+      }
+      case sql::Expr::Kind::kBetween: {
+        const sql::Expr& col = *e.children[0];
+        if (col.kind != sql::Expr::Kind::kColumn) return leaf;
+        AIM_ASSIGN_OR_RETURN(BoundColumn bcol, binder.Bind(col));
+        AddReferenced(bcol, out);
+        AtomicPredicate pred;
+        pred.column = bcol;
+        pred.kind = PredKind::kRange;
+        pred.op = sql::CompareOp::kGe;
+        pred.expr = &e;
+        int64_t lo = 0;
+        int64_t hi = 0;
+        if (TryLiteralInt(*e.children[1], &lo)) {
+          pred.has_lower = true;
+          pred.lower = lo;
+        }
+        if (TryLiteralInt(*e.children[2], &hi)) {
+          pred.has_upper = true;
+          pred.upper = hi;
+        }
+        leaf.kind = Leaf::Kind::kAtomic;
+        leaf.atomic = std::move(pred);
+        return leaf;
+      }
+      case sql::Expr::Kind::kIsNull: {
+        const sql::Expr& col = *e.children[0];
+        if (col.kind != sql::Expr::Kind::kColumn) return leaf;
+        AIM_ASSIGN_OR_RETURN(BoundColumn bcol, binder.Bind(col));
+        AddReferenced(bcol, out);
+        AtomicPredicate pred;
+        pred.column = bcol;
+        pred.kind = e.negated ? PredKind::kOther : PredKind::kIsNull;
+        pred.expr = &e;
+        leaf.kind = Leaf::Kind::kAtomic;
+        leaf.atomic = std::move(pred);
+        return leaf;
+      }
+      case sql::Expr::Kind::kNot: {
+        // Record column references inside, but the predicate itself is
+        // opaque for indexing.
+        AIM_RETURN_NOT_OK(CollectColumnRefs(*e.children[0], binder, out));
+        return leaf;
+      }
+      default:
+        return leaf;
+    }
+  }
+
+  Status CollectColumnRefs(const sql::Expr& e, const Binder& binder,
+                           AnalyzedQuery* out) {
+    if (e.kind == sql::Expr::Kind::kColumn) {
+      AIM_ASSIGN_OR_RETURN(BoundColumn col, binder.Bind(e));
+      AddReferenced(col, out);
+      return Status::OK();
+    }
+    for (const auto& c : e.children) {
+      AIM_RETURN_NOT_OK(CollectColumnRefs(*c, binder, out));
+    }
+    return Status::OK();
+  }
+
+  /// Converts the WHERE tree to DNF (vector of factors), extracting join
+  /// edges from top-level conjuncts. `top_level` distinguishes the
+  /// conjunctive skeleton.
+  Status AnalyzeWhere(const sql::Expr& where, const Binder& binder,
+                      AnalyzedQuery* out) {
+    // 1. Flatten the top-level conjunction.
+    std::vector<const sql::Expr*> top_conjuncts;
+    FlattenAnd(where, &top_conjuncts);
+
+    std::vector<const sql::Expr*> or_subtrees;
+    for (const sql::Expr* conj : top_conjuncts) {
+      if (conj->kind == sql::Expr::Kind::kOr) {
+        or_subtrees.push_back(conj);
+        AIM_RETURN_NOT_OK(CollectColumnRefs(*conj, binder, out));
+        continue;
+      }
+      AIM_ASSIGN_OR_RETURN(Leaf leaf, ClassifyLeaf(*conj, binder, out));
+      switch (leaf.kind) {
+        case Leaf::Kind::kJoin:
+          out->joins.push_back(leaf.join);
+          break;
+        case Leaf::Kind::kAtomic:
+          out->conjuncts.push_back(std::move(leaf.atomic));
+          break;
+        case Leaf::Kind::kOpaque:
+          break;
+      }
+    }
+
+    // 2. DNF = cross product of (conjunctive skeleton) x (each OR subtree's
+    //    DNF). Join predicates never participate in factors.
+    std::vector<Factor> factors;
+    factors.push_back(Factor{out->conjuncts});
+    for (const sql::Expr* subtree : or_subtrees) {
+      std::vector<Factor> sub;
+      AIM_RETURN_NOT_OK(DnfOf(*subtree, binder, out, &sub));
+      std::vector<Factor> next;
+      for (const Factor& f : factors) {
+        for (const Factor& s : sub) {
+          if (next.size() >= kMaxDnfFactors) {
+            out->dnf_exact = false;
+            break;
+          }
+          Factor merged = f;
+          merged.predicates.insert(merged.predicates.end(),
+                                   s.predicates.begin(), s.predicates.end());
+          next.push_back(std::move(merged));
+        }
+        if (!out->dnf_exact) break;
+      }
+      if (!out->dnf_exact) {
+        // Fall back to the conjunctive skeleton only.
+        factors.clear();
+        factors.push_back(Factor{out->conjuncts});
+        break;
+      }
+      factors = std::move(next);
+    }
+    out->dnf = std::move(factors);
+    return Status::OK();
+  }
+
+  Status DnfOf(const sql::Expr& e, const Binder& binder, AnalyzedQuery* out,
+               std::vector<Factor>* result) {
+    switch (e.kind) {
+      case sql::Expr::Kind::kOr: {
+        for (const auto& child : e.children) {
+          std::vector<Factor> sub;
+          AIM_RETURN_NOT_OK(DnfOf(*child, binder, out, &sub));
+          for (auto& f : sub) {
+            if (result->size() >= kMaxDnfFactors) {
+              out->dnf_exact = false;
+              return Status::OK();
+            }
+            result->push_back(std::move(f));
+          }
+        }
+        return Status::OK();
+      }
+      case sql::Expr::Kind::kAnd: {
+        std::vector<Factor> acc;
+        acc.push_back(Factor{});
+        for (const auto& child : e.children) {
+          std::vector<Factor> sub;
+          AIM_RETURN_NOT_OK(DnfOf(*child, binder, out, &sub));
+          std::vector<Factor> next;
+          for (const Factor& a : acc) {
+            for (const Factor& s : sub) {
+              if (next.size() >= kMaxDnfFactors) {
+                out->dnf_exact = false;
+                break;
+              }
+              Factor merged = a;
+              merged.predicates.insert(merged.predicates.end(),
+                                       s.predicates.begin(),
+                                       s.predicates.end());
+              next.push_back(std::move(merged));
+            }
+            if (!out->dnf_exact) break;
+          }
+          if (!out->dnf_exact) return Status::OK();
+          acc = std::move(next);
+        }
+        for (auto& f : acc) result->push_back(std::move(f));
+        return Status::OK();
+      }
+      default: {
+        AIM_ASSIGN_OR_RETURN(Leaf leaf, ClassifyLeaf(e, binder, out));
+        Factor f;
+        if (leaf.kind == Leaf::Kind::kAtomic) {
+          f.predicates.push_back(std::move(leaf.atomic));
+        }
+        // Join edges / opaque leaves inside OR trees contribute an empty
+        // conjunct (selectivity handled conservatively).
+        result->push_back(std::move(f));
+        return Status::OK();
+      }
+    }
+  }
+
+  static void FlattenAnd(const sql::Expr& e,
+                         std::vector<const sql::Expr*>* out) {
+    if (e.kind == sql::Expr::Kind::kAnd) {
+      for (const auto& c : e.children) FlattenAnd(*c, out);
+    } else {
+      out->push_back(&e);
+    }
+  }
+
+  const catalog::Catalog& catalog_;
+};
+
+}  // namespace
+
+std::vector<AtomicPredicate> AnalyzedQuery::FactorForInstance(
+    const Factor& factor, int instance) const {
+  std::vector<AtomicPredicate> out;
+  for (const auto& p : factor.predicates) {
+    if (p.column.instance == instance) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<AtomicPredicate> AnalyzedQuery::ConjunctsForInstance(
+    int instance) const {
+  std::vector<AtomicPredicate> out;
+  for (const auto& p : conjuncts) {
+    if (p.column.instance == instance) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<std::pair<catalog::ColumnId, int>> AnalyzedQuery::JoinColumnsOf(
+    int instance) const {
+  std::vector<std::pair<catalog::ColumnId, int>> out;
+  for (const auto& e : joins) {
+    if (e.left.instance == instance) {
+      out.emplace_back(e.left.column, e.right.instance);
+    }
+    if (e.right.instance == instance) {
+      out.emplace_back(e.right.column, e.left.instance);
+    }
+  }
+  return out;
+}
+
+Result<AnalyzedQuery> Analyze(const sql::SelectStatement& stmt,
+                              const catalog::Catalog& catalog) {
+  Analyzer analyzer(catalog);
+  return analyzer.AnalyzeSelect(stmt);
+}
+
+Result<AnalyzedQuery> Analyze(const sql::Statement& stmt,
+                              const catalog::Catalog& catalog) {
+  Analyzer analyzer(catalog);
+  if (stmt.kind == sql::Statement::Kind::kSelect) {
+    return analyzer.AnalyzeSelect(*stmt.select);
+  }
+  return analyzer.AnalyzeDml(stmt);
+}
+
+}  // namespace aim::optimizer

@@ -1,0 +1,156 @@
+#ifndef AIM_OPTIMIZER_PREDICATE_H_
+#define AIM_OPTIMIZER_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace aim::optimizer {
+
+/// A column bound to a table *instance* (position in the FROM list), not
+/// just a table: self-joins produce distinct instances of the same table.
+struct BoundColumn {
+  int instance = -1;
+  catalog::ColumnId column = 0;
+
+  bool operator==(const BoundColumn& o) const {
+    return instance == o.instance && column == o.column;
+  }
+  bool operator<(const BoundColumn& o) const {
+    if (instance != o.instance) return instance < o.instance;
+    return column < o.column;
+  }
+};
+
+/// Classification of an atomic predicate for index purposes.
+///
+/// kEq / kIn / kIsNull are *index prefix predicates* (IPP, Sec. IV-B2):
+/// matching rows share a constant key prefix. kRange / kLikePrefix are
+/// residual sargable predicates usable as the last key part of a range
+/// scan. kOther is non-sargable.
+enum class PredKind { kEq, kIn, kIsNull, kRange, kLikePrefix, kOther };
+
+/// \brief One atomic predicate from the WHERE clause, bound and classified.
+struct AtomicPredicate {
+  BoundColumn column;
+  PredKind kind = PredKind::kOther;
+  sql::CompareOp op = sql::CompareOp::kEq;
+
+  // Literal bounds when the operand is a constant (int64 domain); absent
+  // for parameterized queries.
+  bool has_lower = false;
+  bool lower_inclusive = true;
+  int64_t lower = 0;
+  bool has_upper = false;
+  bool upper_inclusive = true;
+  int64_t upper = 0;
+  /// Literal equality / IN values (empty when parameterized).
+  std::vector<sql::Value> values;
+  /// Number of IN-list elements (kIn), even when parameterized.
+  int in_list_size = 1;
+
+  /// The original expression node (owned by the statement).
+  const sql::Expr* expr = nullptr;
+
+  bool is_index_prefix() const {
+    return kind == PredKind::kEq || kind == PredKind::kIn ||
+           kind == PredKind::kIsNull;
+  }
+  bool is_sargable() const {
+    return is_index_prefix() || kind == PredKind::kRange ||
+           kind == PredKind::kLikePrefix;
+  }
+};
+
+/// An edge in the table join graph (Sec. IV-C): an equality predicate
+/// between columns of two different instances.
+struct JoinEdge {
+  BoundColumn left;
+  BoundColumn right;
+  const sql::Expr* expr = nullptr;
+};
+
+/// One factor of the disjunctive normal form: a conjunction of atomic
+/// predicates (each factor yields its own candidate partial order,
+/// Sec. IV-B1).
+struct Factor {
+  std::vector<AtomicPredicate> predicates;
+};
+
+/// One ORDER BY key bound to an instance column.
+struct BoundOrderItem {
+  BoundColumn column;
+  bool ascending = true;
+};
+
+/// \brief A table instance appearing in the FROM list, with its
+/// per-instance column usage metadata (Table I of the paper).
+struct TableInstance {
+  std::string alias;
+  catalog::TableId table = catalog::kInvalidTable;
+  /// All columns of this instance referenced anywhere in the query
+  /// (projection, predicates, grouping, ordering) — `ReferencedColumns`.
+  std::vector<catalog::ColumnId> referenced_columns;
+  /// GROUP BY columns on this instance (set semantics, query order kept).
+  std::vector<catalog::ColumnId> group_by_columns;
+  /// ORDER BY columns on this instance, in order-by sequence.
+  std::vector<BoundOrderItem> order_by_columns;
+  /// True when the query selects '*' from this instance (covering indexes
+  /// are pointless then).
+  bool selects_all_columns = false;
+};
+
+/// \brief The fully analyzed (bound) form of a SELECT or DML statement:
+/// everything the optimizer and the advisor need, with names resolved.
+struct AnalyzedQuery {
+  std::vector<TableInstance> instances;
+  std::vector<JoinEdge> joins;
+
+  /// DNF of the non-join WHERE predicates. For a purely conjunctive WHERE
+  /// this is a single factor. Capped at kMaxDnfFactors: beyond that, falls
+  /// back to the top-level conjuncts marked `dnf_exact = false`.
+  std::vector<Factor> dnf;
+  bool dnf_exact = true;
+
+  /// Top-level ANDed atomic predicates (the conjunctive skeleton; always
+  /// valid as an upper-bound filter for costing).
+  std::vector<AtomicPredicate> conjuncts;
+
+  bool has_group_by = false;
+  bool has_order_by = false;
+  bool has_aggregate = false;
+  int64_t limit = -1;  // -1 none, -2 parameterized
+
+  /// DML classification for maintenance costing.
+  enum class DmlKind { kNone, kInsert, kUpdate, kDelete };
+  DmlKind dml = DmlKind::kNone;
+  /// Columns assigned by an UPDATE (instance 0).
+  std::vector<catalog::ColumnId> updated_columns;
+
+  /// Returns the predicates of `factor` restricted to one instance.
+  std::vector<AtomicPredicate> FactorForInstance(const Factor& factor,
+                                                 int instance) const;
+  /// Conjuncts restricted to one instance.
+  std::vector<AtomicPredicate> ConjunctsForInstance(int instance) const;
+  /// Join edges incident to `instance`, as (my column, other instance).
+  std::vector<std::pair<catalog::ColumnId, int>> JoinColumnsOf(
+      int instance) const;
+};
+
+inline constexpr size_t kMaxDnfFactors = 32;
+
+/// Binds and analyzes a statement against the catalog: resolves column
+/// names, extracts join edges, classifies atomic predicates, computes the
+/// DNF, and collects per-instance column usage metadata.
+Result<AnalyzedQuery> Analyze(const sql::Statement& stmt,
+                              const catalog::Catalog& catalog);
+Result<AnalyzedQuery> Analyze(const sql::SelectStatement& stmt,
+                              const catalog::Catalog& catalog);
+
+}  // namespace aim::optimizer
+
+#endif  // AIM_OPTIMIZER_PREDICATE_H_

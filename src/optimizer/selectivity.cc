@@ -1,0 +1,117 @@
+#include "optimizer/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aim::optimizer {
+
+double PredicateSelectivity(const AtomicPredicate& pred,
+                            const catalog::Catalog& catalog,
+                            catalog::TableId table) {
+  const catalog::ColumnStats& stats =
+      catalog.column_stats({table, pred.column.column});
+  switch (pred.kind) {
+    case PredKind::kEq:
+      if (!pred.values.empty() &&
+          pred.values[0].kind() == sql::Value::Kind::kInt64) {
+        return std::max(stats.EqSelectivity(pred.values[0].AsInt()), 1e-9);
+      }
+      return std::max(stats.DefaultEqSelectivity(), 1e-9);
+    case PredKind::kIn: {
+      const double k = std::max(1, pred.in_list_size);
+      return std::min(1.0, k * std::max(stats.DefaultEqSelectivity(), 1e-9));
+    }
+    case PredKind::kIsNull:
+      return std::clamp(stats.null_fraction, 0.001, 1.0);
+    case PredKind::kRange: {
+      if (pred.has_lower || pred.has_upper) {
+        const int64_t lo = pred.has_lower
+                               ? (pred.lower_inclusive ? pred.lower
+                                                       : pred.lower + 1)
+                               : INT64_MIN;
+        const int64_t hi = pred.has_upper
+                               ? (pred.upper_inclusive ? pred.upper
+                                                       : pred.upper - 1)
+                               : INT64_MAX;
+        return std::clamp(stats.RangeSelectivity(lo, hi), 1e-9, 1.0);
+      }
+      return kDefaultRangeSelectivity;
+    }
+    case PredKind::kLikePrefix:
+      return kDefaultLikePrefixSelectivity;
+    case PredKind::kOther:
+      return kDefaultOpaqueSelectivity;
+  }
+  return 1.0;
+}
+
+namespace {
+template <typename GetPred>
+double CombinedImpl(size_t n, GetPred get, const catalog::Catalog& catalog,
+                    catalog::TableId table) {
+  std::vector<double> sels;
+  sels.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    sels.push_back(PredicateSelectivity(get(i), catalog, table));
+  }
+  std::sort(sels.begin(), sels.end());
+  double result = 1.0;
+  double exponent = 1.0;
+  for (double s : sels) {
+    result *= std::pow(s, exponent);
+    exponent *= 0.5;
+  }
+  return std::clamp(result, 1e-12, 1.0);
+}
+}  // namespace
+
+double CombinedSelectivity(const std::vector<AtomicPredicate>& preds,
+                           const catalog::Catalog& catalog,
+                           catalog::TableId table) {
+  if (preds.empty()) return 1.0;
+  return CombinedImpl(
+      preds.size(),
+      [&](size_t i) -> const AtomicPredicate& { return preds[i]; }, catalog,
+      table);
+}
+
+double CombinedSelectivity(const std::vector<const AtomicPredicate*>& preds,
+                           const catalog::Catalog& catalog,
+                           catalog::TableId table) {
+  if (preds.empty()) return 1.0;
+  return CombinedImpl(
+      preds.size(),
+      [&](size_t i) -> const AtomicPredicate& { return *preds[i]; }, catalog,
+      table);
+}
+
+double InstanceResultSelectivity(const AnalyzedQuery& query, int instance,
+                                 const catalog::Catalog& catalog) {
+  const catalog::TableId table = query.instances[instance].table;
+  if (query.dnf_exact && query.dnf.size() > 1) {
+    // OR of factors: 1 - prod(1 - sel_i), assuming factor independence.
+    double miss = 1.0;
+    for (const Factor& f : query.dnf) {
+      const auto preds = query.FactorForInstance(f, instance);
+      miss *= 1.0 - CombinedSelectivity(preds, catalog, table);
+    }
+    return std::clamp(1.0 - miss, 1e-12, 1.0);
+  }
+  return CombinedSelectivity(query.ConjunctsForInstance(instance), catalog,
+                             table);
+}
+
+double EstimateGroupCount(const catalog::Catalog& catalog,
+                          catalog::TableId table,
+                          const std::vector<catalog::ColumnId>& columns,
+                          double input_rows) {
+  if (columns.empty()) return 1.0;
+  double groups = 1.0;
+  for (catalog::ColumnId c : columns) {
+    groups *= static_cast<double>(
+        std::max<uint64_t>(1, catalog.column_stats({table, c}).ndv));
+  }
+  return std::min(groups, std::max(1.0, input_rows));
+}
+
+}  // namespace aim::optimizer

@@ -1,0 +1,48 @@
+#ifndef AIM_OPTIMIZER_SELECTIVITY_H_
+#define AIM_OPTIMIZER_SELECTIVITY_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "optimizer/predicate.h"
+
+namespace aim::optimizer {
+
+/// Default selectivities when literals are unknown (parameterized queries),
+/// in the spirit of the classic Selinger constants.
+inline constexpr double kDefaultRangeSelectivity = 0.10;
+inline constexpr double kDefaultLikePrefixSelectivity = 0.05;
+inline constexpr double kDefaultOpaqueSelectivity = 0.50;
+
+/// \brief Estimated fraction of an instance's rows satisfying `pred`.
+double PredicateSelectivity(const AtomicPredicate& pred,
+                            const catalog::Catalog& catalog,
+                            catalog::TableId table);
+
+/// \brief Combined selectivity of ANDed predicates with exponential
+/// backoff: s1 · s2^(1/2) · s3^(1/4) · ... (most selective first), which
+/// tempers the independence assumption on correlated columns.
+double CombinedSelectivity(const std::vector<AtomicPredicate>& preds,
+                           const catalog::Catalog& catalog,
+                           catalog::TableId table);
+/// Same, over pointers.
+double CombinedSelectivity(const std::vector<const AtomicPredicate*>& preds,
+                           const catalog::Catalog& catalog,
+                           catalog::TableId table);
+
+/// \brief Result-fraction of `instance`'s rows after applying the whole
+/// WHERE clause (DNF-aware: OR of factors combines by inclusion-exclusion
+/// under independence).
+double InstanceResultSelectivity(const AnalyzedQuery& query, int instance,
+                                 const catalog::Catalog& catalog);
+
+/// Estimated number of distinct groups for a GROUP BY over `columns`
+/// (product of NDVs capped by row count).
+double EstimateGroupCount(const catalog::Catalog& catalog,
+                          catalog::TableId table,
+                          const std::vector<catalog::ColumnId>& columns,
+                          double input_rows);
+
+}  // namespace aim::optimizer
+
+#endif  // AIM_OPTIMIZER_SELECTIVITY_H_

@@ -1,0 +1,31 @@
+#ifndef AIM_OPTIMIZER_SWITCHES_H_
+#define AIM_OPTIMIZER_SWITCHES_H_
+
+namespace aim::optimizer {
+
+/// \brief Optimizer feature switches (Sec. VIII-a of the paper).
+///
+/// Production fleets toggle optimizer features off when they hit
+/// correctness or performance bugs (the paper cites MySQL's skip-scan and
+/// index-merge issues). Both the optimizer *and* AIM's candidate
+/// generation honour these switches — generating candidates for a
+/// disabled execution strategy wastes work and storage.
+struct OptimizerSwitches {
+  /// MySQL "index_merge" union: resolve a top-level OR by scanning one
+  /// index per OR arm and unioning row ids.
+  bool index_merge_union = true;
+  /// Index condition pushdown: evaluate residual predicates on index
+  /// columns before fetching the base row.
+  bool index_condition_pushdown = true;
+  /// Use indexes to avoid sorts for ORDER BY / GROUP BY.
+  bool sort_avoidance = true;
+  /// MySQL 8 "skip scan": use an index whose first key part is
+  /// unconstrained by iterating its distinct values and range-scanning
+  /// the next part per group. One of the features the paper notes fleets
+  /// disable when bugs bite.
+  bool index_skip_scan = true;
+};
+
+}  // namespace aim::optimizer
+
+#endif  // AIM_OPTIMIZER_SWITCHES_H_

@@ -1,0 +1,49 @@
+#include "optimizer/what_if.h"
+
+namespace aim::optimizer {
+
+Status WhatIfOptimizer::SetConfiguration(
+    const std::vector<catalog::IndexDef>& config) {
+  ClearConfiguration();
+  for (catalog::IndexDef def : config) {
+    def.hypothetical = true;
+    def.id = catalog::kInvalidIndex;
+    Result<catalog::IndexId> r = catalog_.AddIndex(std::move(def));
+    if (!r.ok() && r.status().code() != Status::Code::kAlreadyExists) {
+      return r.status();
+    }
+  }
+  return Status::OK();
+}
+
+void WhatIfOptimizer::ClearConfiguration() {
+  catalog_.DropAllHypothetical();
+}
+
+Result<Plan> WhatIfOptimizer::PlanQuery(const sql::Statement& stmt,
+                                        const OptimizeOptions& options) {
+  ++call_count_;
+  Optimizer opt(catalog_, cm_);
+  return opt.Optimize(stmt, options);
+}
+
+Result<double> WhatIfOptimizer::QueryCost(const sql::Statement& stmt) {
+  AIM_ASSIGN_OR_RETURN(Plan plan, PlanQuery(stmt));
+  return plan.total_cost();
+}
+
+Result<double> WhatIfOptimizer::WorkloadCost(
+    const std::vector<const sql::Statement*>& stmts,
+    const std::vector<double>& weights) {
+  if (stmts.size() != weights.size()) {
+    return Status::InvalidArgument("stmts/weights size mismatch");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    AIM_ASSIGN_OR_RETURN(double c, QueryCost(*stmts[i]));
+    total += weights[i] * c;
+  }
+  return total;
+}
+
+}  // namespace aim::optimizer

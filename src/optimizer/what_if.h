@@ -1,0 +1,57 @@
+#ifndef AIM_OPTIMIZER_WHAT_IF_H_
+#define AIM_OPTIMIZER_WHAT_IF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "optimizer/optimizer.h"
+
+namespace aim::optimizer {
+
+/// \brief The "what-if" costing interface (HypoPG / AutoAdmin analysis
+/// utility): evaluate query costs under hypothetical index configurations
+/// without materializing anything.
+///
+/// Owns a private copy of the catalog so configurations can be swapped in
+/// and out freely. Every `PlanQuery` counts as one optimizer call — the
+/// currency in which index-advisor runtimes are traditionally measured
+/// (Papadomanolakis et al.: 90% of advisor runtime is optimizer calls).
+class WhatIfOptimizer {
+ public:
+  WhatIfOptimizer(const catalog::Catalog& base, CostModel cm)
+      : catalog_(base), cm_(cm) {}
+
+  /// Replaces the hypothetical configuration with `config` (the defs'
+  /// `hypothetical` flags are forced on). Duplicates of existing real
+  /// indexes are skipped silently.
+  Status SetConfiguration(const std::vector<catalog::IndexDef>& config);
+  /// Removes all hypothetical indexes.
+  void ClearConfiguration();
+
+  /// Plans `stmt` under the current configuration. Counts one call.
+  Result<Plan> PlanQuery(const sql::Statement& stmt,
+                         const OptimizeOptions& options = {});
+  /// Total estimated cost of `stmt` under the current configuration.
+  Result<double> QueryCost(const sql::Statement& stmt);
+
+  /// Weighted workload cost: sum of weight[i] * cost(stmt[i]).
+  Result<double> WorkloadCost(
+      const std::vector<const sql::Statement*>& stmts,
+      const std::vector<double>& weights);
+
+  uint64_t call_count() const { return call_count_; }
+  void reset_call_count() { call_count_ = 0; }
+
+  catalog::Catalog& catalog() { return catalog_; }
+  const catalog::Catalog& catalog() const { return catalog_; }
+  const CostModel& cost_model() const { return cm_; }
+
+ private:
+  catalog::Catalog catalog_;
+  CostModel cm_;
+  uint64_t call_count_ = 0;
+};
+
+}  // namespace aim::optimizer
+
+#endif  // AIM_OPTIMIZER_WHAT_IF_H_

@@ -1,0 +1,347 @@
+#ifndef AIM_SQL_AST_H_
+#define AIM_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/value.h"
+
+namespace aim::sql {
+
+/// Comparison / membership operators appearing in predicates.
+enum class CompareOp {
+  kEq,          // =
+  kNullSafeEq,  // <=>
+  kNe,          // <> / !=
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kLike,        // LIKE
+};
+
+/// Returns the SQL spelling of `op`.
+const char* CompareOpName(CompareOp op);
+
+/// True for operators whose matching rows share a constant index prefix
+/// (Sec. IV-B2 "index prefix predicates"): =, <=> (and IN / IS NULL which
+/// have their own Expr kinds).
+inline bool IsEqualityLike(CompareOp op) {
+  return op == CompareOp::kEq || op == CompareOp::kNullSafeEq;
+}
+
+/// Aggregate functions supported in the select list.
+enum class AggFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// \brief A tagged-union expression tree.
+///
+/// The grammar is deliberately the subset an index advisor cares about:
+/// predicates are `column op expr`, IN lists, BETWEEN, IS [NOT] NULL, and
+/// AND/OR combinations thereof. The select list holds columns, `*`, or a
+/// single-column aggregate.
+struct Expr {
+  enum class Kind {
+    kColumn,      // table.column (table optional before binding)
+    kLiteral,     // constant value
+    kParam,       // '?' placeholder (normalized query)
+    kStar,        // '*' in select list / COUNT(*)
+    kComparison,  // children[0] op children[1]
+    kInList,      // children[0] IN (children[1..])
+    kBetween,     // children[0] BETWEEN children[1] AND children[2]
+    kIsNull,      // children[0] IS [NOT] NULL (negated flag)
+    kAnd,         // conjunction of children
+    kOr,          // disjunction of children
+    kNot,         // NOT children[0]
+    kAggregate,   // func(children[0]) e.g. SUM(col), COUNT(*)
+  };
+
+  Kind kind;
+  // kColumn:
+  std::string table;   // alias or table name; may be empty pre-binding
+  std::string column;  // column name
+  // kLiteral:
+  Value value;
+  // kComparison:
+  CompareOp op = CompareOp::kEq;
+  // kIsNull:
+  bool negated = false;
+  // kAggregate:
+  AggFunc agg = AggFunc::kNone;
+
+  std::vector<ExprPtr> children;
+
+  static ExprPtr MakeColumn(std::string table, std::string column);
+  static ExprPtr MakeLiteral(Value v);
+  static ExprPtr MakeParam();
+  static ExprPtr MakeStar();
+  static ExprPtr MakeComparison(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr MakeIn(ExprPtr col, std::vector<ExprPtr> values);
+  static ExprPtr MakeBetween(ExprPtr col, ExprPtr lo, ExprPtr hi);
+  static ExprPtr MakeIsNull(ExprPtr col, bool negated);
+  static ExprPtr MakeAnd(std::vector<ExprPtr> children);
+  static ExprPtr MakeOr(std::vector<ExprPtr> children);
+  static ExprPtr MakeNot(ExprPtr child);
+  static ExprPtr MakeAggregate(AggFunc func, ExprPtr arg);
+
+  /// Deep copy.
+  ExprPtr Clone() const;
+};
+
+/// A table in the FROM clause; `alias` defaults to `table_name`.
+struct TableRef {
+  std::string table_name;
+  std::string alias;
+
+  const std::string& effective_alias() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+/// One ORDER BY item.
+struct OrderItem {
+  ExprPtr expr;  // column reference
+  bool ascending = true;
+};
+
+/// \brief SELECT statement.
+///
+/// JOIN ... ON syntax is accepted by the parser and folded into `where` as
+/// extra conjuncts, which matches how the advisor consumes the query (join
+/// edges are recovered from column-equality predicates across tables).
+struct SelectStatement {
+  std::vector<ExprPtr> select_list;
+  std::vector<TableRef> from;
+  ExprPtr where;  // nullable
+  std::vector<ExprPtr> group_by;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+
+  SelectStatement Clone() const;
+};
+
+/// INSERT INTO t (cols) VALUES (exprs).
+struct InsertStatement {
+  std::string table_name;
+  std::vector<std::string> columns;
+  std::vector<ExprPtr> values;
+
+  InsertStatement Clone() const;
+};
+
+/// UPDATE t SET col = expr, ... WHERE ...
+struct UpdateStatement {
+  std::string table_name;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // nullable
+
+  UpdateStatement Clone() const;
+};
+
+/// DELETE FROM t WHERE ...
+struct DeleteStatement {
+  std::string table_name;
+  ExprPtr where;  // nullable
+
+  DeleteStatement Clone() const;
+};
+
+/// \brief A parsed SQL statement (tagged union over the four kinds).
+struct Statement {
+  enum class Kind { kSelect, kInsert, kUpdate, kDelete };
+
+  Kind kind = Kind::kSelect;
+  std::unique_ptr<SelectStatement> select;
+  std::unique_ptr<InsertStatement> insert;
+  std::unique_ptr<UpdateStatement> update;
+  std::unique_ptr<DeleteStatement> del;
+
+  bool is_dml() const { return kind != Kind::kSelect; }
+  Statement Clone() const;
+};
+
+// ---- inline factory implementations ----------------------------------------
+
+inline ExprPtr Expr::MakeColumn(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumn;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+inline ExprPtr Expr::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->value = std::move(v);
+  return e;
+}
+
+inline ExprPtr Expr::MakeParam() {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kParam;
+  return e;
+}
+
+inline ExprPtr Expr::MakeStar() {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kStar;
+  return e;
+}
+
+inline ExprPtr Expr::MakeComparison(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kComparison;
+  e->op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+inline ExprPtr Expr::MakeIn(ExprPtr col, std::vector<ExprPtr> values) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kInList;
+  e->children.push_back(std::move(col));
+  for (auto& v : values) e->children.push_back(std::move(v));
+  return e;
+}
+
+inline ExprPtr Expr::MakeBetween(ExprPtr col, ExprPtr lo, ExprPtr hi) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBetween;
+  e->children.push_back(std::move(col));
+  e->children.push_back(std::move(lo));
+  e->children.push_back(std::move(hi));
+  return e;
+}
+
+inline ExprPtr Expr::MakeIsNull(ExprPtr col, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kIsNull;
+  e->negated = negated;
+  e->children.push_back(std::move(col));
+  return e;
+}
+
+inline ExprPtr Expr::MakeAnd(std::vector<ExprPtr> children) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAnd;
+  e->children = std::move(children);
+  return e;
+}
+
+inline ExprPtr Expr::MakeOr(std::vector<ExprPtr> children) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kOr;
+  e->children = std::move(children);
+  return e;
+}
+
+inline ExprPtr Expr::MakeNot(ExprPtr child) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kNot;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+inline ExprPtr Expr::MakeAggregate(AggFunc func, ExprPtr arg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAggregate;
+  e->agg = func;
+  if (arg) e->children.push_back(std::move(arg));
+  return e;
+}
+
+inline ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->table = table;
+  e->column = column;
+  e->value = value;
+  e->op = op;
+  e->negated = negated;
+  e->agg = agg;
+  e->children.reserve(children.size());
+  for (const auto& c : children) e->children.push_back(c->Clone());
+  return e;
+}
+
+inline SelectStatement SelectStatement::Clone() const {
+  SelectStatement s;
+  for (const auto& e : select_list) s.select_list.push_back(e->Clone());
+  s.from = from;
+  if (where) s.where = where->Clone();
+  for (const auto& e : group_by) s.group_by.push_back(e->Clone());
+  for (const auto& o : order_by) {
+    OrderItem item;
+    item.expr = o.expr->Clone();
+    item.ascending = o.ascending;
+    s.order_by.push_back(std::move(item));
+  }
+  s.limit = limit;
+  return s;
+}
+
+inline InsertStatement InsertStatement::Clone() const {
+  InsertStatement s;
+  s.table_name = table_name;
+  s.columns = columns;
+  for (const auto& e : values) s.values.push_back(e->Clone());
+  return s;
+}
+
+inline UpdateStatement UpdateStatement::Clone() const {
+  UpdateStatement s;
+  s.table_name = table_name;
+  for (const auto& [col, e] : assignments) {
+    s.assignments.emplace_back(col, e->Clone());
+  }
+  if (where) s.where = where->Clone();
+  return s;
+}
+
+inline DeleteStatement DeleteStatement::Clone() const {
+  DeleteStatement s;
+  s.table_name = table_name;
+  if (where) s.where = where->Clone();
+  return s;
+}
+
+inline Statement Statement::Clone() const {
+  Statement s;
+  s.kind = kind;
+  if (select) s.select = std::make_unique<SelectStatement>(select->Clone());
+  if (insert) s.insert = std::make_unique<InsertStatement>(insert->Clone());
+  if (update) s.update = std::make_unique<UpdateStatement>(update->Clone());
+  if (del) s.del = std::make_unique<DeleteStatement>(del->Clone());
+  return s;
+}
+
+inline const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNullSafeEq:
+      return "<=>";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kLike:
+      return "LIKE";
+  }
+  return "?";
+}
+
+}  // namespace aim::sql
+
+#endif  // AIM_SQL_AST_H_

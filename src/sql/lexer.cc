@@ -1,0 +1,200 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace aim::sql {
+
+namespace {
+const std::unordered_set<std::string>& KeywordSet() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM",    "WHERE",  "GROUP",  "ORDER", "BY",     "LIMIT",
+      "AND",    "OR",      "NOT",    "IN",     "BETWEEN", "IS",   "NULL",
+      "LIKE",   "AS",      "ASC",    "DESC",   "JOIN",  "INNER",  "ON",
+      "INSERT", "INTO",    "VALUES", "UPDATE", "SET",   "DELETE", "COUNT",
+      "SUM",    "AVG",     "MIN",    "MAX",    "DISTINCT", "STRAIGHT_JOIN",
+  };
+  return kKeywords;
+}
+}  // namespace
+
+bool IsKeyword(const std::string& word) {
+  return KeywordSet().count(word) > 0;
+}
+
+Result<std::vector<Token>> Lex(std::string_view sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto push = [&](TokenKind kind, std::string text, size_t off) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.offset = off;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(uint8_t(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(uint8_t(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(uint8_t(sql[j])) || sql[j] == '_')) ++j;
+      std::string word(sql.substr(i, j - i));
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        push(TokenKind::kKeyword, upper, start);
+      } else {
+        push(TokenKind::kIdentifier, word, start);
+      }
+      i = j;
+      continue;
+    }
+    if (c == '`') {
+      size_t j = i + 1;
+      while (j < n && sql[j] != '`') ++j;
+      if (j >= n) {
+        return Status::ParseError("unterminated back-quoted identifier");
+      }
+      push(TokenKind::kIdentifier, std::string(sql.substr(i + 1, j - i - 1)),
+           start);
+      i = j + 1;
+      continue;
+    }
+    if (std::isdigit(uint8_t(c)) ||
+        (c == '-' && i + 1 < n && std::isdigit(uint8_t(sql[i + 1])) &&
+         (out.empty() || (out.back().kind != TokenKind::kIdentifier &&
+                          out.back().kind != TokenKind::kIntLiteral &&
+                          out.back().kind != TokenKind::kDoubleLiteral &&
+                          out.back().kind != TokenKind::kRParen)))) {
+      size_t j = i + 1;
+      bool is_double = false;
+      while (j < n && (std::isdigit(uint8_t(sql[j])) || sql[j] == '.')) {
+        if (sql[j] == '.') {
+          // `1.` followed by another '.' would be malformed; a single '.'
+          // inside digits marks a double literal.
+          if (is_double) break;
+          is_double = true;
+        }
+        ++j;
+      }
+      std::string text(sql.substr(i, j - i));
+      Token t;
+      t.offset = start;
+      t.text = text;
+      if (is_double) {
+        t.kind = TokenKind::kDoubleLiteral;
+        t.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kIntLiteral;
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            text += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          break;
+        }
+        text += sql[j];
+        ++j;
+      }
+      if (!closed) return Status::ParseError("unterminated string literal");
+      Token t;
+      t.kind = TokenKind::kStringLiteral;
+      t.text = std::move(text);
+      t.offset = start;
+      out.push_back(std::move(t));
+      i = j + 1;
+      continue;
+    }
+    switch (c) {
+      case '?':
+        push(TokenKind::kQuestionMark, "?", start);
+        ++i;
+        break;
+      case ',':
+        push(TokenKind::kComma, ",", start);
+        ++i;
+        break;
+      case '(':
+        push(TokenKind::kLParen, "(", start);
+        ++i;
+        break;
+      case ')':
+        push(TokenKind::kRParen, ")", start);
+        ++i;
+        break;
+      case '.':
+        push(TokenKind::kDot, ".", start);
+        ++i;
+        break;
+      case '*':
+        push(TokenKind::kStar, "*", start);
+        ++i;
+        break;
+      case '=':
+        push(TokenKind::kEq, "=", start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenKind::kNe, "!=", start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(i));
+        }
+        break;
+      case '<':
+        if (i + 2 < n && sql[i + 1] == '=' && sql[i + 2] == '>') {
+          push(TokenKind::kNullSafeEq, "<=>", start);
+          i += 3;
+        } else if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenKind::kLe, "<=", start);
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          push(TokenKind::kNe, "<>", start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, "<", start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenKind::kGe, ">=", start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, ">", start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(i));
+    }
+  }
+  push(TokenKind::kEof, "", n);
+  return out;
+}
+
+}  // namespace aim::sql

@@ -1,0 +1,57 @@
+#ifndef AIM_SQL_LEXER_H_
+#define AIM_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aim::sql {
+
+/// Token kinds produced by the lexer.
+enum class TokenKind {
+  kIdentifier,
+  kKeyword,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kQuestionMark,  // '?' parameter placeholder
+  kComma,
+  kLParen,
+  kRParen,
+  kDot,
+  kStar,
+  kEq,         // =
+  kNullSafeEq, // <=>
+  kNe,         // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEof,
+};
+
+/// A lexed token; keywords are upper-cased in `text`.
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t offset = 0;  // byte offset in the input, for error messages
+};
+
+/// \brief Tokenizes `sql` into a token stream ending with kEof.
+///
+/// Recognized keywords: SELECT/FROM/WHERE/GROUP/ORDER/BY/LIMIT/AND/OR/NOT/
+/// IN/BETWEEN/IS/NULL/LIKE/AS/ASC/DESC/JOIN/INNER/ON/INSERT/INTO/VALUES/
+/// UPDATE/SET/DELETE/COUNT/SUM/AVG/MIN/MAX/DISTINCT. Identifiers may be
+/// back-quoted.
+Result<std::vector<Token>> Lex(std::string_view sql);
+
+/// True if `word` (upper-case) is a recognized keyword.
+bool IsKeyword(const std::string& word);
+
+}  // namespace aim::sql
+
+#endif  // AIM_SQL_LEXER_H_

@@ -1,0 +1,79 @@
+#include "sql/normalizer.h"
+
+#include "sql/printer.h"
+
+namespace aim::sql {
+
+namespace {
+
+void NormalizeExpr(Expr* e) {
+  switch (e->kind) {
+    case Expr::Kind::kLiteral:
+      e->kind = Expr::Kind::kParam;
+      e->value = Value::Null();
+      break;
+    case Expr::Kind::kInList: {
+      // Collapse the IN-list to a single placeholder so that
+      // `IN (1,2)` and `IN (3,4,5)` normalize identically.
+      NormalizeExpr(e->children[0].get());
+      Expr* col = nullptr;
+      ExprPtr col_holder = std::move(e->children[0]);
+      col = col_holder.get();
+      (void)col;
+      e->children.clear();
+      e->children.push_back(std::move(col_holder));
+      e->children.push_back(Expr::MakeParam());
+      break;
+    }
+    default:
+      for (auto& c : e->children) NormalizeExpr(c.get());
+      break;
+  }
+}
+
+}  // namespace
+
+void Normalize(SelectStatement* stmt) {
+  for (auto& e : stmt->select_list) NormalizeExpr(e.get());
+  if (stmt->where) NormalizeExpr(stmt->where.get());
+  for (auto& e : stmt->group_by) NormalizeExpr(e.get());
+  for (auto& o : stmt->order_by) NormalizeExpr(o.expr.get());
+  if (stmt->limit >= 0) stmt->limit = -2;
+}
+
+void Normalize(Statement* stmt) {
+  switch (stmt->kind) {
+    case Statement::Kind::kSelect:
+      Normalize(stmt->select.get());
+      break;
+    case Statement::Kind::kInsert:
+      for (auto& v : stmt->insert->values) NormalizeExpr(v.get());
+      break;
+    case Statement::Kind::kUpdate:
+      for (auto& [col, v] : stmt->update->assignments) NormalizeExpr(v.get());
+      if (stmt->update->where) NormalizeExpr(stmt->update->where.get());
+      break;
+    case Statement::Kind::kDelete:
+      if (stmt->del->where) NormalizeExpr(stmt->del->where.get());
+      break;
+  }
+}
+
+std::string NormalizedSql(const Statement& stmt) {
+  Statement copy = stmt.Clone();
+  Normalize(&copy);
+  return ToSql(copy);
+}
+
+uint64_t NormalizedFingerprint(const Statement& stmt) {
+  // FNV-1a over the normalized text.
+  const std::string text = NormalizedSql(stmt);
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : text) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace aim::sql

@@ -1,0 +1,29 @@
+#ifndef AIM_SQL_NORMALIZER_H_
+#define AIM_SQL_NORMALIZER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sql/ast.h"
+
+namespace aim::sql {
+
+/// \brief Replaces every literal appearing as a predicate operand, IN-list
+/// element, BETWEEN bound, assignment value, insert value, or LIMIT with a
+/// `?` placeholder, in place (Sec. III-A1 "normalized query").
+///
+/// Queries that differ only in parameter values normalize to identical
+/// statements and therefore share execution statistics.
+void Normalize(Statement* stmt);
+void Normalize(SelectStatement* stmt);
+
+/// Normalized SQL text of `stmt` (without mutating it).
+std::string NormalizedSql(const Statement& stmt);
+
+/// Stable 64-bit fingerprint of the normalized SQL text, used as the
+/// per-normalized-query key in the workload monitor.
+uint64_t NormalizedFingerprint(const Statement& stmt);
+
+}  // namespace aim::sql
+
+#endif  // AIM_SQL_NORMALIZER_H_

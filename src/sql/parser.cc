@@ -1,0 +1,435 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "sql/lexer.h"
+
+namespace aim::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    if (MatchKeyword("SELECT")) return ParseSelectTail();
+    if (MatchKeyword("INSERT")) return ParseInsertTail();
+    if (MatchKeyword("UPDATE")) return ParseUpdateTail();
+    if (MatchKeyword("DELETE")) return ParseDeleteTail();
+    return Status::ParseError("expected SELECT/INSERT/UPDATE/DELETE, got '" +
+                              Peek().text + "'");
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind) {
+    if (Check(kind)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool CheckKeyword(const char* kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kKeyword && t.text == kw;
+  }
+  bool MatchKeyword(const char* kw) {
+    if (CheckKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenKind kind, const char* what) {
+    if (!Match(kind)) {
+      return Status::ParseError(std::string("expected ") + what + ", got '" +
+                                Peek().text + "' at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::ParseError(std::string("expected ") + kw + ", got '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (!Check(TokenKind::kIdentifier)) {
+      return Status::ParseError(std::string("expected ") + what + ", got '" +
+                                Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  // select_list := '*' | item (',' item)*
+  // item := aggregate | column
+  Result<Statement> ParseSelectTail() {
+    auto select = std::make_unique<SelectStatement>();
+    if (Match(TokenKind::kStar)) {
+      select->select_list.push_back(Expr::MakeStar());
+    } else {
+      do {
+        AIM_ASSIGN_OR_RETURN(ExprPtr item, ParseSelectItem());
+        select->select_list.push_back(std::move(item));
+      } while (Match(TokenKind::kComma));
+    }
+    AIM_RETURN_NOT_OK(ExpectKeyword("FROM"));
+
+    std::vector<ExprPtr> join_conds;
+    AIM_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+    select->from.push_back(std::move(first));
+    while (true) {
+      if (Match(TokenKind::kComma)) {
+        AIM_ASSIGN_OR_RETURN(TableRef t, ParseTableRef());
+        select->from.push_back(std::move(t));
+        continue;
+      }
+      if (CheckKeyword("JOIN") || CheckKeyword("INNER") ||
+          CheckKeyword("STRAIGHT_JOIN")) {
+        MatchKeyword("INNER");
+        if (!MatchKeyword("JOIN")) {
+          AIM_RETURN_NOT_OK(ExpectKeyword("STRAIGHT_JOIN"));
+        }
+        AIM_ASSIGN_OR_RETURN(TableRef t, ParseTableRef());
+        select->from.push_back(std::move(t));
+        if (MatchKeyword("ON")) {
+          AIM_ASSIGN_OR_RETURN(ExprPtr cond, ParseOrExpr());
+          join_conds.push_back(std::move(cond));
+        }
+        continue;
+      }
+      break;
+    }
+
+    ExprPtr where;
+    if (MatchKeyword("WHERE")) {
+      AIM_ASSIGN_OR_RETURN(where, ParseOrExpr());
+    }
+    // Fold JOIN ... ON conditions into the WHERE conjunction.
+    if (!join_conds.empty()) {
+      std::vector<ExprPtr> conjuncts;
+      for (auto& c : join_conds) conjuncts.push_back(std::move(c));
+      if (where) conjuncts.push_back(std::move(where));
+      where = conjuncts.size() == 1 ? std::move(conjuncts[0])
+                                    : Expr::MakeAnd(std::move(conjuncts));
+    }
+    select->where = std::move(where);
+
+    if (MatchKeyword("GROUP")) {
+      AIM_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        AIM_ASSIGN_OR_RETURN(ExprPtr col, ParseColumnRef());
+        select->group_by.push_back(std::move(col));
+      } while (Match(TokenKind::kComma));
+    }
+    if (MatchKeyword("ORDER")) {
+      AIM_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        OrderItem item;
+        AIM_ASSIGN_OR_RETURN(item.expr, ParseColumnRef());
+        if (MatchKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          MatchKeyword("ASC");
+        }
+        select->order_by.push_back(std::move(item));
+      } while (Match(TokenKind::kComma));
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (Check(TokenKind::kIntLiteral)) {
+        select->limit = Advance().int_value;
+      } else if (Match(TokenKind::kQuestionMark)) {
+        select->limit = -2;  // parameterized limit
+      } else {
+        return Status::ParseError("expected integer after LIMIT");
+      }
+    }
+    AIM_RETURN_NOT_OK(Expect(TokenKind::kEof, "end of statement"));
+    Statement stmt;
+    stmt.kind = Statement::Kind::kSelect;
+    stmt.select = std::move(select);
+    return stmt;
+  }
+
+  Result<Statement> ParseInsertTail() {
+    AIM_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    auto insert = std::make_unique<InsertStatement>();
+    AIM_ASSIGN_OR_RETURN(insert->table_name, ExpectIdentifier("table name"));
+    AIM_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    do {
+      AIM_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      insert->columns.push_back(std::move(col));
+    } while (Match(TokenKind::kComma));
+    AIM_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    AIM_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+    AIM_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    do {
+      AIM_ASSIGN_OR_RETURN(ExprPtr v, ParsePrimary());
+      insert->values.push_back(std::move(v));
+    } while (Match(TokenKind::kComma));
+    AIM_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    AIM_RETURN_NOT_OK(Expect(TokenKind::kEof, "end of statement"));
+    Statement stmt;
+    stmt.kind = Statement::Kind::kInsert;
+    stmt.insert = std::move(insert);
+    return stmt;
+  }
+
+  Result<Statement> ParseUpdateTail() {
+    auto update = std::make_unique<UpdateStatement>();
+    AIM_ASSIGN_OR_RETURN(update->table_name, ExpectIdentifier("table name"));
+    AIM_RETURN_NOT_OK(ExpectKeyword("SET"));
+    do {
+      AIM_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      AIM_RETURN_NOT_OK(Expect(TokenKind::kEq, "'='"));
+      AIM_ASSIGN_OR_RETURN(ExprPtr v, ParsePrimary());
+      update->assignments.emplace_back(std::move(col), std::move(v));
+    } while (Match(TokenKind::kComma));
+    if (MatchKeyword("WHERE")) {
+      AIM_ASSIGN_OR_RETURN(update->where, ParseOrExpr());
+    }
+    AIM_RETURN_NOT_OK(Expect(TokenKind::kEof, "end of statement"));
+    Statement stmt;
+    stmt.kind = Statement::Kind::kUpdate;
+    stmt.update = std::move(update);
+    return stmt;
+  }
+
+  Result<Statement> ParseDeleteTail() {
+    AIM_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    auto del = std::make_unique<DeleteStatement>();
+    AIM_ASSIGN_OR_RETURN(del->table_name, ExpectIdentifier("table name"));
+    if (MatchKeyword("WHERE")) {
+      AIM_ASSIGN_OR_RETURN(del->where, ParseOrExpr());
+    }
+    AIM_RETURN_NOT_OK(Expect(TokenKind::kEof, "end of statement"));
+    Statement stmt;
+    stmt.kind = Statement::Kind::kDelete;
+    stmt.del = std::move(del);
+    return stmt;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    AIM_ASSIGN_OR_RETURN(ref.table_name, ExpectIdentifier("table name"));
+    if (MatchKeyword("AS")) {
+      AIM_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("alias"));
+    } else if (Check(TokenKind::kIdentifier)) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  Result<ExprPtr> ParseSelectItem() {
+    // Aggregates: COUNT(*) | COUNT(col) | SUM/AVG/MIN/MAX(col)
+    if (Check(TokenKind::kKeyword)) {
+      AggFunc func = AggFunc::kNone;
+      const std::string& kw = Peek().text;
+      if (kw == "COUNT") func = AggFunc::kCount;
+      else if (kw == "SUM") func = AggFunc::kSum;
+      else if (kw == "AVG") func = AggFunc::kAvg;
+      else if (kw == "MIN") func = AggFunc::kMin;
+      else if (kw == "MAX") func = AggFunc::kMax;
+      if (func != AggFunc::kNone) {
+        Advance();
+        AIM_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+        MatchKeyword("DISTINCT");
+        ExprPtr arg;
+        if (Match(TokenKind::kStar)) {
+          arg = Expr::MakeStar();
+        } else {
+          AIM_ASSIGN_OR_RETURN(arg, ParseColumnRef());
+        }
+        AIM_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+        return Expr::MakeAggregate(func, std::move(arg));
+      }
+    }
+    return ParseColumnRef();
+  }
+
+  Result<ExprPtr> ParseColumnRef() {
+    AIM_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier("column"));
+    if (Match(TokenKind::kDot)) {
+      AIM_ASSIGN_OR_RETURN(std::string second, ExpectIdentifier("column"));
+      return Expr::MakeColumn(std::move(first), std::move(second));
+    }
+    return Expr::MakeColumn("", std::move(first));
+  }
+
+  // OR-level expression.
+  Result<ExprPtr> ParseOrExpr() {
+    AIM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAndExpr());
+    if (!CheckKeyword("OR")) return lhs;
+    std::vector<ExprPtr> children;
+    children.push_back(std::move(lhs));
+    while (MatchKeyword("OR")) {
+      AIM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAndExpr());
+      children.push_back(std::move(rhs));
+    }
+    return Expr::MakeOr(std::move(children));
+  }
+
+  Result<ExprPtr> ParseAndExpr() {
+    AIM_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNotExpr());
+    if (!CheckKeyword("AND")) return lhs;
+    std::vector<ExprPtr> children;
+    children.push_back(std::move(lhs));
+    while (MatchKeyword("AND")) {
+      AIM_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNotExpr());
+      children.push_back(std::move(rhs));
+    }
+    return Expr::MakeAnd(std::move(children));
+  }
+
+  Result<ExprPtr> ParseNotExpr() {
+    if (MatchKeyword("NOT")) {
+      AIM_ASSIGN_OR_RETURN(ExprPtr inner, ParseNotExpr());
+      return Expr::MakeNot(std::move(inner));
+    }
+    return ParsePredicate();
+  }
+
+  // predicate := '(' or_expr ')'
+  //            | column (op expr | IN (...) | BETWEEN a AND b
+  //                      | IS [NOT] NULL | [NOT] LIKE expr)
+  Result<ExprPtr> ParsePredicate() {
+    if (Match(TokenKind::kLParen)) {
+      AIM_ASSIGN_OR_RETURN(ExprPtr inner, ParseOrExpr());
+      AIM_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return inner;
+    }
+    AIM_ASSIGN_OR_RETURN(ExprPtr col, ParseColumnRef());
+
+    if (CheckKeyword("IS")) {
+      Advance();
+      bool negated = MatchKeyword("NOT");
+      AIM_RETURN_NOT_OK(ExpectKeyword("NULL"));
+      return Expr::MakeIsNull(std::move(col), negated);
+    }
+    bool negated = MatchKeyword("NOT");
+    if (MatchKeyword("IN")) {
+      AIM_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+      std::vector<ExprPtr> values;
+      do {
+        AIM_ASSIGN_OR_RETURN(ExprPtr v, ParsePrimary());
+        values.push_back(std::move(v));
+      } while (Match(TokenKind::kComma));
+      AIM_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      ExprPtr in = Expr::MakeIn(std::move(col), std::move(values));
+      return negated ? Expr::MakeNot(std::move(in)) : std::move(in);
+    }
+    if (MatchKeyword("BETWEEN")) {
+      AIM_ASSIGN_OR_RETURN(ExprPtr lo, ParsePrimary());
+      AIM_RETURN_NOT_OK(ExpectKeyword("AND"));
+      AIM_ASSIGN_OR_RETURN(ExprPtr hi, ParsePrimary());
+      ExprPtr between =
+          Expr::MakeBetween(std::move(col), std::move(lo), std::move(hi));
+      return negated ? Expr::MakeNot(std::move(between)) : std::move(between);
+    }
+    if (MatchKeyword("LIKE")) {
+      AIM_ASSIGN_OR_RETURN(ExprPtr pat, ParsePrimary());
+      ExprPtr like = Expr::MakeComparison(CompareOp::kLike, std::move(col),
+                                          std::move(pat));
+      return negated ? Expr::MakeNot(std::move(like)) : std::move(like);
+    }
+    if (negated) {
+      return Status::ParseError("expected IN/BETWEEN/LIKE after NOT");
+    }
+
+    CompareOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = CompareOp::kEq;
+        break;
+      case TokenKind::kNullSafeEq:
+        op = CompareOp::kNullSafeEq;
+        break;
+      case TokenKind::kNe:
+        op = CompareOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = CompareOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = CompareOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = CompareOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = CompareOp::kGe;
+        break;
+      default:
+        return Status::ParseError("expected comparison operator, got '" +
+                                  Peek().text + "'");
+    }
+    Advance();
+    AIM_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimaryOrColumn());
+    return Expr::MakeComparison(op, std::move(col), std::move(rhs));
+  }
+
+  // primary := literal | '?'
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral:
+        Advance();
+        return Expr::MakeLiteral(Value::Int(t.int_value));
+      case TokenKind::kDoubleLiteral:
+        Advance();
+        return Expr::MakeLiteral(Value::Real(t.double_value));
+      case TokenKind::kStringLiteral:
+        Advance();
+        return Expr::MakeLiteral(Value::Str(t.text));
+      case TokenKind::kQuestionMark:
+        Advance();
+        return Expr::MakeParam();
+      case TokenKind::kKeyword:
+        if (t.text == "NULL") {
+          Advance();
+          return Expr::MakeLiteral(Value::Null());
+        }
+        break;
+      default:
+        break;
+    }
+    return Status::ParseError("expected literal or '?', got '" + t.text + "'");
+  }
+
+  // The RHS of a comparison may be another column (join predicate).
+  Result<ExprPtr> ParsePrimaryOrColumn() {
+    if (Check(TokenKind::kIdentifier)) return ParseColumnRef();
+    return ParsePrimary();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> Parse(std::string_view sql) {
+  AIM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<SelectStatement> ParseSelect(std::string_view sql) {
+  AIM_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  if (stmt.kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument("statement is not a SELECT");
+  }
+  return std::move(*stmt.select);
+}
+
+}  // namespace aim::sql

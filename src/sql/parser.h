@@ -1,0 +1,29 @@
+#ifndef AIM_SQL_PARSER_H_
+#define AIM_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace aim::sql {
+
+/// \brief Parses a single SQL statement (SELECT / INSERT / UPDATE / DELETE).
+///
+/// Grammar subset (MySQL-flavoured):
+///   SELECT select_list FROM table [AS alias] {, table | JOIN table ON pred}*
+///     [WHERE pred] [GROUP BY cols] [ORDER BY col [ASC|DESC], ...] [LIMIT n]
+///   INSERT INTO t (c, ...) VALUES (expr, ...)
+///   UPDATE t SET c = expr, ... [WHERE pred]
+///   DELETE FROM t [WHERE pred]
+///
+/// `JOIN ... ON` predicates are folded into the WHERE conjunction; the
+/// advisor recovers join edges from cross-table equality predicates.
+Result<Statement> Parse(std::string_view sql);
+
+/// Convenience: parse and require a SELECT.
+Result<SelectStatement> ParseSelect(std::string_view sql);
+
+}  // namespace aim::sql
+
+#endif  // AIM_SQL_PARSER_H_

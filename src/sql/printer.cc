@@ -1,0 +1,209 @@
+#include "sql/printer.h"
+
+#include "common/strings.h"
+
+namespace aim::sql {
+
+namespace {
+
+const char* AggName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kNone:
+      break;
+  }
+  return "?";
+}
+
+// `parent_or` forces parenthesization of AND children under OR output for
+// stable round-tripping.
+void Print(const Expr& e, std::string* out) {
+  switch (e.kind) {
+    case Expr::Kind::kColumn:
+      if (!e.table.empty()) {
+        out->append(e.table);
+        out->push_back('.');
+      }
+      out->append(e.column);
+      break;
+    case Expr::Kind::kLiteral:
+      out->append(e.value.ToSqlLiteral());
+      break;
+    case Expr::Kind::kParam:
+      out->push_back('?');
+      break;
+    case Expr::Kind::kStar:
+      out->push_back('*');
+      break;
+    case Expr::Kind::kComparison:
+      Print(*e.children[0], out);
+      out->push_back(' ');
+      out->append(CompareOpName(e.op));
+      out->push_back(' ');
+      Print(*e.children[1], out);
+      break;
+    case Expr::Kind::kInList:
+      Print(*e.children[0], out);
+      out->append(" IN (");
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        if (i > 1) out->append(", ");
+        Print(*e.children[i], out);
+      }
+      out->push_back(')');
+      break;
+    case Expr::Kind::kBetween:
+      Print(*e.children[0], out);
+      out->append(" BETWEEN ");
+      Print(*e.children[1], out);
+      out->append(" AND ");
+      Print(*e.children[2], out);
+      break;
+    case Expr::Kind::kIsNull:
+      Print(*e.children[0], out);
+      out->append(e.negated ? " IS NOT NULL" : " IS NULL");
+      break;
+    case Expr::Kind::kAnd:
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) out->append(" AND ");
+        const bool paren = e.children[i]->kind == Expr::Kind::kOr;
+        if (paren) out->push_back('(');
+        Print(*e.children[i], out);
+        if (paren) out->push_back(')');
+      }
+      break;
+    case Expr::Kind::kOr:
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) out->append(" OR ");
+        const bool paren = e.children[i]->kind == Expr::Kind::kAnd ||
+                           e.children[i]->kind == Expr::Kind::kOr;
+        if (paren) out->push_back('(');
+        Print(*e.children[i], out);
+        if (paren) out->push_back(')');
+      }
+      break;
+    case Expr::Kind::kNot:
+      out->append("NOT (");
+      Print(*e.children[0], out);
+      out->push_back(')');
+      break;
+    case Expr::Kind::kAggregate:
+      out->append(AggName(e.agg));
+      out->push_back('(');
+      if (!e.children.empty()) Print(*e.children[0], out);
+      out->push_back(')');
+      break;
+  }
+}
+
+}  // namespace
+
+std::string ToSql(const Expr& expr) {
+  std::string out;
+  Print(expr, &out);
+  return out;
+}
+
+std::string ToSql(const SelectStatement& stmt) {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+    if (i > 0) out.append(", ");
+    Print(*stmt.select_list[i], &out);
+  }
+  out.append(" FROM ");
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    if (i > 0) out.append(", ");
+    out.append(stmt.from[i].table_name);
+    if (!stmt.from[i].alias.empty() &&
+        stmt.from[i].alias != stmt.from[i].table_name) {
+      out.append(" AS ");
+      out.append(stmt.from[i].alias);
+    }
+  }
+  if (stmt.where) {
+    out.append(" WHERE ");
+    Print(*stmt.where, &out);
+  }
+  if (!stmt.group_by.empty()) {
+    out.append(" GROUP BY ");
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) out.append(", ");
+      Print(*stmt.group_by[i], &out);
+    }
+  }
+  if (!stmt.order_by.empty()) {
+    out.append(" ORDER BY ");
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) out.append(", ");
+      Print(*stmt.order_by[i].expr, &out);
+      if (!stmt.order_by[i].ascending) out.append(" DESC");
+    }
+  }
+  if (stmt.limit == -2) {
+    out.append(" LIMIT ?");
+  } else if (stmt.limit >= 0) {
+    out.append(" LIMIT ");
+    out.append(std::to_string(stmt.limit));
+  }
+  return out;
+}
+
+std::string ToSql(const InsertStatement& stmt) {
+  std::string out = "INSERT INTO " + stmt.table_name + " (";
+  out.append(Join(stmt.columns, ", "));
+  out.append(") VALUES (");
+  for (size_t i = 0; i < stmt.values.size(); ++i) {
+    if (i > 0) out.append(", ");
+    Print(*stmt.values[i], &out);
+  }
+  out.push_back(')');
+  return out;
+}
+
+std::string ToSql(const UpdateStatement& stmt) {
+  std::string out = "UPDATE " + stmt.table_name + " SET ";
+  for (size_t i = 0; i < stmt.assignments.size(); ++i) {
+    if (i > 0) out.append(", ");
+    out.append(stmt.assignments[i].first);
+    out.append(" = ");
+    Print(*stmt.assignments[i].second, &out);
+  }
+  if (stmt.where) {
+    out.append(" WHERE ");
+    Print(*stmt.where, &out);
+  }
+  return out;
+}
+
+std::string ToSql(const DeleteStatement& stmt) {
+  std::string out = "DELETE FROM " + stmt.table_name;
+  if (stmt.where) {
+    out.append(" WHERE ");
+    Print(*stmt.where, &out);
+  }
+  return out;
+}
+
+std::string ToSql(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      return ToSql(*stmt.select);
+    case Statement::Kind::kInsert:
+      return ToSql(*stmt.insert);
+    case Statement::Kind::kUpdate:
+      return ToSql(*stmt.update);
+    case Statement::Kind::kDelete:
+      return ToSql(*stmt.del);
+  }
+  return "";
+}
+
+}  // namespace aim::sql

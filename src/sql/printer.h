@@ -1,0 +1,23 @@
+#ifndef AIM_SQL_PRINTER_H_
+#define AIM_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace aim::sql {
+
+/// Renders an expression back to SQL text.
+std::string ToSql(const Expr& expr);
+
+/// Renders a statement back to SQL text. Round-trips with the parser up to
+/// whitespace and keyword casing (used for normalized-query keys).
+std::string ToSql(const Statement& stmt);
+std::string ToSql(const SelectStatement& stmt);
+std::string ToSql(const InsertStatement& stmt);
+std::string ToSql(const UpdateStatement& stmt);
+std::string ToSql(const DeleteStatement& stmt);
+
+}  // namespace aim::sql
+
+#endif  // AIM_SQL_PRINTER_H_

@@ -1,0 +1,121 @@
+#ifndef AIM_SQL_VALUE_H_
+#define AIM_SQL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace aim::sql {
+
+/// \brief A runtime SQL value: NULL, 64-bit integer, double, or string.
+///
+/// Dates are represented as kInt64 (days since epoch); the catalog records
+/// the logical column type separately.
+class Value {
+ public:
+  enum class Kind {
+    kNull = 0,
+    kInt64 = 1,
+    kDouble = 2,
+    kString = 3,
+    kMax = 4,  // internal sentinel: sorts after every other value
+  };
+
+  Value() : v_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Payload(v)); }
+  static Value Real(double v) { return Value(Payload(v)); }
+  static Value Str(std::string v) { return Value(Payload(std::move(v))); }
+  /// Key-space supremum, used for B+Tree group jumps (skip scan). Never
+  /// appears in stored rows.
+  static Value Max() { return Value(Payload(MaxTag{})); }
+
+  Kind kind() const { return static_cast<Kind>(v_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const {
+    if (kind() == Kind::kInt64) return static_cast<double>(AsInt());
+    return std::get<double>(v_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Three-way comparison; NULL sorts first; cross numeric kinds compare as
+  /// doubles; numeric vs string compares by kind index (stable total order).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// SQL-literal rendering ('quoted' strings, NULL keyword).
+  std::string ToSqlLiteral() const;
+
+ private:
+  struct MaxTag {
+    bool operator==(const MaxTag&) const { return true; }
+  };
+  using Payload =
+      std::variant<std::monostate, int64_t, double, std::string, MaxTag>;
+  explicit Value(Payload p) : v_(std::move(p)) {}
+  Payload v_;
+};
+
+inline int Value::Compare(const Value& other) const {
+  if (kind() == Kind::kMax || other.kind() == Kind::kMax) {
+    if (kind() == other.kind()) return 0;
+    return kind() == Kind::kMax ? 1 : -1;
+  }
+  const bool self_num =
+      kind() == Kind::kInt64 || kind() == Kind::kDouble;
+  const bool other_num =
+      other.kind() == Kind::kInt64 || other.kind() == Kind::kDouble;
+  if (kind() == Kind::kNull || other.kind() == Kind::kNull) {
+    if (kind() == other.kind()) return 0;
+    return kind() == Kind::kNull ? -1 : 1;
+  }
+  if (self_num && other_num) {
+    const double a = AsDouble();
+    const double b = other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (kind() != other.kind()) {
+    return static_cast<int>(kind()) < static_cast<int>(other.kind()) ? -1 : 1;
+  }
+  const std::string& a = AsString();
+  const std::string& b = other.AsString();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+inline std::string Value::ToSqlLiteral() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kInt64:
+      return std::to_string(AsInt());
+    case Kind::kDouble: {
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%g", std::get<double>(v_));
+      return buf;
+    }
+    case Kind::kString: {
+      std::string out = "'";
+      for (char c : AsString()) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+    case Kind::kMax:
+      return "<MAX>";
+  }
+  return "NULL";
+}
+
+}  // namespace aim::sql
+
+#endif  // AIM_SQL_VALUE_H_

@@ -1,0 +1,126 @@
+#include "storage/btree_index.h"
+
+namespace aim::storage {
+
+void BTreeIndex::Insert(Row key, RowId rid) {
+  map_.emplace(std::move(key), rid);
+}
+
+bool BTreeIndex::Erase(const Row& key, RowId rid) {
+  auto [begin, end] = map_.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == rid) {
+      map_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t BTreeIndex::ScanPrefix(
+    const Row& eq_prefix, const std::optional<KeyBound>& lower,
+    const std::optional<KeyBound>& upper,
+    const std::function<bool(const Row& key, RowId rid)>& visitor) const {
+  // Start position: eq_prefix (+ lower bound on the next component).
+  Row start = eq_prefix;
+  if (lower.has_value()) start.push_back(lower->value);
+  auto it = map_.lower_bound(start);
+  // An exclusive lower bound must skip keys whose next component equals the
+  // bound value.
+  uint64_t visited = 0;
+  const size_t p = eq_prefix.size();
+  for (; it != map_.end(); ++it) {
+    const Row& key = it->first;
+    // Stop once the key no longer starts with eq_prefix.
+    if (key.size() < p) break;
+    bool prefix_match = true;
+    for (size_t i = 0; i < p; ++i) {
+      if (key[i].Compare(eq_prefix[i]) != 0) {
+        prefix_match = false;
+        break;
+      }
+    }
+    if (!prefix_match) break;
+    if (key.size() > p) {
+      const sql::Value& next = key[p];
+      if (lower.has_value() && !lower->inclusive &&
+          next.Compare(lower->value) == 0) {
+        ++visited;  // the entry is touched before being rejected
+        continue;
+      }
+      if (upper.has_value()) {
+        const int c = next.Compare(upper->value);
+        if (c > 0 || (c == 0 && !upper->inclusive)) break;
+      }
+    }
+    ++visited;
+    if (!visitor(key, it->second)) break;
+  }
+  return visited;
+}
+
+uint64_t BTreeIndex::ScanSkip(
+    size_t skip_width, const std::optional<KeyBound>& lower,
+    const std::optional<KeyBound>& upper,
+    const std::function<bool(const Row& key, RowId rid)>& visitor,
+    uint64_t* groups_probed) const {
+  uint64_t visited = 0;
+  uint64_t groups = 0;
+  auto it = map_.begin();
+  bool stop = false;
+  while (it != map_.end() && !stop) {
+    if (it->first.size() < skip_width) {
+      ++it;
+      continue;
+    }
+    // The current group: the first skip_width key parts.
+    Row group(it->first.begin(), it->first.begin() + skip_width);
+    ++groups;
+    // Range-scan within the group on the next component.
+    Row start = group;
+    if (lower.has_value()) start.push_back(lower->value);
+    for (auto jt = map_.lower_bound(start); jt != map_.end(); ++jt) {
+      const Row& key = jt->first;
+      bool in_group = key.size() >= skip_width;
+      for (size_t i = 0; in_group && i < skip_width; ++i) {
+        in_group = key[i].Compare(group[i]) == 0;
+      }
+      if (!in_group) break;
+      if (key.size() > skip_width) {
+        const sql::Value& next = key[skip_width];
+        if (lower.has_value() && !lower->inclusive &&
+            next.Compare(lower->value) == 0) {
+          ++visited;
+          continue;
+        }
+        if (upper.has_value()) {
+          const int c = next.Compare(upper->value);
+          if (c > 0 || (c == 0 && !upper->inclusive)) break;
+        }
+      }
+      ++visited;
+      if (!visitor(key, jt->second)) {
+        stop = true;
+        break;
+      }
+    }
+    // Jump past the group: the sentinel sorts after every real value.
+    Row past = group;
+    past.push_back(sql::Value::Max());
+    it = map_.upper_bound(past);
+  }
+  if (groups_probed != nullptr) *groups_probed = groups;
+  return visited;
+}
+
+uint64_t BTreeIndex::ScanAll(
+    const std::function<bool(const Row& key, RowId rid)>& visitor) const {
+  uint64_t visited = 0;
+  for (const auto& [key, rid] : map_) {
+    ++visited;
+    if (!visitor(key, rid)) break;
+  }
+  return visited;
+}
+
+}  // namespace aim::storage

@@ -1,0 +1,81 @@
+#include "storage/data_generator.h"
+
+namespace aim::storage {
+
+namespace {
+
+int64_t DrawValue(const ColumnSpec& spec, uint64_t sequence, Rng* rng) {
+  switch (spec.distribution) {
+    case Distribution::kSequential:
+      return spec.base + static_cast<int64_t>(sequence);
+    case Distribution::kZipf:
+      return spec.base +
+             static_cast<int64_t>(rng->Zipf(spec.ndv, spec.zipf_theta));
+    case Distribution::kUniform:
+      break;
+  }
+  return spec.base + static_cast<int64_t>(rng->Uniform(spec.ndv));
+}
+
+}  // namespace
+
+Row GenerateRow(const catalog::TableDef& table,
+                const std::vector<ColumnSpec>& specs, uint64_t sequence,
+                Rng* rng) {
+  Row row(table.columns.size());
+  std::vector<int64_t> raw(table.columns.size(), 0);
+  const bool single_int_pk =
+      table.primary_key.size() == 1 &&
+      table.columns[table.primary_key[0]].type != catalog::ColumnType::kString;
+
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    const ColumnSpec& spec =
+        c < specs.size() ? specs[c] : ColumnSpec{};
+    int64_t v;
+    if (single_int_pk && table.primary_key[0] == c) {
+      v = static_cast<int64_t>(sequence);  // unique sequential PK
+    } else if (spec.correlated_with >= 0 &&
+               static_cast<size_t>(spec.correlated_with) < c) {
+      const int64_t div =
+          spec.correlation_divisor == 0 ? 1 : spec.correlation_divisor;
+      v = raw[spec.correlated_with] / div;
+    } else {
+      v = DrawValue(spec, sequence, rng);
+    }
+    raw[c] = v;
+    if (spec.null_fraction > 0 && rng->Bernoulli(spec.null_fraction) &&
+        table.columns[c].nullable) {
+      row[c] = sql::Value::Null();
+      continue;
+    }
+    switch (table.columns[c].type) {
+      case catalog::ColumnType::kInt64:
+      case catalog::ColumnType::kDate:
+        row[c] = sql::Value::Int(v);
+        break;
+      case catalog::ColumnType::kDouble:
+        row[c] = sql::Value::Real(static_cast<double>(v) +
+                                  rng->NextDouble());
+        break;
+      case catalog::ColumnType::kString:
+        row[c] = sql::Value::Str(spec.string_prefix + std::to_string(v));
+        break;
+    }
+  }
+  return row;
+}
+
+Status GenerateRows(Database* db, catalog::TableId table,
+                    uint64_t row_count, const std::vector<ColumnSpec>& specs,
+                    Rng* rng) {
+  const catalog::TableDef& def = db->catalog().table(table);
+  const uint64_t start = db->heap(table).slot_count();
+  for (uint64_t i = 0; i < row_count; ++i) {
+    AIM_RETURN_NOT_OK(
+        db->InsertRow(table, GenerateRow(def, specs, start + i, rng))
+            .status());
+  }
+  return Status::OK();
+}
+
+}  // namespace aim::storage

@@ -1,0 +1,53 @@
+#ifndef AIM_STORAGE_DATA_GENERATOR_H_
+#define AIM_STORAGE_DATA_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace aim::storage {
+
+/// How a generated column's values are distributed.
+enum class Distribution { kUniform, kZipf, kSequential };
+
+/// \brief Generation spec for one column.
+struct ColumnSpec {
+  /// Number of distinct values to draw from.
+  uint64_t ndv = 1000;
+  Distribution distribution = Distribution::kUniform;
+  /// Zipf skew (used when distribution == kZipf).
+  double zipf_theta = 0.8;
+  /// Fraction of NULLs injected.
+  double null_fraction = 0.0;
+  /// Offset added to generated int values (controls the value domain).
+  int64_t base = 0;
+  /// If >= 0, this column's value is derived from the value of the column
+  /// at this position (v_corr = v_src / correlation_divisor), modelling
+  /// functionally correlated columns.
+  int correlated_with = -1;
+  int64_t correlation_divisor = 10;
+  /// For kString columns: value is prefix + number.
+  std::string string_prefix = "v";
+};
+
+/// \brief Fills a table with `row_count` synthetic rows.
+///
+/// The column at `primary_key` position (single-column int PK) receives
+/// sequential unique values regardless of its spec. After loading, call
+/// `Database::AnalyzeTable` to refresh statistics.
+Status GenerateRows(Database* db, catalog::TableId table,
+                    uint64_t row_count, const std::vector<ColumnSpec>& specs,
+                    Rng* rng);
+
+/// Generates a single row according to `specs` (used by replay drivers to
+/// synthesize DML traffic).
+Row GenerateRow(const catalog::TableDef& table,
+                const std::vector<ColumnSpec>& specs, uint64_t sequence,
+                Rng* rng);
+
+}  // namespace aim::storage
+
+#endif  // AIM_STORAGE_DATA_GENERATOR_H_

@@ -1,0 +1,211 @@
+#include "storage/database.h"
+
+#include <algorithm>
+
+namespace aim::storage {
+
+Database::Database(const Database& other) { CopyFrom(other); }
+
+Database& Database::operator=(const Database& other) {
+  if (this != &other) CopyFrom(other);
+  return *this;
+}
+
+void Database::CopyFrom(const Database& other) {
+  catalog_ = other.catalog_;
+  heaps_ = other.heaps_;
+  btrees_ = other.btrees_;
+}
+
+catalog::TableId Database::CreateTable(catalog::TableDef def) {
+  const catalog::TableId id = catalog_.AddTable(std::move(def));
+  heaps_.resize(id + 1);
+  // Auto-create the clustered primary index (InnoDB-style: every table
+  // is organized by its primary key).
+  const catalog::TableDef& stored = catalog_.table(id);
+  if (!stored.primary_key.empty()) {
+    catalog::IndexDef pk;
+    pk.table = id;
+    pk.columns = stored.primary_key;
+    pk.unique = true;
+    pk.is_primary = true;
+    pk.name = "PRIMARY_" + stored.name;
+    Result<catalog::IndexId> pk_id = catalog_.AddIndex(std::move(pk));
+    if (pk_id.ok()) {
+      btrees_[pk_id.ValueOrDie()];  // empty btree, filled by inserts
+    }
+  }
+  return id;
+}
+
+Status Database::LoadRows(catalog::TableId table, std::vector<Row> rows) {
+  if (table >= heaps_.size()) {
+    return Status::InvalidArgument("unknown table id");
+  }
+  for (auto& row : rows) {
+    AIM_RETURN_NOT_OK(InsertRow(table, std::move(row)).status());
+  }
+  return Status::OK();
+}
+
+Result<catalog::IndexId> Database::CreateIndex(catalog::IndexDef def) {
+  const bool hypothetical = def.hypothetical;
+  const catalog::TableId table = def.table;
+  AIM_ASSIGN_OR_RETURN(catalog::IndexId id,
+                       catalog_.AddIndex(std::move(def)));
+  if (!hypothetical) {
+    BTreeIndex& btree = btrees_[id];
+    const catalog::IndexDef& stored = *catalog_.index(id);
+    heaps_[table].Scan([&](RowId rid, const Row& row) {
+      btree.Insert(MakeIndexKey(stored, row), rid);
+      return true;
+    });
+  }
+  return id;
+}
+
+Status Database::DropIndex(catalog::IndexId id) {
+  AIM_RETURN_NOT_OK(catalog_.DropIndex(id));
+  btrees_.erase(id);
+  return Status::OK();
+}
+
+const BTreeIndex* Database::btree(catalog::IndexId id) const {
+  auto it = btrees_.find(id);
+  return it == btrees_.end() ? nullptr : &it->second;
+}
+
+Row Database::MakeIndexKey(const catalog::IndexDef& def,
+                           const Row& row) const {
+  Row key;
+  key.reserve(def.columns.size());
+  for (catalog::ColumnId c : def.columns) key.push_back(row[c]);
+  return key;
+}
+
+Result<RowId> Database::InsertRow(catalog::TableId table, Row row,
+                                  MaintenanceCost* cost) {
+  if (table >= heaps_.size()) {
+    return Status::InvalidArgument("unknown table id");
+  }
+  const auto& t = catalog_.table(table);
+  if (row.size() != t.columns.size()) {
+    return Status::InvalidArgument("row arity mismatch on " + t.name);
+  }
+  const RowId rid = heaps_[table].Insert(row);
+  catalog_.mutable_table(table)->stats.row_count = heaps_[table].live_count();
+  for (const catalog::IndexDef* idx :
+       catalog_.TableIndexes(table, /*include_hypothetical=*/false)) {
+    btrees_[idx->id].Insert(MakeIndexKey(*idx, row), rid);
+    if (cost) {
+      ++cost->index_entries_written;
+      ++cost->indexes_touched;
+    }
+  }
+  return rid;
+}
+
+Status Database::UpdateRow(catalog::TableId table, RowId rid, Row row,
+                           MaintenanceCost* cost) {
+  if (table >= heaps_.size()) {
+    return Status::InvalidArgument("unknown table id");
+  }
+  HeapTable& heap = heaps_[table];
+  if (!heap.IsLive(rid)) {
+    return Status::NotFound("update of dead row");
+  }
+  const Row old_row = heap.row(rid);
+  for (const catalog::IndexDef* idx :
+       catalog_.TableIndexes(table, /*include_hypothetical=*/false)) {
+    const Row old_key = MakeIndexKey(*idx, old_row);
+    const Row new_key = MakeIndexKey(*idx, row);
+    if (old_key == new_key) continue;  // untouched index: no maintenance
+    BTreeIndex& btree = btrees_[idx->id];
+    btree.Erase(old_key, rid);
+    btree.Insert(new_key, rid);
+    if (cost) {
+      cost->index_entries_written += 2;
+      ++cost->indexes_touched;
+    }
+  }
+  return heap.Update(rid, std::move(row));
+}
+
+Status Database::DeleteRow(catalog::TableId table, RowId rid,
+                           MaintenanceCost* cost) {
+  if (table >= heaps_.size()) {
+    return Status::InvalidArgument("unknown table id");
+  }
+  HeapTable& heap = heaps_[table];
+  if (!heap.IsLive(rid)) {
+    return Status::NotFound("delete of dead row");
+  }
+  const Row old_row = heap.row(rid);
+  for (const catalog::IndexDef* idx :
+       catalog_.TableIndexes(table, /*include_hypothetical=*/false)) {
+    btrees_[idx->id].Erase(MakeIndexKey(*idx, old_row), rid);
+    if (cost) {
+      ++cost->index_entries_written;
+      ++cost->indexes_touched;
+    }
+  }
+  AIM_RETURN_NOT_OK(heap.Delete(rid));
+  catalog_.mutable_table(table)->stats.row_count = heap.live_count();
+  return Status::OK();
+}
+
+void Database::AnalyzeTable(catalog::TableId table, int histogram_buckets) {
+  catalog::TableDef* t = catalog_.mutable_table(table);
+  const HeapTable& heap = heaps_[table];
+  t->stats.row_count = heap.live_count();
+  t->stats.columns.assign(t->columns.size(), catalog::ColumnStats{});
+  for (catalog::ColumnId c = 0; c < t->columns.size(); ++c) {
+    std::vector<int64_t> sample;
+    sample.reserve(heap.live_count());
+    uint64_t nulls = 0;
+    // Strings are hashed into the int64 domain: the histogram becomes a
+    // hash histogram (useless for ranges, fine for NDV/equality, which is
+    // all string predicates use).
+    heap.Scan([&](RowId, const Row& row) {
+      const sql::Value& v = row[c];
+      switch (v.kind()) {
+        case sql::Value::Kind::kNull:
+          ++nulls;
+          break;
+        case sql::Value::Kind::kInt64:
+          sample.push_back(v.AsInt());
+          break;
+        case sql::Value::Kind::kDouble:
+          sample.push_back(static_cast<int64_t>(v.AsDouble()));
+          break;
+        case sql::Value::Kind::kString: {
+          uint64_t h = 1469598103934665603ULL;
+          for (char ch : v.AsString()) {
+            h ^= static_cast<uint8_t>(ch);
+            h *= 1099511628211ULL;
+          }
+          sample.push_back(static_cast<int64_t>(h >> 1));
+          break;
+        }
+        case sql::Value::Kind::kMax:
+          break;  // internal sentinel: never stored in rows
+      }
+      return true;
+    });
+    catalog::ColumnStats stats =
+        catalog::ColumnStats::FromSample(std::move(sample), 0,
+                                         histogram_buckets);
+    const uint64_t total = heap.live_count();
+    stats.null_fraction =
+        total == 0 ? 0.0 : static_cast<double>(nulls) / total;
+    t->stats.columns[c] = stats;
+  }
+}
+
+void Database::AnalyzeAll(int histogram_buckets) {
+  for (catalog::TableId t = 0; t < catalog_.table_count(); ++t) {
+    AnalyzeTable(t, histogram_buckets);
+  }
+}
+
+}  // namespace aim::storage

@@ -1,0 +1,86 @@
+#ifndef AIM_STORAGE_DATABASE_H_
+#define AIM_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "storage/btree_index.h"
+#include "storage/heap_table.h"
+
+namespace aim::storage {
+
+/// \brief Counters for one DML operation's index-maintenance work.
+struct MaintenanceCost {
+  uint64_t index_entries_written = 0;  // inserts + deletes across indexes
+  uint64_t indexes_touched = 0;
+};
+
+/// \brief A database: catalog + heap tables + materialized secondary
+/// indexes, with index maintenance on every DML.
+///
+/// Hypothetical ("dataless") indexes live only in the catalog — CreateIndex
+/// skips materialization for them, mirroring HypoPG / what-if indexes.
+class Database {
+ public:
+  Database() = default;
+  // Deep-copyable for MyShadow cloning.
+  Database(const Database& other);
+  Database& operator=(const Database& other);
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  catalog::Catalog& catalog() { return catalog_; }
+  const catalog::Catalog& catalog() const { return catalog_; }
+
+  /// Registers a table and allocates its heap.
+  catalog::TableId CreateTable(catalog::TableDef def);
+
+  const HeapTable& heap(catalog::TableId table) const {
+    return heaps_[table];
+  }
+
+  /// Bulk-loads rows into a table (maintaining existing indexes).
+  Status LoadRows(catalog::TableId table, std::vector<Row> rows);
+
+  /// Creates an index; materializes it by scanning the heap unless the
+  /// definition is hypothetical. Returns the index id.
+  Result<catalog::IndexId> CreateIndex(catalog::IndexDef def);
+  Status DropIndex(catalog::IndexId id);
+
+  /// The materialized B+Tree for a real index; nullptr for hypothetical or
+  /// unknown ids.
+  const BTreeIndex* btree(catalog::IndexId id) const;
+
+  /// Row mutation with index maintenance. `cost` (optional) receives the
+  /// maintenance counters.
+  Result<RowId> InsertRow(catalog::TableId table, Row row,
+                          MaintenanceCost* cost = nullptr);
+  Status UpdateRow(catalog::TableId table, RowId rid, Row row,
+                   MaintenanceCost* cost = nullptr);
+  Status DeleteRow(catalog::TableId table, RowId rid,
+                   MaintenanceCost* cost = nullptr);
+
+  /// Recomputes table + column statistics from the stored data
+  /// (ANALYZE TABLE).
+  void AnalyzeTable(catalog::TableId table, int histogram_buckets = 32);
+  void AnalyzeAll(int histogram_buckets = 32);
+
+  /// Extracts the index key for `row` under `def` (the key parts, in
+  /// order).
+  Row MakeIndexKey(const catalog::IndexDef& def, const Row& row) const;
+
+ private:
+  void CopyFrom(const Database& other);
+
+  catalog::Catalog catalog_;
+  std::vector<HeapTable> heaps_;                       // by TableId
+  std::map<catalog::IndexId, BTreeIndex> btrees_;      // real indexes only
+};
+
+}  // namespace aim::storage
+
+#endif  // AIM_STORAGE_DATABASE_H_

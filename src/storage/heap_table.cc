@@ -1,0 +1,40 @@
+#include "storage/heap_table.h"
+
+namespace aim::storage {
+
+RowId HeapTable::Insert(Row row) {
+  rows_.push_back(std::move(row));
+  deleted_.push_back(false);
+  ++live_count_;
+  return rows_.size() - 1;
+}
+
+Status HeapTable::Update(RowId rid, Row row) {
+  if (!IsLive(rid)) {
+    return Status::NotFound("update of dead row " + std::to_string(rid));
+  }
+  rows_[rid] = std::move(row);
+  return Status::OK();
+}
+
+Status HeapTable::Delete(RowId rid) {
+  if (!IsLive(rid)) {
+    return Status::NotFound("delete of dead row " + std::to_string(rid));
+  }
+  deleted_[rid] = true;
+  --live_count_;
+  return Status::OK();
+}
+
+uint64_t HeapTable::Scan(
+    const std::function<bool(RowId, const Row&)>& visitor) const {
+  uint64_t visited = 0;
+  for (RowId rid = 0; rid < rows_.size(); ++rid) {
+    if (deleted_[rid]) continue;
+    ++visited;
+    if (!visitor(rid, rows_[rid])) break;
+  }
+  return visited;
+}
+
+}  // namespace aim::storage

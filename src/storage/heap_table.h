@@ -1,0 +1,50 @@
+#ifndef AIM_STORAGE_HEAP_TABLE_H_
+#define AIM_STORAGE_HEAP_TABLE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/row.h"
+
+namespace aim::storage {
+
+/// \brief Append-only heap of rows with tombstone deletes.
+///
+/// Row ids are stable (slot positions); deleted slots are tombstoned so the
+/// secondary indexes' RowId references never dangle.
+class HeapTable {
+ public:
+  /// Appends a row; returns its RowId.
+  RowId Insert(Row row);
+
+  /// Replaces the row at `rid`. Fails if the row was deleted.
+  Status Update(RowId rid, Row row);
+
+  /// Tombstones the row at `rid`.
+  Status Delete(RowId rid);
+
+  bool IsLive(RowId rid) const {
+    return rid < rows_.size() && !deleted_[rid];
+  }
+  const Row& row(RowId rid) const { return rows_[rid]; }
+
+  /// Number of live rows.
+  uint64_t live_count() const { return live_count_; }
+  /// Total slots (live + tombstoned); scan cost is proportional to this.
+  uint64_t slot_count() const { return rows_.size(); }
+
+  /// Visits every live row; the visitor returns false to stop early.
+  /// Returns the number of rows visited (rows examined).
+  uint64_t Scan(
+      const std::function<bool(RowId, const Row&)>& visitor) const;
+
+ private:
+  std::vector<Row> rows_;
+  std::vector<bool> deleted_;
+  uint64_t live_count_ = 0;
+};
+
+}  // namespace aim::storage
+
+#endif  // AIM_STORAGE_HEAP_TABLE_H_

@@ -1,0 +1,32 @@
+#ifndef AIM_STORAGE_ROW_H_
+#define AIM_STORAGE_ROW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sql/value.h"
+
+namespace aim::storage {
+
+/// A row is a vector of values, positionally matching the table's columns.
+using Row = std::vector<sql::Value>;
+/// Stable row identifier within a heap table (never reused).
+using RowId = uint64_t;
+
+/// Lexicographic comparison of value vectors (index key ordering). A shorter
+/// vector that is a prefix of a longer one sorts first, which gives the
+/// standard B+Tree prefix-scan semantics.
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    const size_t n = a.size() < b.size() ? a.size() : b.size();
+    for (size_t i = 0; i < n; ++i) {
+      const int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+}  // namespace aim::storage
+
+#endif  // AIM_STORAGE_ROW_H_

@@ -1,0 +1,77 @@
+#include "support/myshadow.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace aim::support {
+
+MyShadow::MyShadow(const storage::Database& production,
+                   double sample_fraction, uint64_t seed) {
+  if (sample_fraction >= 1.0) {
+    clone_ = production;
+    return;
+  }
+  // Sampled clone: same schema and indexes, a row subset per table.
+  Rng rng(seed);
+  const catalog::Catalog& src_cat = production.catalog();
+  for (catalog::TableId t = 0; t < src_cat.table_count(); ++t) {
+    catalog::TableDef def = src_cat.table(t);
+    def.id = catalog::kInvalidTable;
+    def.stats = catalog::TableStats{};
+    def.stats.columns.resize(def.columns.size());
+    clone_.CreateTable(std::move(def));
+  }
+  for (catalog::TableId t = 0; t < src_cat.table_count(); ++t) {
+    production.heap(t).Scan([&](storage::RowId, const storage::Row& row) {
+      if (rng.NextDouble() < sample_fraction) {
+        (void)clone_.InsertRow(t, row);
+      }
+      return true;
+    });
+  }
+  for (const catalog::IndexDef* idx :
+       src_cat.AllIndexes(/*include_hypothetical=*/false, /*include_primary=*/false)) {
+    catalog::IndexDef def = *idx;
+    def.id = catalog::kInvalidIndex;
+    (void)clone_.CreateIndex(std::move(def));
+  }
+  clone_.AnalyzeAll();
+}
+
+Status MyShadow::Materialize(const std::vector<catalog::IndexDef>& indexes) {
+  for (catalog::IndexDef def : indexes) {
+    def.hypothetical = false;
+    def.id = catalog::kInvalidIndex;
+    Result<catalog::IndexId> id = clone_.CreateIndex(std::move(def));
+    if (!id.ok() &&
+        id.status().code() != Status::Code::kAlreadyExists) {
+      return id.status();
+    }
+  }
+  return Status::OK();
+}
+
+ShadowReplayResult MyShadow::Replay(const workload::Workload& workload,
+                                    optimizer::CostModel cm,
+                                    int repetitions) {
+  ShadowReplayResult result;
+  executor::Executor exec(&clone_, cm);
+  for (int r = 0; r < repetitions; ++r) {
+    for (const workload::Query& q : workload.queries) {
+      Result<executor::ExecuteResult> res = exec.Execute(q.stmt);
+      if (!res.ok()) {
+        ++result.failed;
+        AIM_LOG(Warn) << "shadow replay failed: "
+                      << res.status().ToString();
+        continue;
+      }
+      ++result.executed;
+      result.total_cpu_seconds += res.ValueOrDie().metrics.cpu_seconds;
+      result.monitor.RecordKeyed(q.fingerprint, q.normalized_sql,
+                                 res.ValueOrDie().metrics);
+    }
+  }
+  return result;
+}
+
+}  // namespace aim::support

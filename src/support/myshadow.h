@@ -1,0 +1,50 @@
+#ifndef AIM_SUPPORT_MYSHADOW_H_
+#define AIM_SUPPORT_MYSHADOW_H_
+
+#include <memory>
+#include <vector>
+
+#include "executor/executor.h"
+#include "workload/monitor.h"
+#include "workload/workload.h"
+
+namespace aim::support {
+
+/// Result of replaying a workload on a shadow instance.
+struct ShadowReplayResult {
+  workload::WorkloadMonitor monitor;
+  double total_cpu_seconds = 0.0;
+  size_t executed = 0;
+  size_t failed = 0;
+};
+
+/// \brief MyShadow (Sec. VII-B): a test-environment provider that clones a
+/// database (optionally sampling its data) and replays production traffic
+/// onto the clone — the safety net that lets AIM materialize candidate
+/// indexes without touching production.
+class MyShadow {
+ public:
+  /// Clones `production`. `sample_fraction` < 1 keeps only that fraction
+  /// of each table's rows (economical test beds); statistics are
+  /// re-analyzed after sampling.
+  MyShadow(const storage::Database& production, double sample_fraction = 1.0,
+           uint64_t seed = 17);
+
+  storage::Database& db() { return clone_; }
+  const storage::Database& db() const { return clone_; }
+
+  /// Materializes candidate indexes on the clone (never hypothetical).
+  Status Materialize(const std::vector<catalog::IndexDef>& indexes);
+
+  /// Replays each workload query `repetitions` times, collecting observed
+  /// statistics.
+  ShadowReplayResult Replay(const workload::Workload& workload,
+                            optimizer::CostModel cm, int repetitions = 1);
+
+ private:
+  storage::Database clone_;
+};
+
+}  // namespace aim::support
+
+#endif  // AIM_SUPPORT_MYSHADOW_H_

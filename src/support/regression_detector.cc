@@ -1,0 +1,45 @@
+#include "support/regression_detector.h"
+
+#include <numeric>
+
+namespace aim::support {
+
+std::vector<Regression> RegressionDetector::Observe(
+    const std::vector<workload::QueryStats>& interval_stats,
+    const std::vector<std::pair<catalog::IndexId, catalog::TableId>>&
+        automation_indexes) {
+  std::vector<Regression> regressions;
+  for (const workload::QueryStats& s : interval_stats) {
+    if (s.executions < options_.min_executions) continue;
+    History& h = history_[s.fingerprint];
+    const double current = s.cpu_avg();
+    if (h.cpu_avg_window.size() >= 2) {
+      const double baseline =
+          std::accumulate(h.cpu_avg_window.begin(),
+                          h.cpu_avg_window.end(), 0.0) /
+          static_cast<double>(h.cpu_avg_window.size());
+      if (baseline > 0 &&
+          current > options_.regression_ratio * baseline) {
+        Regression r;
+        r.fingerprint = s.fingerprint;
+        r.baseline_cpu_avg = baseline;
+        r.current_cpu_avg = current;
+        r.ratio = current / baseline;
+        // All automation indexes are suspects; a finer attribution would
+        // match tables, which the caller can do with the query text.
+        for (const auto& [id, table] : automation_indexes) {
+          (void)table;
+          r.suspect_indexes.push_back(id);
+        }
+        regressions.push_back(std::move(r));
+      }
+    }
+    h.cpu_avg_window.push_back(current);
+    while (h.cpu_avg_window.size() > options_.baseline_window) {
+      h.cpu_avg_window.pop_front();
+    }
+  }
+  return regressions;
+}
+
+}  // namespace aim::support

@@ -1,0 +1,64 @@
+#ifndef AIM_SUPPORT_REGRESSION_DETECTOR_H_
+#define AIM_SUPPORT_REGRESSION_DETECTOR_H_
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "workload/monitor.h"
+
+namespace aim::support {
+
+/// A detected per-query regression.
+struct Regression {
+  uint64_t fingerprint = 0;
+  double baseline_cpu_avg = 0.0;
+  double current_cpu_avg = 0.0;
+  double ratio = 0.0;
+  /// Automation-created indexes implicated (flagged for removal).
+  std::vector<catalog::IndexId> suspect_indexes;
+};
+
+/// \brief Continuous regression detector (Sec. VII-C): an off-host
+/// process that watches each normalized query's average CPU over time and
+/// flags regressions; when a regression coincides with an
+/// automation-added index touching the query's tables, that index is
+/// flagged for removal.
+struct RegressionDetectorOptions {
+  /// Regression threshold: current cpu_avg > ratio x trailing baseline.
+  double regression_ratio = 1.5;
+  /// Trailing window (intervals) forming the baseline.
+  size_t baseline_window = 4;
+  /// Minimum executions per interval for a meaningful signal.
+  uint64_t min_executions = 5;
+};
+
+class RegressionDetector {
+ public:
+  using Options = RegressionDetectorOptions;
+
+  explicit RegressionDetector(Options options = Options())
+      : options_(options) {}
+
+  /// Feeds one interval's aggregated statistics; returns regressions
+  /// detected this interval. `automation_indexes` is the current set of
+  /// automation-created index ids with their tables (suspects for newly
+  /// regressed queries).
+  std::vector<Regression> Observe(
+      const std::vector<workload::QueryStats>& interval_stats,
+      const std::vector<std::pair<catalog::IndexId, catalog::TableId>>&
+          automation_indexes = {});
+
+ private:
+  struct History {
+    std::deque<double> cpu_avg_window;
+  };
+
+  Options options_;
+  std::map<uint64_t, History> history_;
+};
+
+}  // namespace aim::support
+
+#endif  // AIM_SUPPORT_REGRESSION_DETECTOR_H_

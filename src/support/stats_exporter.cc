@@ -1,0 +1,30 @@
+#include "support/stats_exporter.h"
+
+namespace aim::support {
+
+void StatsExporter::RegisterReplica(const std::string& name,
+                                    workload::WorkloadMonitor* monitor) {
+  replicas_[name] = monitor;
+}
+
+void StatsExporter::Subscribe(Subscriber subscriber) {
+  subscribers_.push_back(std::move(subscriber));
+}
+
+size_t StatsExporter::ExportInterval() {
+  size_t published = 0;
+  for (auto& [name, monitor] : replicas_) {
+    StatsMessage msg;
+    msg.replica = name;
+    msg.interval = interval_;
+    msg.stats = monitor->Snapshot();
+    aggregate_.MergeFrom(*monitor);
+    monitor->Reset();
+    for (const Subscriber& s : subscribers_) s(msg);
+    ++published;
+  }
+  ++interval_;
+  return published;
+}
+
+}  // namespace aim::support

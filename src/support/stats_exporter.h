@@ -1,0 +1,60 @@
+#ifndef AIM_SUPPORT_STATS_EXPORTER_H_
+#define AIM_SUPPORT_STATS_EXPORTER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/monitor.h"
+
+namespace aim::support {
+
+/// One exported statistics message (the pub-sub payload of Sec. VII-A).
+struct StatsMessage {
+  std::string replica;
+  int interval = 0;
+  std::vector<workload::QueryStats> stats;
+};
+
+/// \brief Continuous statistics export (Sec. VII-A): a daemon that
+/// periodically polls every replica's workload monitor and publishes the
+/// per-interval deltas to subscribers; the warehouse side aggregates the
+/// replica streams into the holistic per-database view AIM consumes.
+///
+/// Single-process simulation of the pipeline: replicas register their
+/// monitors, `ExportInterval` snapshots + resets them and publishes one
+/// message per replica, and `aggregate()` is the warehouse view.
+class StatsExporter {
+ public:
+  using Subscriber = std::function<void(const StatsMessage&)>;
+
+  /// Registers a replica's monitor (not owned).
+  void RegisterReplica(const std::string& name,
+                       workload::WorkloadMonitor* monitor);
+
+  /// Subscribes to the export stream (pub-sub consumer).
+  void Subscribe(Subscriber subscriber);
+
+  /// Polls all replicas: publishes each one's current stats and folds
+  /// them into the warehouse aggregate, then resets the per-replica
+  /// monitors (delta semantics). Returns the number of messages
+  /// published.
+  size_t ExportInterval();
+
+  /// The holistic cross-replica view of the workload.
+  const workload::WorkloadMonitor& aggregate() const { return aggregate_; }
+  workload::WorkloadMonitor* mutable_aggregate() { return &aggregate_; }
+
+  int intervals_exported() const { return interval_; }
+
+ private:
+  std::map<std::string, workload::WorkloadMonitor*> replicas_;
+  std::vector<Subscriber> subscribers_;
+  workload::WorkloadMonitor aggregate_;
+  int interval_ = 0;
+};
+
+}  // namespace aim::support
+
+#endif  // AIM_SUPPORT_STATS_EXPORTER_H_

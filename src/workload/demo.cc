@@ -1,0 +1,73 @@
+#include "workload/demo.h"
+
+#include "common/rng.h"
+#include "storage/data_generator.h"
+
+namespace aim::workload {
+
+namespace {
+catalog::ColumnDef Col(const char* name, catalog::ColumnType type,
+                       uint32_t width) {
+  catalog::ColumnDef c;
+  c.name = name;
+  c.type = type;
+  c.avg_width = width;
+  return c;
+}
+}  // namespace
+
+storage::Database MakeUsersDemoDb(uint64_t rows, uint64_t seed) {
+  storage::Database db;
+  catalog::TableDef def;
+  def.name = "users";
+  def.columns = {Col("id", catalog::ColumnType::kInt64, 8),
+                 Col("org_id", catalog::ColumnType::kInt64, 8),
+                 Col("status", catalog::ColumnType::kInt64, 4),
+                 Col("score", catalog::ColumnType::kInt64, 4),
+                 Col("created_at", catalog::ColumnType::kInt64, 8),
+                 Col("email", catalog::ColumnType::kString, 20),
+                 Col("payload", catalog::ColumnType::kString, 40)};
+  def.primary_key = {0};
+  const catalog::TableId id = db.CreateTable(std::move(def));
+
+  std::vector<storage::ColumnSpec> specs(7);
+  specs[1].ndv = 100;
+  specs[2].ndv = 5;
+  specs[3].ndv = 1000;
+  specs[3].distribution = storage::Distribution::kZipf;
+  specs[3].zipf_theta = 0.6;
+  specs[4].ndv = rows;
+  specs[5].ndv = rows;
+  specs[5].string_prefix = "user";
+  specs[6].ndv = rows;
+  specs[6].string_prefix = "payload";
+  Rng rng(seed);
+  (void)storage::GenerateRows(&db, id, rows, specs, &rng);
+  db.AnalyzeAll();
+  return db;
+}
+
+storage::Database MakeOrdersDemoDb(uint64_t users, uint64_t orders,
+                                   uint64_t seed) {
+  storage::Database db = MakeUsersDemoDb(users, seed);
+  catalog::TableDef def;
+  def.name = "orders";
+  def.columns = {Col("id", catalog::ColumnType::kInt64, 8),
+                 Col("user_id", catalog::ColumnType::kInt64, 8),
+                 Col("status", catalog::ColumnType::kInt64, 4),
+                 Col("total", catalog::ColumnType::kDouble, 8),
+                 Col("day", catalog::ColumnType::kInt64, 4)};
+  def.primary_key = {0};
+  const catalog::TableId id = db.CreateTable(std::move(def));
+  std::vector<storage::ColumnSpec> specs(5);
+  specs[1].ndv = users;
+  specs[2].ndv = 4;
+  specs[3].ndv = 10000;
+  specs[4].ndv = 365;
+  Rng rng(seed + 1);
+  (void)storage::GenerateRows(&db, id, orders, specs, &rng);
+  db.AnalyzeAll();
+  return db;
+}
+
+}  // namespace aim::workload

@@ -1,0 +1,21 @@
+#ifndef AIM_WORKLOAD_DEMO_H_
+#define AIM_WORKLOAD_DEMO_H_
+
+#include "storage/database.h"
+
+namespace aim::workload {
+
+/// \brief Builds the demo table used by examples and tests:
+///   users(id PK, org_id, status, score, created_at, email, payload)
+/// org_id ndv 100, status ndv 5, score ndv 1000 (zipf), created_at and
+/// email quasi-unique.
+storage::Database MakeUsersDemoDb(uint64_t rows = 2000, uint64_t seed = 7);
+
+/// users + orders(id PK, user_id, status, total, day) for join demos.
+storage::Database MakeOrdersDemoDb(uint64_t users = 1000,
+                                   uint64_t orders = 5000,
+                                   uint64_t seed = 9);
+
+}  // namespace aim::workload
+
+#endif  // AIM_WORKLOAD_DEMO_H_

@@ -1,0 +1,382 @@
+#include "workload/job.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "storage/data_generator.h"
+
+namespace aim::workload {
+
+namespace {
+
+using catalog::ColumnDef;
+using catalog::ColumnType;
+using catalog::TableDef;
+using storage::ColumnSpec;
+
+ColumnDef Col(const char* name, ColumnType type, uint32_t width) {
+  ColumnDef c;
+  c.name = name;
+  c.type = type;
+  c.avg_width = width;
+  return c;
+}
+
+}  // namespace
+
+Status BuildJob(storage::Database* db, const JobOptions& options) {
+  Rng rng(options.seed);
+  auto n = [&](double base) {
+    return static_cast<uint64_t>(std::max(1.0, base * options.scale));
+  };
+
+  struct Build {
+    TableDef def;
+    std::vector<ColumnSpec> specs;
+    uint64_t rows;
+  };
+  std::vector<Build> tables;
+
+  const uint64_t kTitles = n(50000);
+  const uint64_t kNames = n(40000);
+  const uint64_t kCompanies = n(5000);
+  const uint64_t kKeywords = n(8000);
+
+  {
+    Build b;
+    b.def.name = "title";
+    b.def.columns = {Col("id", ColumnType::kInt64, 4),
+                     Col("kind_id", ColumnType::kInt64, 4),
+                     Col("production_year", ColumnType::kInt64, 4),
+                     Col("title", ColumnType::kString, 30),
+                     Col("episode_nr", ColumnType::kInt64, 4),
+                     Col("season_nr", ColumnType::kInt64, 4)};
+    b.def.primary_key = {0};
+    b.specs = {ColumnSpec{},
+               ColumnSpec{.ndv = 7, .base = 1},
+               ColumnSpec{.ndv = 130, .distribution =
+                              storage::Distribution::kZipf,
+                          .zipf_theta = 0.6, .base = 1880},
+               ColumnSpec{.ndv = kTitles, .string_prefix = "title"},
+               ColumnSpec{.ndv = 100},
+               ColumnSpec{.ndv = 30}};
+    b.rows = kTitles;
+    tables.push_back(std::move(b));
+  }
+  {
+    Build b;
+    b.def.name = "kind_type";
+    b.def.columns = {Col("id", ColumnType::kInt64, 4),
+                     Col("kind", ColumnType::kString, 12)};
+    b.def.primary_key = {0};
+    b.specs = {ColumnSpec{}, ColumnSpec{.ndv = 7, .string_prefix = "kind"}};
+    b.rows = 7;
+    tables.push_back(std::move(b));
+  }
+  {
+    Build b;
+    b.def.name = "name";
+    b.def.columns = {Col("id", ColumnType::kInt64, 4),
+                     Col("name", ColumnType::kString, 20),
+                     Col("gender", ColumnType::kString, 1),
+                     Col("name_pcode", ColumnType::kString, 5)};
+    b.def.primary_key = {0};
+    b.specs = {ColumnSpec{},
+               ColumnSpec{.ndv = kNames, .string_prefix = "person"},
+               ColumnSpec{.ndv = 3, .string_prefix = "g"},
+               ColumnSpec{.ndv = 1000, .string_prefix = "pc"}};
+    b.rows = kNames;
+    tables.push_back(std::move(b));
+  }
+  {
+    Build b;
+    b.def.name = "cast_info";
+    b.def.columns = {Col("id", ColumnType::kInt64, 4),
+                     Col("person_id", ColumnType::kInt64, 4),
+                     Col("movie_id", ColumnType::kInt64, 4),
+                     Col("role_id", ColumnType::kInt64, 4),
+                     Col("nr_order", ColumnType::kInt64, 4)};
+    b.def.primary_key = {0};
+    b.specs = {ColumnSpec{},
+               ColumnSpec{.ndv = kNames},
+               ColumnSpec{.ndv = kTitles,
+                          .distribution = storage::Distribution::kZipf,
+                          .zipf_theta = 0.7},
+               ColumnSpec{.ndv = 11, .base = 1},
+               ColumnSpec{.ndv = 60}};
+    b.rows = n(400000);
+    tables.push_back(std::move(b));
+  }
+  {
+    Build b;
+    b.def.name = "role_type";
+    b.def.columns = {Col("id", ColumnType::kInt64, 4),
+                     Col("role", ColumnType::kString, 12)};
+    b.def.primary_key = {0};
+    b.specs = {ColumnSpec{}, ColumnSpec{.ndv = 11, .string_prefix = "role"}};
+    b.rows = 11;
+    tables.push_back(std::move(b));
+  }
+  {
+    Build b;
+    b.def.name = "company_name";
+    b.def.columns = {Col("id", ColumnType::kInt64, 4),
+                     Col("name", ColumnType::kString, 24),
+                     Col("country_code", ColumnType::kString, 4)};
+    b.def.primary_key = {0};
+    b.specs = {ColumnSpec{},
+               ColumnSpec{.ndv = kCompanies, .string_prefix = "company"},
+               ColumnSpec{.ndv = 120, .distribution =
+                              storage::Distribution::kZipf,
+                          .zipf_theta = 0.9, .string_prefix = "cc"}};
+    b.rows = kCompanies;
+    tables.push_back(std::move(b));
+  }
+  {
+    Build b;
+    b.def.name = "company_type";
+    b.def.columns = {Col("id", ColumnType::kInt64, 4),
+                     Col("kind", ColumnType::kString, 20)};
+    b.def.primary_key = {0};
+    b.specs = {ColumnSpec{}, ColumnSpec{.ndv = 4, .string_prefix = "ct"}};
+    b.rows = 4;
+    tables.push_back(std::move(b));
+  }
+  {
+    Build b;
+    b.def.name = "movie_companies";
+    b.def.columns = {Col("id", ColumnType::kInt64, 4),
+                     Col("movie_id", ColumnType::kInt64, 4),
+                     Col("company_id", ColumnType::kInt64, 4),
+                     Col("company_type_id", ColumnType::kInt64, 4)};
+    b.def.primary_key = {0};
+    b.specs = {ColumnSpec{},
+               ColumnSpec{.ndv = kTitles},
+               ColumnSpec{.ndv = kCompanies,
+                          .distribution = storage::Distribution::kZipf,
+                          .zipf_theta = 0.8},
+               ColumnSpec{.ndv = 4, .base = 1}};
+    b.rows = n(120000);
+    tables.push_back(std::move(b));
+  }
+  {
+    Build b;
+    b.def.name = "info_type";
+    b.def.columns = {Col("id", ColumnType::kInt64, 4),
+                     Col("info", ColumnType::kString, 16)};
+    b.def.primary_key = {0};
+    b.specs = {ColumnSpec{}, ColumnSpec{.ndv = 113, .string_prefix = "it"}};
+    b.rows = 113;
+    tables.push_back(std::move(b));
+  }
+  {
+    Build b;
+    b.def.name = "movie_info";
+    b.def.columns = {Col("id", ColumnType::kInt64, 4),
+                     Col("movie_id", ColumnType::kInt64, 4),
+                     Col("info_type_id", ColumnType::kInt64, 4),
+                     Col("info", ColumnType::kString, 20)};
+    b.def.primary_key = {0};
+    b.specs = {ColumnSpec{},
+               ColumnSpec{.ndv = kTitles},
+               ColumnSpec{.ndv = 113, .base = 1},
+               ColumnSpec{.ndv = 5000, .string_prefix = "info"}};
+    b.rows = n(500000);
+    tables.push_back(std::move(b));
+  }
+  {
+    Build b;
+    b.def.name = "keyword";
+    b.def.columns = {Col("id", ColumnType::kInt64, 4),
+                     Col("keyword", ColumnType::kString, 16)};
+    b.def.primary_key = {0};
+    b.specs = {ColumnSpec{},
+               ColumnSpec{.ndv = kKeywords, .string_prefix = "kw"}};
+    b.rows = kKeywords;
+    tables.push_back(std::move(b));
+  }
+  {
+    Build b;
+    b.def.name = "movie_keyword";
+    b.def.columns = {Col("id", ColumnType::kInt64, 4),
+                     Col("movie_id", ColumnType::kInt64, 4),
+                     Col("keyword_id", ColumnType::kInt64, 4)};
+    b.def.primary_key = {0};
+    b.specs = {ColumnSpec{},
+               ColumnSpec{.ndv = kTitles},
+               ColumnSpec{.ndv = kKeywords,
+                          .distribution = storage::Distribution::kZipf,
+                          .zipf_theta = 0.7}};
+    b.rows = n(180000);
+    tables.push_back(std::move(b));
+  }
+
+  for (Build& b : tables) {
+    const catalog::TableId id = db->CreateTable(b.def);
+    AIM_RETURN_NOT_OK(storage::GenerateRows(db, id, b.rows, b.specs, &rng));
+  }
+  db->AnalyzeAll();
+
+  // Scale statistics the way BuildTpch does.
+  if (options.stats_scale > 1.0) {
+    catalog::Catalog& cat = db->catalog();
+    for (catalog::TableId t = 0; t < cat.table_count(); ++t) {
+      catalog::TableDef* def = cat.mutable_table(t);
+      const uint64_t old_rows = def->stats.row_count;
+      if (old_rows < 1000) continue;  // dimension tables stay small
+      def->stats.row_count = static_cast<uint64_t>(
+          old_rows * options.stats_scale);
+      for (auto& col : def->stats.columns) {
+        if (col.ndv < static_cast<uint64_t>(0.5 * old_rows)) continue;
+        const double span = static_cast<double>(col.max) -
+                            static_cast<double>(col.min) + 1.0;
+        col.ndv = static_cast<uint64_t>(col.ndv * options.stats_scale);
+        if (span <= 2.0 * static_cast<double>(old_rows)) {
+          // Dense surrogate key: domain grows with the table.
+          col.max =
+              col.min + static_cast<int64_t>(span * options.stats_scale);
+          for (auto& bound : col.histogram) {
+            bound = col.min + static_cast<int64_t>(
+                                  (bound - col.min) * options.stats_scale);
+          }
+        } else {
+          col.ndv = std::min(col.ndv, static_cast<uint64_t>(span));
+        }
+      }
+    }
+    // Foreign-key columns under-count NDV at tiny materializations;
+    // restore the scaled key-domain cardinalities.
+    auto fix_fk = [&](const char* table, const char* column,
+                      const char* ref_table) {
+      Result<catalog::TableId> t = cat.FindTable(table);
+      Result<catalog::TableId> ref = cat.FindTable(ref_table);
+      if (!t.ok() || !ref.ok()) return;
+      catalog::TableDef* def = cat.mutable_table(t.ValueOrDie());
+      auto c = def->FindColumn(column);
+      if (!c.has_value()) return;
+      catalog::ColumnStats& stats = def->stats.columns[*c];
+      // The FK domain is the referenced table's (scaled) cardinality.
+      stats.ndv = std::max<uint64_t>(
+          1, cat.table(ref.ValueOrDie()).stats.row_count);
+      stats.min = 0;
+      stats.max = static_cast<int64_t>(stats.ndv) - 1;
+      stats.histogram.clear();
+    };
+    fix_fk("cast_info", "movie_id", "title");
+    fix_fk("cast_info", "person_id", "name");
+    fix_fk("movie_companies", "movie_id", "title");
+    fix_fk("movie_companies", "company_id", "company_name");
+    fix_fk("movie_info", "movie_id", "title");
+    fix_fk("movie_keyword", "movie_id", "title");
+    fix_fk("movie_keyword", "keyword_id", "keyword");
+  }
+  return Status::OK();
+}
+
+Result<Workload> JobQueries() {
+  static const char* kQueries[] = {
+      // 1: production companies by country for recent movies.
+      "SELECT t.title, cn.name FROM title t, movie_companies mc, "
+      "company_name cn, company_type ct WHERE t.id = mc.movie_id AND "
+      "mc.company_id = cn.id AND mc.company_type_id = ct.id AND "
+      "cn.country_code = 'cc1' AND t.production_year > 2005",
+      // 2: keyword-tagged titles.
+      "SELECT t.title FROM title t, movie_keyword mk, keyword k WHERE "
+      "t.id = mk.movie_id AND mk.keyword_id = k.id AND "
+      "k.keyword = 'kw100' AND t.production_year BETWEEN 1990 AND 2000",
+      // 3: cast of a movie kind.
+      "SELECT n.name, t.title FROM name n, cast_info ci, title t, "
+      "kind_type kt WHERE n.id = ci.person_id AND ci.movie_id = t.id AND "
+      "t.kind_id = kt.id AND kt.kind = 'kind2' AND n.gender = 'g1'",
+      // 4: info of movies from one company.
+      "SELECT t.title, mi.info FROM title t, movie_info mi, "
+      "movie_companies mc, company_name cn WHERE t.id = mi.movie_id AND "
+      "t.id = mc.movie_id AND mc.company_id = cn.id AND "
+      "cn.name = 'company42' AND mi.info_type_id = 8",
+      // 5: actors in recent movies of a company type.
+      "SELECT n.name FROM name n, cast_info ci, title t, "
+      "movie_companies mc, company_type ct WHERE n.id = ci.person_id AND "
+      "ci.movie_id = t.id AND t.id = mc.movie_id AND "
+      "mc.company_type_id = ct.id AND ct.kind = 'ct1' AND "
+      "t.production_year > 2010 AND ci.role_id = 1",
+      // 6: keyword + info combination.
+      "SELECT t.title FROM title t, movie_keyword mk, keyword k, "
+      "movie_info mi, info_type it WHERE t.id = mk.movie_id AND "
+      "mk.keyword_id = k.id AND t.id = mi.movie_id AND "
+      "mi.info_type_id = it.id AND it.info = 'it5' AND "
+      "k.keyword LIKE 'kw1%' AND t.production_year > 2000",
+      // 7: five-way with cast and company.
+      "SELECT n.name, cn.name FROM name n, cast_info ci, title t, "
+      "movie_companies mc, company_name cn WHERE n.id = ci.person_id "
+      "AND ci.movie_id = t.id AND t.id = mc.movie_id AND "
+      "mc.company_id = cn.id AND cn.country_code = 'cc3' AND "
+      "n.name_pcode = 'pc77' AND t.production_year BETWEEN 1980 AND 1995",
+      // 8: episodes per season for a kind.
+      "SELECT t.season_nr, COUNT(*) FROM title t, kind_type kt WHERE "
+      "t.kind_id = kt.id AND kt.kind = 'kind4' AND t.episode_nr > 50 "
+      "GROUP BY t.season_nr",
+      // 9: role distribution for a gender.
+      "SELECT rt.role, COUNT(*) FROM cast_info ci, role_type rt, name n "
+      "WHERE ci.role_id = rt.id AND ci.person_id = n.id AND "
+      "n.gender = 'g0' GROUP BY rt.role",
+      // 10: companies of keyword-tagged movies.
+      "SELECT cn.name, COUNT(*) FROM company_name cn, movie_companies mc, "
+      "title t, movie_keyword mk WHERE cn.id = mc.company_id AND "
+      "mc.movie_id = t.id AND t.id = mk.movie_id AND "
+      "mk.keyword_id = 500 AND t.production_year > 1990 GROUP BY cn.name",
+      // 11: info of an actor's movies.
+      "SELECT mi.info FROM movie_info mi, title t, cast_info ci WHERE "
+      "mi.movie_id = t.id AND ci.movie_id = t.id AND "
+      "ci.person_id = 12345 AND mi.info_type_id IN (3, 7, 11)",
+      // 12: top ordered cast members.
+      "SELECT n.name, ci.nr_order FROM name n, cast_info ci, title t "
+      "WHERE n.id = ci.person_id AND ci.movie_id = t.id AND "
+      "t.production_year = 2004 AND ci.nr_order < 3 "
+      "ORDER BY ci.nr_order LIMIT 50",
+      // 13: six-way join.
+      "SELECT t.title FROM title t, movie_companies mc, company_name cn, "
+      "movie_keyword mk, keyword k, kind_type kt WHERE "
+      "t.id = mc.movie_id AND mc.company_id = cn.id AND "
+      "t.id = mk.movie_id AND mk.keyword_id = k.id AND "
+      "t.kind_id = kt.id AND cn.country_code = 'cc2' AND "
+      "k.keyword = 'kw2000' AND kt.kind = 'kind1'",
+      // 14: person by pcode in old movies.
+      "SELECT n.name, t.title FROM name n, cast_info ci, title t WHERE "
+      "n.id = ci.person_id AND ci.movie_id = t.id AND "
+      "n.name_pcode LIKE 'pc1%' AND t.production_year < 1940",
+      // 15: info types of a company's movies, grouped.
+      "SELECT it.info, COUNT(*) FROM info_type it, movie_info mi, "
+      "title t, movie_companies mc WHERE it.id = mi.info_type_id AND "
+      "mi.movie_id = t.id AND t.id = mc.movie_id AND "
+      "mc.company_id = 77 GROUP BY it.info",
+      // 16: year histogram for a keyword.
+      "SELECT t.production_year, COUNT(*) FROM title t, movie_keyword mk "
+      "WHERE t.id = mk.movie_id AND mk.keyword_id = 42 "
+      "GROUP BY t.production_year ORDER BY t.production_year",
+      // 17: double-fact join (movie_info x cast_info).
+      "SELECT t.title FROM title t, movie_info mi, cast_info ci WHERE "
+      "t.id = mi.movie_id AND t.id = ci.movie_id AND "
+      "mi.info_type_id = 16 AND ci.role_id = 2 AND "
+      "t.production_year BETWEEN 2000 AND 2010",
+      // 18: selective point lookups joined.
+      "SELECT t.title, n.name FROM title t, cast_info ci, name n WHERE "
+      "t.id = ci.movie_id AND ci.person_id = n.id AND t.id = 999",
+      // 19: companies and keywords of one year.
+      "SELECT cn.name, k.keyword FROM company_name cn, "
+      "movie_companies mc, title t, movie_keyword mk, keyword k WHERE "
+      "cn.id = mc.company_id AND mc.movie_id = t.id AND "
+      "t.id = mk.movie_id AND mk.keyword_id = k.id AND "
+      "t.production_year = 1999 AND mc.company_type_id = 2",
+      // 20: actors ordered by name for a kind.
+      "SELECT n.name FROM name n, cast_info ci, title t, kind_type kt "
+      "WHERE n.id = ci.person_id AND ci.movie_id = t.id AND "
+      "t.kind_id = kt.id AND kt.kind = 'kind6' ORDER BY n.name LIMIT 100",
+  };
+  Workload w;
+  for (const char* q : kQueries) {
+    AIM_RETURN_NOT_OK(w.Add(q, 1.0));
+  }
+  return w;
+}
+
+}  // namespace aim::workload

@@ -1,0 +1,31 @@
+#ifndef AIM_WORKLOAD_JOB_H_
+#define AIM_WORKLOAD_JOB_H_
+
+#include "storage/database.h"
+#include "workload/workload.h"
+
+namespace aim::workload {
+
+/// Options for the Join Order Benchmark substrate.
+struct JobOptions {
+  /// Row-count scale relative to the (already reduced) base sizes.
+  double scale = 1.0;
+  /// Statistics multiplier (JOB runs on full IMDB; we materialize less
+  /// and scale the statistics the same way TPC-H does).
+  double stats_scale = 50.0;
+  uint64_t seed = 4321;
+};
+
+/// \brief Builds an IMDB-flavoured schema (title, cast_info, name,
+/// movie_companies, company_name, movie_info, movie_keyword, keyword,
+/// info_type, kind_type, company_type, role_type) with synthetic data.
+Status BuildJob(storage::Database* db, const JobOptions& options);
+
+/// \brief Join-heavy query templates in the spirit of the Join Order
+/// Benchmark: 4–7 way joins over the IMDB schema with low-selectivity
+/// dimension filters. Weights 1.0.
+Result<Workload> JobQueries();
+
+}  // namespace aim::workload
+
+#endif  // AIM_WORKLOAD_JOB_H_

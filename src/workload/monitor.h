@@ -1,0 +1,74 @@
+#ifndef AIM_WORKLOAD_MONITOR_H_
+#define AIM_WORKLOAD_MONITOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "executor/metrics.h"
+#include "sql/ast.h"
+
+namespace aim::workload {
+
+/// \brief Accumulated execution statistics for one normalized query —
+/// the per-query record the workload monitor keeps (Sec. III-C): number
+/// of executions, CPU cost, rows read and rows sent.
+struct QueryStats {
+  uint64_t fingerprint = 0;
+  std::string normalized_sql;
+  uint64_t executions = 0;
+  double total_cpu_seconds = 0.0;
+  uint64_t rows_examined = 0;
+  uint64_t rows_sent = 0;
+  /// Sum over executions of (data sent / data read); the ddr ingredient.
+  double sum_sent_to_read = 0.0;
+
+  /// cpu_avg(q, X, Δt): average CPU seconds per execution (incl. IOWAIT).
+  double cpu_avg() const {
+    return executions == 0 ? 0.0 : total_cpu_seconds / executions;
+  }
+  /// ddr_avg(q, X, Δt): "ratio of data sent to data read averaged across
+  /// executions" (Sec. III-A2).
+  double ddr_avg() const {
+    return executions == 0 ? 1.0 : sum_sent_to_read / executions;
+  }
+  /// Optimistic expected benefit B(q, X, Δt) of Eq. 5, in CPU seconds per
+  /// execution.
+  double expected_benefit() const {
+    return (1.0 - ddr_avg()) * cpu_avg();
+  }
+};
+
+/// \brief The workload monitor: groups execution metrics by normalized
+/// query fingerprint.
+///
+/// One monitor instance models one replica's statistics; `MergeFrom`
+/// implements the cross-replica aggregation performed by the continuous
+/// statistics export pipeline (Sec. VII-A).
+class WorkloadMonitor {
+ public:
+  /// Records one execution of the (already-normalized-keyed) statement.
+  void Record(const sql::Statement& stmt,
+              const executor::ExecutionMetrics& metrics);
+  /// Records by precomputed key (avoids re-normalizing hot statements).
+  void RecordKeyed(uint64_t fingerprint, const std::string& normalized_sql,
+                   const executor::ExecutionMetrics& metrics);
+
+  /// Merges another monitor's statistics (replica aggregation).
+  void MergeFrom(const WorkloadMonitor& other);
+
+  /// Snapshot of all per-query stats.
+  std::vector<QueryStats> Snapshot() const;
+  /// Stats for one normalized query, or nullptr.
+  const QueryStats* Find(uint64_t fingerprint) const;
+
+  void Reset();
+  size_t distinct_queries() const { return stats_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, QueryStats> stats_;
+};
+
+}  // namespace aim::workload
+
+#endif  // AIM_WORKLOAD_MONITOR_H_

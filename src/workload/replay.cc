@@ -1,0 +1,58 @@
+#include "workload/replay.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aim::workload {
+
+std::vector<ReplayTick> ReplayDriver::Run(
+    const Workload& workload, int ticks,
+    const std::function<void(int)>& on_tick) {
+  std::vector<ReplayTick> series;
+  if (workload.empty()) return series;
+
+  // Weighted sampling distribution over queries.
+  std::vector<double> cum;
+  double total_weight = 0.0;
+  for (const Query& q : workload.queries) {
+    total_weight += std::max(q.weight, 0.0);
+    cum.push_back(total_weight);
+  }
+
+  executor::Executor exec(db_, cm_);
+  for (int t = 0; t < ticks; ++t) {
+    if (on_tick) on_tick(t);
+    double cpu_used = 0.0;
+    double served = 0.0;
+    const int offered = static_cast<int>(options_.offered_qps);
+    for (int i = 0; i < offered; ++i) {
+      // Saturated host: excess load queues / sheds.
+      if (cpu_used >= options_.cpu_capacity_seconds_per_tick) break;
+      const double r = rng_.NextDouble() * total_weight;
+      const size_t pick =
+          std::lower_bound(cum.begin(), cum.end(), r) - cum.begin();
+      const Query& q = workload.queries[std::min(pick, cum.size() - 1)];
+      Result<executor::ExecuteResult> res = exec.Execute(q.stmt);
+      if (!res.ok()) {
+        AIM_LOG(Warn) << "replay execution failed: "
+                      << res.status().ToString() << " sql=" << q.sql;
+        continue;
+      }
+      cpu_used += res.ValueOrDie().metrics.cpu_seconds;
+      served += 1.0;
+      monitor_.RecordKeyed(q.fingerprint, q.normalized_sql,
+                           res.ValueOrDie().metrics);
+    }
+    ReplayTick tick;
+    tick.tick = t;
+    tick.cpu_utilization_pct = std::min(
+        100.0, 100.0 * cpu_used / options_.cpu_capacity_seconds_per_tick);
+    tick.throughput_qps = served;
+    tick.avg_cpu_per_query = served > 0 ? cpu_used / served : 0.0;
+    series.push_back(tick);
+  }
+  return series;
+}
+
+}  // namespace aim::workload

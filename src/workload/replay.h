@@ -1,0 +1,64 @@
+#ifndef AIM_WORKLOAD_REPLAY_H_
+#define AIM_WORKLOAD_REPLAY_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "executor/executor.h"
+#include "workload/monitor.h"
+#include "workload/workload.h"
+
+namespace aim::workload {
+
+/// One tick of a replayed time series (one point on the Fig. 3 graphs).
+struct ReplayTick {
+  int tick = 0;
+  /// CPU utilization in percent of the modeled machine capacity.
+  double cpu_utilization_pct = 0.0;
+  /// Queries served this tick (throughput).
+  double throughput_qps = 0.0;
+  /// Average CPU seconds per executed query.
+  double avg_cpu_per_query = 0.0;
+};
+
+/// \brief Replays a weighted workload against a database tick by tick,
+/// modelling a machine with fixed CPU capacity.
+///
+/// Each tick offers `offered_qps` weighted query executions. The tick's
+/// CPU utilization is (sum of query CPU seconds) / capacity; throughput
+/// saturates when utilization would exceed 100% (queries queue and are
+/// dropped, as on a saturated production host). Between ticks the caller
+/// may mutate the database (drop/create indexes) via the `on_tick` hook —
+/// exactly how the Fig. 3 / Fig. 6 experiments stage their interventions.
+class ReplayDriver {
+ public:
+  struct Options {
+    double cpu_capacity_seconds_per_tick = 1.0;
+    double offered_qps = 200.0;
+    uint64_t seed = 7;
+  };
+
+  ReplayDriver(storage::Database* db, optimizer::CostModel cm,
+               Options options)
+      : db_(db), cm_(cm), options_(options), rng_(options.seed) {}
+
+  /// Runs `ticks` ticks; `on_tick(tick)` runs before each tick's load.
+  /// Statistics accumulate into `monitor()` across the whole replay.
+  std::vector<ReplayTick> Run(
+      const Workload& workload, int ticks,
+      const std::function<void(int)>& on_tick = nullptr);
+
+  WorkloadMonitor& monitor() { return monitor_; }
+
+ private:
+  storage::Database* db_;
+  optimizer::CostModel cm_;
+  Options options_;
+  Rng rng_;
+  WorkloadMonitor monitor_;
+};
+
+}  // namespace aim::workload
+
+#endif  // AIM_WORKLOAD_REPLAY_H_

@@ -1,0 +1,233 @@
+#include "workload/spec.h"
+
+#include <cstdlib>
+#include <map>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "storage/data_generator.h"
+
+namespace aim::workload {
+
+namespace {
+
+/// Strips a '#' comment and surrounding whitespace.
+std::string_view CleanLine(std::string_view line) {
+  const size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  return Trim(line);
+}
+
+Result<catalog::ColumnType> ParseType(std::string_view text,
+                                      uint32_t* width) {
+  *width = 8;
+  if (EqualsIgnoreCase(text, "INT") || EqualsIgnoreCase(text, "INT64")) {
+    return catalog::ColumnType::kInt64;
+  }
+  if (EqualsIgnoreCase(text, "DOUBLE")) {
+    return catalog::ColumnType::kDouble;
+  }
+  if (EqualsIgnoreCase(text, "DATE")) {
+    *width = 4;
+    return catalog::ColumnType::kDate;
+  }
+  if (text.size() >= 7 && EqualsIgnoreCase(text.substr(0, 6), "STRING")) {
+    // STRING or STRING(len)
+    const size_t open = text.find('(');
+    if (open != std::string_view::npos) {
+      *width = static_cast<uint32_t>(
+          std::strtoul(std::string(text.substr(open + 1)).c_str(),
+                       nullptr, 10));
+      if (*width == 0) *width = 16;
+    } else {
+      *width = 16;
+    }
+    return catalog::ColumnType::kString;
+  }
+  if (EqualsIgnoreCase(text, "STRING")) {
+    *width = 16;
+    return catalog::ColumnType::kString;
+  }
+  return Status::ParseError("unknown column type '" + std::string(text) +
+                            "'");
+}
+
+struct PendingRows {
+  catalog::TableId table;
+  uint64_t count = 0;
+  std::vector<storage::ColumnSpec> specs;
+};
+
+}  // namespace
+
+Result<storage::Database> BuildDatabaseFromSpec(const std::string& text,
+                                                uint64_t seed) {
+  storage::Database db;
+  Rng rng(seed);
+  std::vector<PendingRows> pending;
+  std::vector<catalog::IndexDef> indexes;
+
+  int line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    const std::string line{CleanLine(raw)};
+    if (line.empty()) continue;
+    auto fail = [&](const std::string& msg) {
+      return Status::ParseError(StringPrintf("schema line %d: %s", line_no,
+                                             msg.c_str()));
+    };
+
+    if (EqualsIgnoreCase(line.substr(0, 6), "TABLE ")) {
+      const size_t open = line.find('(');
+      const size_t close = line.rfind(')');
+      if (open == std::string::npos || close == std::string::npos ||
+          close < open) {
+        return fail("expected TABLE name (col TYPE [PK], ...)");
+      }
+      catalog::TableDef def;
+      def.name = std::string(Trim(line.substr(6, open - 6)));
+      if (def.name.empty()) return fail("missing table name");
+      for (const std::string& col_text :
+           Split(line.substr(open + 1, close - open - 1), ',')) {
+        std::vector<std::string> parts;
+        for (const std::string& p : Split(std::string(Trim(col_text)), ' ')) {
+          if (!p.empty()) parts.push_back(p);
+        }
+        if (parts.size() < 2) {
+          return fail("column needs 'name TYPE' in '" + col_text + "'");
+        }
+        catalog::ColumnDef col;
+        col.name = parts[0];
+        AIM_ASSIGN_OR_RETURN(col.type,
+                             ParseType(parts[1], &col.avg_width));
+        bool pk = false;
+        for (size_t i = 2; i < parts.size(); ++i) {
+          if (EqualsIgnoreCase(parts[i], "PK")) pk = true;
+          if (EqualsIgnoreCase(parts[i], "NULLABLE")) col.nullable = true;
+        }
+        if (pk) {
+          def.primary_key.push_back(
+              static_cast<catalog::ColumnId>(def.columns.size()));
+        }
+        def.columns.push_back(std::move(col));
+      }
+      if (def.columns.empty()) return fail("table has no columns");
+      db.CreateTable(std::move(def));
+      continue;
+    }
+
+    if (EqualsIgnoreCase(line.substr(0, 5), "ROWS ")) {
+      std::vector<std::string> parts;
+      for (const std::string& p : Split(line.substr(5), ' ')) {
+        if (!p.empty()) parts.push_back(p);
+      }
+      if (parts.size() < 2) return fail("expected ROWS table count ...");
+      AIM_ASSIGN_OR_RETURN(catalog::TableId table,
+                           db.catalog().FindTable(parts[0]));
+      PendingRows rows;
+      rows.table = table;
+      rows.count = std::strtoull(parts[1].c_str(), nullptr, 10);
+      const catalog::TableDef& def = db.catalog().table(table);
+      rows.specs.assign(def.columns.size(), storage::ColumnSpec{});
+      // Reasonable default: ~rows/10 distinct values per column.
+      for (auto& spec : rows.specs) {
+        spec.ndv = std::max<uint64_t>(2, rows.count / 10);
+      }
+      for (size_t i = 2; i < parts.size(); ++i) {
+        const std::vector<std::string> kv = Split(parts[i], ':');
+        if (kv.size() != 2) {
+          return fail("expected col:key=value in '" + parts[i] + "'");
+        }
+        auto col = def.FindColumn(kv[0]);
+        if (!col.has_value()) {
+          return fail("unknown column '" + kv[0] + "'");
+        }
+        const std::vector<std::string> eq = Split(kv[1], '=');
+        if (eq.size() != 2) {
+          return fail("expected key=value in '" + kv[1] + "'");
+        }
+        storage::ColumnSpec& spec = rows.specs[*col];
+        if (EqualsIgnoreCase(eq[0], "ndv")) {
+          spec.ndv = std::strtoull(eq[1].c_str(), nullptr, 10);
+        } else if (EqualsIgnoreCase(eq[0], "zipf")) {
+          spec.distribution = storage::Distribution::kZipf;
+          spec.zipf_theta = std::strtod(eq[1].c_str(), nullptr);
+        } else if (EqualsIgnoreCase(eq[0], "null")) {
+          spec.null_fraction = std::strtod(eq[1].c_str(), nullptr);
+        } else {
+          return fail("unknown column option '" + eq[0] + "'");
+        }
+      }
+      pending.push_back(std::move(rows));
+      continue;
+    }
+
+    if (EqualsIgnoreCase(line.substr(0, 6), "INDEX ")) {
+      const size_t open = line.find('(');
+      const size_t close = line.rfind(')');
+      if (open == std::string::npos || close == std::string::npos) {
+        return fail("expected INDEX table (col, ...)");
+      }
+      AIM_ASSIGN_OR_RETURN(
+          catalog::TableId table,
+          db.catalog().FindTable(
+              std::string(Trim(line.substr(6, open - 6)))));
+      catalog::IndexDef def;
+      def.table = table;
+      const catalog::TableDef& t = db.catalog().table(table);
+      for (const std::string& col_text :
+           Split(line.substr(open + 1, close - open - 1), ',')) {
+        auto col = t.FindColumn(std::string(Trim(col_text)));
+        if (!col.has_value()) {
+          return fail("unknown index column '" + col_text + "'");
+        }
+        def.columns.push_back(*col);
+      }
+      indexes.push_back(std::move(def));
+      continue;
+    }
+
+    return fail("unknown directive (expected TABLE / ROWS / INDEX)");
+  }
+
+  for (const PendingRows& rows : pending) {
+    AIM_RETURN_NOT_OK(storage::GenerateRows(&db, rows.table, rows.count,
+                                            rows.specs, &rng));
+  }
+  db.AnalyzeAll();
+  for (const catalog::IndexDef& def : indexes) {
+    AIM_RETURN_NOT_OK(db.CreateIndex(def).status());
+  }
+  return db;
+}
+
+Result<Workload> ParseWorkloadSpec(const std::string& text) {
+  Workload w;
+  int line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    const std::string line{CleanLine(raw)};
+    if (line.empty()) continue;
+    char* sql_start = nullptr;
+    const double weight =
+        std::strtod(line.c_str(), &sql_start);
+    if (sql_start == line.c_str() || sql_start == nullptr) {
+      return Status::ParseError(
+          StringPrintf("workload line %d: expected 'weight SQL'",
+                       line_no));
+    }
+    const std::string sql{Trim(std::string_view(sql_start))};
+    if (sql.empty()) {
+      return Status::ParseError(
+          StringPrintf("workload line %d: missing SQL", line_no));
+    }
+    Status st = w.Add(sql, weight);
+    if (!st.ok()) {
+      return Status::ParseError(StringPrintf(
+          "workload line %d: %s", line_no, st.ToString().c_str()));
+    }
+  }
+  return w;
+}
+
+}  // namespace aim::workload

@@ -1,0 +1,37 @@
+#ifndef AIM_WORKLOAD_SPEC_H_
+#define AIM_WORKLOAD_SPEC_H_
+
+#include <string>
+
+#include "storage/database.h"
+#include "workload/workload.h"
+
+namespace aim::workload {
+
+/// \brief Text formats consumed by the `aim_cli` tool, so a downstream
+/// user can run the advisor without writing C++.
+///
+/// Schema spec — one directive per line, '#' comments:
+///
+///   TABLE users (id INT PK, org_id INT, status INT, email STRING(20))
+///   ROWS users 10000 org_id:ndv=100 status:ndv=5 score:zipf=0.8
+///   INDEX users (org_id, status)        # pre-existing index
+///
+/// Column types: INT, DOUBLE, DATE, STRING(avg_len). `PK` marks primary
+/// key columns (composite allowed, in declaration order). The ROWS
+/// directive generates synthetic rows; `col:ndv=N` sets the number of
+/// distinct values, `col:zipf=T` makes the distribution zipfian with
+/// skew T. Statistics are analyzed after loading.
+Result<storage::Database> BuildDatabaseFromSpec(const std::string& text,
+                                                uint64_t seed = 1);
+
+/// Workload spec — one query per line: `weight SQL...`. Lines starting
+/// with '#' and blank lines are skipped.
+///
+///   500 SELECT id FROM users WHERE org_id = 7
+///   20  UPDATE users SET status = 2 WHERE id = 11
+Result<Workload> ParseWorkloadSpec(const std::string& text);
+
+}  // namespace aim::workload
+
+#endif  // AIM_WORKLOAD_SPEC_H_

@@ -1,0 +1,431 @@
+#include "workload/tpch.h"
+
+#include <cmath>
+
+#include "storage/data_generator.h"
+
+namespace aim::workload {
+
+namespace {
+
+using catalog::ColumnDef;
+using catalog::ColumnType;
+using catalog::TableDef;
+using storage::ColumnSpec;
+using storage::Distribution;
+
+ColumnDef Col(const char* name, ColumnType type, uint32_t width,
+              bool nullable = false) {
+  ColumnDef c;
+  c.name = name;
+  c.type = type;
+  c.avg_width = width;
+  c.nullable = nullable;
+  return c;
+}
+
+constexpr int64_t kDays = 2557;  // 1992-01-01 .. 1998-12-31
+
+struct TableBuild {
+  TableDef def;
+  std::vector<ColumnSpec> specs;
+  uint64_t rows = 0;
+};
+
+/// Scales analyzed statistics from the materialized SF to the reported
+/// SF: row counts always scale; NDVs (and key maxima) scale only for
+/// quasi-unique columns, matching how TPC-H cardinalities behave.
+void ScaleStats(storage::Database* db, double factor) {
+  if (factor <= 1.0) return;
+  catalog::Catalog& cat = db->catalog();
+  for (catalog::TableId t = 0; t < cat.table_count(); ++t) {
+    catalog::TableDef* def = cat.mutable_table(t);
+    const uint64_t old_rows = def->stats.row_count;
+    def->stats.row_count =
+        static_cast<uint64_t>(old_rows * factor);
+    for (auto& col : def->stats.columns) {
+      if (old_rows == 0 ||
+          col.ndv < static_cast<uint64_t>(0.5 * old_rows)) {
+        continue;  // low-cardinality attribute: unchanged by scale
+      }
+      // Quasi-unique column: cardinality grows with scale.
+      const double span = static_cast<double>(col.max) -
+                          static_cast<double>(col.min) + 1.0;
+      col.ndv = static_cast<uint64_t>(col.ndv * factor);
+      if (span <= 2.0 * static_cast<double>(old_rows)) {
+        // Dense surrogate key (domain ~ [0, rows)): the value domain
+        // grows with the table.
+        col.max = col.min + static_cast<int64_t>(span * factor);
+        for (auto& bound : col.histogram) {
+          bound = col.min + static_cast<int64_t>(
+                                (bound - col.min) * factor);
+        }
+      } else {
+        // Value column (prices, dates): the domain is fixed; more rows
+        // just fill it in. Literal range predicates must keep meaning.
+        col.ndv = std::min(col.ndv, static_cast<uint64_t>(span));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Status BuildTpch(storage::Database* db, const TpchOptions& options) {
+  Rng rng(options.seed);
+  const double sf = options.materialized_sf;
+  auto n = [&](double base) {
+    return static_cast<uint64_t>(std::max(1.0, base * sf));
+  };
+
+  std::vector<TableBuild> tables;
+
+  // region(r_regionkey PK, r_name)
+  {
+    TableBuild t;
+    t.def.name = "region";
+    t.def.columns = {Col("r_regionkey", ColumnType::kInt64, 4),
+                     Col("r_name", ColumnType::kString, 12)};
+    t.def.primary_key = {0};
+    t.specs = {ColumnSpec{}, ColumnSpec{.ndv = 5, .string_prefix = "REGION"}};
+    t.rows = 5;
+    tables.push_back(std::move(t));
+  }
+  // nation(n_nationkey PK, n_name, n_regionkey)
+  {
+    TableBuild t;
+    t.def.name = "nation";
+    t.def.columns = {Col("n_nationkey", ColumnType::kInt64, 4),
+                     Col("n_name", ColumnType::kString, 12),
+                     Col("n_regionkey", ColumnType::kInt64, 4)};
+    t.def.primary_key = {0};
+    t.specs = {ColumnSpec{},
+               ColumnSpec{.ndv = 25, .string_prefix = "NATION"},
+               ColumnSpec{.ndv = 5}};
+    t.rows = 25;
+    tables.push_back(std::move(t));
+  }
+  // supplier
+  {
+    TableBuild t;
+    t.def.name = "supplier";
+    t.def.columns = {Col("s_suppkey", ColumnType::kInt64, 4),
+                     Col("s_name", ColumnType::kString, 18),
+                     Col("s_address", ColumnType::kString, 24),
+                     Col("s_nationkey", ColumnType::kInt64, 4),
+                     Col("s_phone", ColumnType::kString, 15),
+                     Col("s_acctbal", ColumnType::kDouble, 8),
+                     Col("s_comment", ColumnType::kString, 60)};
+    t.def.primary_key = {0};
+    t.specs = {ColumnSpec{},
+               ColumnSpec{.ndv = 1000000, .string_prefix = "Supplier#"},
+               ColumnSpec{.ndv = 1000000, .string_prefix = "addr"},
+               ColumnSpec{.ndv = 25},
+               ColumnSpec{.ndv = 1000000, .string_prefix = "phone"},
+               ColumnSpec{.ndv = 11000},
+               ColumnSpec{.ndv = 1000000, .string_prefix = "c"}};
+    t.rows = n(10000);
+    tables.push_back(std::move(t));
+  }
+  // customer
+  {
+    TableBuild t;
+    t.def.name = "customer";
+    t.def.columns = {Col("c_custkey", ColumnType::kInt64, 4),
+                     Col("c_name", ColumnType::kString, 18),
+                     Col("c_address", ColumnType::kString, 24),
+                     Col("c_nationkey", ColumnType::kInt64, 4),
+                     Col("c_phone", ColumnType::kString, 15),
+                     Col("c_acctbal", ColumnType::kDouble, 8),
+                     Col("c_mktsegment", ColumnType::kString, 10),
+                     Col("c_comment", ColumnType::kString, 70)};
+    t.def.primary_key = {0};
+    t.specs = {ColumnSpec{},
+               ColumnSpec{.ndv = 10000000, .string_prefix = "Customer#"},
+               ColumnSpec{.ndv = 10000000, .string_prefix = "addr"},
+               ColumnSpec{.ndv = 25},
+               ColumnSpec{.ndv = 10000000, .string_prefix = "phone"},
+               ColumnSpec{.ndv = 11000},
+               ColumnSpec{.ndv = 5, .string_prefix = "SEGMENT"},
+               ColumnSpec{.ndv = 10000000, .string_prefix = "c"}};
+    t.rows = n(150000);
+    tables.push_back(std::move(t));
+  }
+  // part
+  {
+    TableBuild t;
+    t.def.name = "part";
+    t.def.columns = {Col("p_partkey", ColumnType::kInt64, 4),
+                     Col("p_name", ColumnType::kString, 32),
+                     Col("p_mfgr", ColumnType::kString, 14),
+                     Col("p_brand", ColumnType::kString, 10),
+                     Col("p_type", ColumnType::kString, 20),
+                     Col("p_size", ColumnType::kInt64, 4),
+                     Col("p_container", ColumnType::kString, 10),
+                     Col("p_retailprice", ColumnType::kDouble, 8)};
+    t.def.primary_key = {0};
+    t.specs = {ColumnSpec{},
+               ColumnSpec{.ndv = 2000000, .string_prefix = "part"},
+               ColumnSpec{.ndv = 5, .string_prefix = "Manufacturer#"},
+               ColumnSpec{.ndv = 25, .string_prefix = "Brand#"},
+               ColumnSpec{.ndv = 150, .string_prefix = "TYPE"},
+               ColumnSpec{.ndv = 50, .base = 1},
+               ColumnSpec{.ndv = 40, .string_prefix = "CONTAINER"},
+               ColumnSpec{.ndv = 20000}};
+    t.rows = n(200000);
+    tables.push_back(std::move(t));
+  }
+  // partsupp
+  {
+    TableBuild t;
+    t.def.name = "partsupp";
+    t.def.columns = {Col("ps_partkey", ColumnType::kInt64, 4),
+                     Col("ps_suppkey", ColumnType::kInt64, 4),
+                     Col("ps_availqty", ColumnType::kInt64, 4),
+                     Col("ps_supplycost", ColumnType::kDouble, 8)};
+    t.def.primary_key = {0, 1};
+    t.specs = {ColumnSpec{.ndv = n(200000)},
+               ColumnSpec{.ndv = n(10000)},
+               ColumnSpec{.ndv = 10000, .base = 1},
+               ColumnSpec{.ndv = 100000}};
+    t.rows = n(800000);
+    tables.push_back(std::move(t));
+  }
+  // orders
+  {
+    TableBuild t;
+    t.def.name = "orders";
+    t.def.columns = {Col("o_orderkey", ColumnType::kInt64, 4),
+                     Col("o_custkey", ColumnType::kInt64, 4),
+                     Col("o_orderstatus", ColumnType::kString, 1),
+                     Col("o_totalprice", ColumnType::kDouble, 8),
+                     Col("o_orderdate", ColumnType::kDate, 4),
+                     Col("o_orderpriority", ColumnType::kString, 12),
+                     Col("o_clerk", ColumnType::kString, 15),
+                     Col("o_shippriority", ColumnType::kInt64, 4)};
+    t.def.primary_key = {0};
+    t.specs = {ColumnSpec{},
+               ColumnSpec{.ndv = n(150000)},
+               ColumnSpec{.ndv = 3, .string_prefix = "S"},
+               ColumnSpec{.ndv = 300000},
+               ColumnSpec{.ndv = static_cast<uint64_t>(kDays)},
+               ColumnSpec{.ndv = 5, .string_prefix = "PRIORITY"},
+               ColumnSpec{.ndv = 1000, .string_prefix = "Clerk#"},
+               ColumnSpec{.ndv = 1}};
+    t.rows = n(1500000);
+    tables.push_back(std::move(t));
+  }
+  // lineitem
+  {
+    TableBuild t;
+    t.def.name = "lineitem";
+    t.def.columns = {Col("l_orderkey", ColumnType::kInt64, 4),
+                     Col("l_linenumber", ColumnType::kInt64, 4),
+                     Col("l_partkey", ColumnType::kInt64, 4),
+                     Col("l_suppkey", ColumnType::kInt64, 4),
+                     Col("l_quantity", ColumnType::kInt64, 4),
+                     Col("l_extendedprice", ColumnType::kDouble, 8),
+                     Col("l_discount", ColumnType::kDouble, 8),
+                     Col("l_tax", ColumnType::kDouble, 8),
+                     Col("l_returnflag", ColumnType::kString, 1),
+                     Col("l_linestatus", ColumnType::kString, 1),
+                     Col("l_shipdate", ColumnType::kDate, 4),
+                     Col("l_commitdate", ColumnType::kDate, 4),
+                     Col("l_receiptdate", ColumnType::kDate, 4),
+                     Col("l_shipinstruct", ColumnType::kString, 12),
+                     Col("l_shipmode", ColumnType::kString, 10)};
+    t.def.primary_key = {0, 1};
+    t.specs = {ColumnSpec{.ndv = n(1500000)},
+               ColumnSpec{.ndv = 7, .base = 1},
+               ColumnSpec{.ndv = n(200000)},
+               ColumnSpec{.ndv = n(10000)},
+               ColumnSpec{.ndv = 50, .base = 1},
+               ColumnSpec{.ndv = 100000},
+               ColumnSpec{.ndv = 11},
+               ColumnSpec{.ndv = 9},
+               ColumnSpec{.ndv = 3, .string_prefix = "F"},
+               ColumnSpec{.ndv = 2, .string_prefix = "L"},
+               ColumnSpec{.ndv = static_cast<uint64_t>(kDays)},
+               ColumnSpec{.ndv = static_cast<uint64_t>(kDays)},
+               ColumnSpec{.ndv = static_cast<uint64_t>(kDays)},
+               ColumnSpec{.ndv = 4, .string_prefix = "INSTRUCT"},
+               ColumnSpec{.ndv = 7, .string_prefix = "MODE"}};
+    t.rows = n(6000000);
+    tables.push_back(std::move(t));
+  }
+
+  for (TableBuild& tb : tables) {
+    const catalog::TableId id = db->CreateTable(tb.def);
+    AIM_RETURN_NOT_OK(
+        storage::GenerateRows(db, id, tb.rows, tb.specs, &rng));
+  }
+  db->AnalyzeAll();
+  const double factor =
+      options.stats_sf / std::max(options.materialized_sf, 1e-9);
+  ScaleStats(db, factor);
+
+  if (factor > 1.0) {
+    // Foreign-key columns: the tiny materialization only draws from a
+    // tiny key domain, so the analyzer under-counts their NDV. Restore
+    // the TPC-H cardinalities at the reported scale factor.
+    auto fix_fk = [&](const char* table, const char* column,
+                      double ndv_at_sf1) {
+      Result<catalog::TableId> t = db->catalog().FindTable(table);
+      if (!t.ok()) return;
+      catalog::TableDef* def = db->catalog().mutable_table(t.ValueOrDie());
+      auto c = def->FindColumn(column);
+      if (!c.has_value()) return;
+      catalog::ColumnStats& stats = def->stats.columns[*c];
+      stats.ndv = static_cast<uint64_t>(
+          std::max(1.0, ndv_at_sf1 * options.stats_sf));
+      stats.min = 0;
+      stats.max = static_cast<int64_t>(stats.ndv) - 1;
+      stats.histogram.clear();  // uniform over the key domain
+    };
+    fix_fk("orders", "o_custkey", 150000);
+    fix_fk("partsupp", "ps_partkey", 200000);
+    fix_fk("partsupp", "ps_suppkey", 10000);
+    fix_fk("lineitem", "l_orderkey", 1500000);
+    fix_fk("lineitem", "l_partkey", 200000);
+    fix_fk("lineitem", "l_suppkey", 10000);
+  }
+  return Status::OK();
+}
+
+Result<Query> TpchQuery(int number) {
+  // Templates adapted to the supported subset: subqueries flattened to
+  // their join/filter skeleton; arithmetic select expressions reduced to
+  // source columns. Date literals are day numbers since 1992-01-01.
+  static const char* kQueries[22] = {
+      // Q1: pricing summary report.
+      "SELECT l_returnflag, l_linestatus, SUM(l_quantity), "
+      "SUM(l_extendedprice), AVG(l_discount), COUNT(*) FROM lineitem "
+      "WHERE l_shipdate <= 2450 GROUP BY l_returnflag, l_linestatus",
+      // Q2: minimum cost supplier (flattened).
+      "SELECT s_acctbal, s_name, n_name, p_partkey FROM part, supplier, "
+      "partsupp, nation, region WHERE p_partkey = ps_partkey AND "
+      "s_suppkey = ps_suppkey AND p_size = 15 AND p_type = 'TYPE37' AND "
+      "s_nationkey = n_nationkey AND n_regionkey = r_regionkey AND "
+      "r_name = 'REGION3' ORDER BY s_acctbal DESC",
+      // Q3: shipping priority.
+      "SELECT l_orderkey, o_orderdate, o_shippriority, "
+      "SUM(l_extendedprice) FROM customer, orders, lineitem WHERE "
+      "c_mktsegment = 'SEGMENT1' AND c_custkey = o_custkey AND "
+      "l_orderkey = o_orderkey AND o_orderdate < 730 AND l_shipdate > 730 "
+      "GROUP BY l_orderkey, o_orderdate, o_shippriority",
+      // Q4: order priority checking (semi-join flattened).
+      "SELECT o_orderpriority, COUNT(*) FROM orders, lineitem WHERE "
+      "l_orderkey = o_orderkey AND o_orderdate >= 730 AND "
+      "o_orderdate < 820 AND l_commitdate < l_receiptdate "
+      "GROUP BY o_orderpriority ORDER BY o_orderpriority",
+      // Q5: local supplier volume.
+      "SELECT n_name, SUM(l_extendedprice) FROM customer, orders, "
+      "lineitem, supplier, nation, region WHERE c_custkey = o_custkey "
+      "AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey AND "
+      "c_nationkey = s_nationkey AND s_nationkey = n_nationkey AND "
+      "n_regionkey = r_regionkey AND r_name = 'REGION2' AND "
+      "o_orderdate >= 730 AND o_orderdate < 1095 GROUP BY n_name",
+      // Q6: forecasting revenue change.
+      "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_shipdate >= 730 "
+      "AND l_shipdate < 1095 AND l_discount BETWEEN 5 AND 7 AND "
+      "l_quantity < 24",
+      // Q7: volume shipping (two-nation join).
+      "SELECT n_name, SUM(l_extendedprice) FROM supplier, lineitem, "
+      "orders, customer, nation WHERE s_suppkey = l_suppkey AND "
+      "o_orderkey = l_orderkey AND c_custkey = o_custkey AND "
+      "s_nationkey = n_nationkey AND l_shipdate BETWEEN 730 AND 1460 "
+      "AND n_name IN ('NATION7', 'NATION12') GROUP BY n_name",
+      // Q8: national market share.
+      "SELECT o_orderdate, SUM(l_extendedprice) FROM part, supplier, "
+      "lineitem, orders, customer, nation, region WHERE "
+      "p_partkey = l_partkey AND s_suppkey = l_suppkey AND "
+      "l_orderkey = o_orderkey AND o_custkey = c_custkey AND "
+      "c_nationkey = n_nationkey AND n_regionkey = r_regionkey AND "
+      "r_name = 'REGION1' AND o_orderdate BETWEEN 1095 AND 1825 AND "
+      "p_type = 'TYPE88' GROUP BY o_orderdate",
+      // Q9: product type profit measure.
+      "SELECT n_name, SUM(l_extendedprice) FROM part, supplier, lineitem, "
+      "partsupp, orders, nation WHERE s_suppkey = l_suppkey AND "
+      "ps_suppkey = l_suppkey AND ps_partkey = l_partkey AND "
+      "p_partkey = l_partkey AND o_orderkey = l_orderkey AND "
+      "s_nationkey = n_nationkey AND p_name LIKE 'part1%' GROUP BY n_name",
+      // Q10: returned item reporting.
+      "SELECT c_custkey, c_name, c_acctbal, n_name, SUM(l_extendedprice) "
+      "FROM customer, orders, lineitem, nation WHERE "
+      "c_custkey = o_custkey AND l_orderkey = o_orderkey AND "
+      "o_orderdate >= 730 AND o_orderdate < 820 AND l_returnflag = 'F1' "
+      "AND c_nationkey = n_nationkey GROUP BY c_custkey, c_name, "
+      "c_acctbal, n_name",
+      // Q11: important stock identification (flattened).
+      "SELECT ps_partkey, SUM(ps_supplycost) FROM partsupp, supplier, "
+      "nation WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey "
+      "AND n_name = 'NATION9' GROUP BY ps_partkey",
+      // Q12: shipping modes and order priority.
+      "SELECT l_shipmode, COUNT(*) FROM orders, lineitem WHERE "
+      "o_orderkey = l_orderkey AND l_shipmode IN ('MODE1', 'MODE3') AND "
+      "l_commitdate < l_receiptdate AND l_receiptdate >= 730 AND "
+      "l_receiptdate < 1095 GROUP BY l_shipmode ORDER BY l_shipmode",
+      // Q13: customer distribution (outer join approximated as inner).
+      "SELECT c_custkey, COUNT(*) FROM customer, orders WHERE "
+      "c_custkey = o_custkey AND o_clerk LIKE 'Clerk#1%' "
+      "GROUP BY c_custkey",
+      // Q14: promotion effect.
+      "SELECT SUM(l_extendedprice) FROM lineitem, part WHERE "
+      "l_partkey = p_partkey AND l_shipdate >= 820 AND l_shipdate < 850 "
+      "AND p_type LIKE 'TYPE1%'",
+      // Q15: top supplier (flattened view).
+      "SELECT s_suppkey, s_name, SUM(l_extendedprice) FROM supplier, "
+      "lineitem WHERE s_suppkey = l_suppkey AND l_shipdate >= 1095 AND "
+      "l_shipdate < 1185 GROUP BY s_suppkey, s_name",
+      // Q16: parts/supplier relationship.
+      "SELECT p_brand, p_type, p_size, COUNT(*) FROM partsupp, part "
+      "WHERE p_partkey = ps_partkey AND p_brand <> 'Brand#11' AND "
+      "p_size IN (1, 9, 14, 23, 36, 45, 49) GROUP BY p_brand, p_type, "
+      "p_size",
+      // Q17: small-quantity-order revenue.
+      "SELECT AVG(l_extendedprice) FROM lineitem, part WHERE "
+      "p_partkey = l_partkey AND p_brand = 'Brand#13' AND "
+      "p_container = 'CONTAINER7' AND l_quantity < 5",
+      // Q18: large volume customer.
+      "SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, "
+      "SUM(l_quantity) FROM customer, orders, lineitem WHERE "
+      "o_totalprice > 285000 AND c_custkey = o_custkey AND "
+      "o_orderkey = l_orderkey GROUP BY c_name, c_custkey, o_orderkey, "
+      "o_orderdate, o_totalprice",
+      // Q19: discounted revenue (OR-of-ANDs on part filters).
+      "SELECT SUM(l_extendedprice) FROM lineitem, part WHERE "
+      "p_partkey = l_partkey AND ((p_brand = 'Brand#3' AND "
+      "l_quantity BETWEEN 5 AND 15 AND p_size BETWEEN 1 AND 5) OR "
+      "(p_brand = 'Brand#14' AND l_quantity BETWEEN 15 AND 25 AND "
+      "p_size BETWEEN 1 AND 10))",
+      // Q20: potential part promotion (flattened).
+      "SELECT s_name, s_address FROM supplier, nation, partsupp, part "
+      "WHERE s_suppkey = ps_suppkey AND ps_partkey = p_partkey AND "
+      "p_name LIKE 'part4%' AND s_nationkey = n_nationkey AND "
+      "n_name = 'NATION3' ORDER BY s_name",
+      // Q21: suppliers who kept orders waiting (flattened).
+      "SELECT s_name, COUNT(*) FROM supplier, lineitem, orders, nation "
+      "WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND "
+      "o_orderstatus = 'S2' AND l_receiptdate > l_commitdate AND "
+      "s_nationkey = n_nationkey AND n_name = 'NATION20' "
+      "GROUP BY s_name ORDER BY s_name LIMIT 100",
+      // Q22: global sales opportunity (flattened anti-join).
+      "SELECT c_phone, COUNT(*), SUM(c_acctbal) FROM customer WHERE "
+      "c_acctbal > 7000 AND c_phone LIKE 'phone1%' GROUP BY c_phone",
+  };
+  if (number < 1 || number > 22) {
+    return Status::InvalidArgument("TPC-H query number out of range");
+  }
+  return MakeQuery(kQueries[number - 1], 1.0);
+}
+
+Result<Workload> TpchQueries() {
+  Workload w;
+  for (int q = 1; q <= 22; ++q) {
+    AIM_ASSIGN_OR_RETURN(Query query, TpchQuery(q));
+    w.queries.push_back(std::move(query));
+  }
+  return w;
+}
+
+}  // namespace aim::workload

@@ -1,0 +1,41 @@
+#ifndef AIM_WORKLOAD_TPCH_H_
+#define AIM_WORKLOAD_TPCH_H_
+
+#include "common/rng.h"
+#include "storage/database.h"
+#include "workload/workload.h"
+
+namespace aim::workload {
+
+/// Options for building the TPC-H substrate.
+struct TpchOptions {
+  /// Scale factor actually materialized (rows in memory). 0.01 ~ 60k
+  /// lineitem rows.
+  double materialized_sf = 0.01;
+  /// Scale factor the *statistics* report (Fig. 4/5 run estimate-only at
+  /// SF 10; estimates depend on statistics, not materialized volume).
+  double stats_sf = 10.0;
+  uint64_t seed = 1234;
+};
+
+/// \brief Builds the 8-table TPC-H schema, loads synthetic data at
+/// `materialized_sf`, analyzes it, then scales the statistics to
+/// `stats_sf` (row counts and key NDVs multiplied; low-cardinality
+/// attribute NDVs kept).
+///
+/// Dates are day numbers since 1992-01-01 (0..2556).
+Status BuildTpch(storage::Database* db, const TpchOptions& options);
+
+/// \brief The 22 TPC-H query templates, adapted to the supported SQL
+/// subset (subqueries flattened to the join/filter/group/order structure
+/// that drives index selection; arithmetic select expressions reduced to
+/// their source columns). Weights are 1.0 (the benchmark runs each query
+/// once).
+Result<Workload> TpchQueries();
+
+/// A single TPC-H query template (1-based id), for per-query experiments.
+Result<Query> TpchQuery(int number);
+
+}  // namespace aim::workload
+
+#endif  // AIM_WORKLOAD_TPCH_H_

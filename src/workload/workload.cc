@@ -1,0 +1,38 @@
+#include "workload/workload.h"
+
+#include "sql/normalizer.h"
+#include "sql/parser.h"
+
+namespace aim::workload {
+
+Result<Query> MakeQuery(std::string sql, double weight) {
+  Query q;
+  AIM_ASSIGN_OR_RETURN(q.stmt, sql::Parse(sql));
+  q.sql = std::move(sql);
+  q.weight = weight;
+  q.normalized_sql = sql::NormalizedSql(q.stmt);
+  q.fingerprint = sql::NormalizedFingerprint(q.stmt);
+  return q;
+}
+
+Status Workload::Add(std::string sql, double weight) {
+  AIM_ASSIGN_OR_RETURN(Query q, MakeQuery(std::move(sql), weight));
+  queries.push_back(std::move(q));
+  return Status::OK();
+}
+
+std::vector<const sql::Statement*> Workload::statements() const {
+  std::vector<const sql::Statement*> out;
+  out.reserve(queries.size());
+  for (const Query& q : queries) out.push_back(&q.stmt);
+  return out;
+}
+
+std::vector<double> Workload::weights() const {
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const Query& q : queries) out.push_back(q.weight);
+  return out;
+}
+
+}  // namespace aim::workload

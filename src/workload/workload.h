@@ -1,0 +1,61 @@
+#ifndef AIM_WORKLOAD_WORKLOAD_H_
+#define AIM_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace aim::workload {
+
+/// \brief One workload query: literal SQL + parsed statement + weight.
+///
+/// `weight` is w_q of the problem definition (Sec. II) — execution
+/// frequency, CPU share, or a manual importance measure. `fingerprint`
+/// keys the normalized form (queries differing only in parameters share
+/// it).
+struct Query {
+  std::string sql;
+  sql::Statement stmt;
+  double weight = 1.0;
+  uint64_t fingerprint = 0;
+  std::string normalized_sql;
+
+  Query() = default;
+  Query(Query&&) = default;
+  Query& operator=(Query&&) = default;
+  Query(const Query& other) { *this = other; }
+  Query& operator=(const Query& other) {
+    if (this != &other) {
+      sql = other.sql;
+      stmt = other.stmt.Clone();
+      weight = other.weight;
+      fingerprint = other.fingerprint;
+      normalized_sql = other.normalized_sql;
+    }
+    return *this;
+  }
+};
+
+/// Parses `sql` into a Query with normalized fingerprint.
+Result<Query> MakeQuery(std::string sql, double weight = 1.0);
+
+/// \brief A workload: weighted set of queries.
+struct Workload {
+  std::vector<Query> queries;
+
+  /// Parses and appends; returns the parse status.
+  Status Add(std::string sql, double weight = 1.0);
+
+  /// Statement pointers (for WhatIfOptimizer::WorkloadCost).
+  std::vector<const sql::Statement*> statements() const;
+  std::vector<double> weights() const;
+
+  size_t size() const { return queries.size(); }
+  bool empty() const { return queries.empty(); }
+};
+
+}  // namespace aim::workload
+
+#endif  // AIM_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include "core/aim.h"
+#include "core/continuous.h"
+#include "executor/executor.h"
+#include "tests/test_util.h"
+
+namespace aim::core {
+namespace {
+
+using aim::testing::MakeOrdersDb;
+using aim::testing::MakeUsersDb;
+
+workload::Workload SimpleWorkload() {
+  workload::Workload w;
+  EXPECT_TRUE(
+      w.Add("SELECT id FROM users WHERE org_id = 5", 100.0).ok());
+  EXPECT_TRUE(
+      w.Add("SELECT email FROM users WHERE status = 2 AND score > 500",
+            50.0)
+          .ok());
+  EXPECT_TRUE(
+      w.Add("SELECT id FROM users ORDER BY created_at DESC LIMIT 10",
+            30.0)
+          .ok());
+  return w;
+}
+
+TEST(AimTest, BootstrapRecommendsUsefulIndexes) {
+  storage::Database db = MakeUsersDb(5000);
+  AimOptions options;
+  options.validate_on_clone = false;
+  AutomaticIndexManager aim(&db, optimizer::CostModel(), options);
+  workload::Workload w = SimpleWorkload();
+  Result<AimReport> r = aim.Recommend(w, nullptr);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const AimReport& report = r.ValueOrDie();
+  ASSERT_FALSE(report.recommended.empty());
+  // An index on org_id must be among the picks.
+  bool has_org = false;
+  for (const auto& c : report.recommended) {
+    if (!c.def.columns.empty() && c.def.columns[0] == 1) has_org = true;
+  }
+  EXPECT_TRUE(has_org);
+  EXPECT_EQ(report.explanations.size(), report.recommended.size());
+  EXPECT_GT(report.stats.what_if_calls, 0u);
+  EXPECT_GT(report.stats.partial_orders_generated, 0u);
+}
+
+TEST(AimTest, RecommendRespectsBudget) {
+  storage::Database db = MakeUsersDb(5000);
+  AimOptions options;
+  options.validate_on_clone = false;
+  options.ranking.storage_budget_bytes = 1.0;  // nothing fits
+  AutomaticIndexManager aim(&db, optimizer::CostModel(), options);
+  workload::Workload w = SimpleWorkload();
+  Result<AimReport> r = aim.Recommend(w, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.ValueOrDie().recommended.empty());
+}
+
+TEST(AimTest, RunOnceMaterializesIndexes) {
+  storage::Database db = MakeUsersDb(3000);
+  AimOptions options;
+  AutomaticIndexManager aim(&db, optimizer::CostModel(), options);
+  workload::Workload w = SimpleWorkload();
+  Result<AimReport> r = aim.RunOnce(w, nullptr);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto indexes = db.catalog().AllIndexes(false, false);
+  EXPECT_EQ(indexes.size(), r.ValueOrDie().recommended.size());
+  for (const auto* idx : indexes) {
+    EXPECT_TRUE(idx->created_by_automation);
+    EXPECT_NE(db.btree(idx->id), nullptr);  // actually materialized
+  }
+}
+
+TEST(AimTest, RunOnceImprovesObservedCpu) {
+  storage::Database db = MakeUsersDb(5000);
+  workload::Workload w = SimpleWorkload();
+  executor::Executor exec(&db, optimizer::CostModel());
+  double before = 0;
+  for (const auto& q : w.queries) {
+    before += exec.Execute(q.stmt).ValueOrDie().metrics.cpu_seconds;
+  }
+  AutomaticIndexManager aim(&db, optimizer::CostModel(), AimOptions{});
+  ASSERT_TRUE(aim.RunOnce(w, nullptr).ok());
+  double after = 0;
+  for (const auto& q : w.queries) {
+    after += exec.Execute(q.stmt).ValueOrDie().metrics.cpu_seconds;
+  }
+  EXPECT_LT(after, before * 0.5);
+}
+
+TEST(AimTest, NoRegressionGuaranteeOnClone) {
+  storage::Database db = MakeUsersDb(3000);
+  workload::Workload w = SimpleWorkload();
+  AimOptions options;  // validation on
+  AutomaticIndexManager aim(&db, optimizer::CostModel(), options);
+  Result<AimReport> r = aim.RunOnce(w, nullptr);
+  ASSERT_TRUE(r.ok());
+  for (const auto& v : r.ValueOrDie().validation.per_query) {
+    EXPECT_FALSE(v.regressed);
+  }
+  EXPECT_TRUE(r.ValueOrDie().validation.no_regressions);
+  EXPECT_TRUE(r.ValueOrDie().validation.any_query_improved);
+}
+
+TEST(AimTest, ValidationDropsUnusedIndexes) {
+  storage::Database db = MakeUsersDb(2000);
+  workload::Workload w = SimpleWorkload();
+
+  // Inject a bogus candidate by running validation directly.
+  CandidateIndex good;
+  good.def.table = 0;
+  good.def.columns = {1};  // org_id: used
+  good.benefit = 1.0;
+  CandidateIndex useless;
+  useless.def.table = 0;
+  useless.def.columns = {6};  // payload: never filtered
+  useless.benefit = 1.0;
+
+  std::vector<SelectedQuery> selected;
+  for (const auto& q : w.queries) {
+    SelectedQuery sq;
+    sq.query = &q;
+    selected.push_back(sq);
+  }
+  Result<CloneValidationResult> r = ValidateOnClone(
+      db, {good, useless}, selected, optimizer::CostModel(), {});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.ValueOrDie().accepted.size(), 1u);
+  EXPECT_EQ(r.ValueOrDie().accepted[0].def.columns[0], 1u);
+  ASSERT_EQ(r.ValueOrDie().rejected_unused.size(), 1u);
+}
+
+TEST(AimTest, CloneValidationLeavesProductionUntouched) {
+  storage::Database db = MakeUsersDb(1000);
+  workload::Workload w = SimpleWorkload();
+  CandidateIndex c;
+  c.def.table = 0;
+  c.def.columns = {1};
+  std::vector<SelectedQuery> selected;
+  for (const auto& q : w.queries) {
+    SelectedQuery sq;
+    sq.query = &q;
+    selected.push_back(sq);
+  }
+  ASSERT_TRUE(
+      ValidateOnClone(db, {c}, selected, optimizer::CostModel(), {}).ok());
+  EXPECT_TRUE(db.catalog().AllIndexes(true, false).empty());
+}
+
+TEST(AimTest, SkipsExistingIndexes) {
+  storage::Database db = MakeUsersDb(3000);
+  catalog::IndexDef existing;
+  existing.table = 0;
+  existing.columns = {1};
+  ASSERT_TRUE(db.CreateIndex(existing).ok());
+  AimOptions options;
+  options.validate_on_clone = false;
+  AutomaticIndexManager aim(&db, optimizer::CostModel(), options);
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5", 10.0).ok());
+  Result<AimReport> r = aim.Recommend(w, nullptr);
+  ASSERT_TRUE(r.ok());
+  for (const auto& c : r.ValueOrDie().recommended) {
+    EXPECT_NE(c.def.columns, existing.columns);
+  }
+}
+
+TEST(AimTest, EmptyWorkloadNoop) {
+  storage::Database db = MakeUsersDb(100);
+  AutomaticIndexManager aim(&db, optimizer::CostModel(), AimOptions{});
+  workload::Workload w;
+  Result<AimReport> r = aim.RunOnce(w, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.ValueOrDie().recommended.empty());
+}
+
+TEST(AimTest, MonitorDrivenSelection) {
+  storage::Database db = MakeUsersDb(3000);
+  workload::Workload w = SimpleWorkload();
+  // Execute the workload to populate the monitor with real stats.
+  workload::WorkloadMonitor monitor;
+  executor::Executor exec(&db, optimizer::CostModel());
+  for (int rep = 0; rep < 50; ++rep) {
+    for (const auto& q : w.queries) {
+      auto res = exec.Execute(q.stmt);
+      ASSERT_TRUE(res.ok());
+      monitor.RecordKeyed(q.fingerprint, q.normalized_sql,
+                          res.ValueOrDie().metrics);
+    }
+  }
+  AimOptions options;
+  options.validate_on_clone = false;
+  options.selection.min_benefit_cores = 1e-9;
+  options.selection.min_executions = 2;
+  AutomaticIndexManager aim(&db, optimizer::CostModel(), options);
+  Result<AimReport> r = aim.Recommend(w, &monitor);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.ValueOrDie().stats.queries_selected, 0u);
+  EXPECT_FALSE(r.ValueOrDie().recommended.empty());
+}
+
+TEST(AimTest, JoinWorkloadGetsJoinSupportingIndexes) {
+  storage::Database db = MakeOrdersDb(500, 5000);
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT users.id FROM users, orders WHERE "
+                    "users.id = orders.user_id AND users.org_id = 3",
+                    100.0)
+                  .ok());
+  AimOptions options;
+  options.validate_on_clone = false;
+  AutomaticIndexManager aim(&db, optimizer::CostModel(), options);
+  Result<AimReport> r = aim.Recommend(w, nullptr);
+  ASSERT_TRUE(r.ok());
+  // orders(user_id) must be recommended to support the join.
+  bool has_orders_user_id = false;
+  for (const auto& c : r.ValueOrDie().recommended) {
+    if (c.def.table == 1 && !c.def.columns.empty() &&
+        c.def.columns[0] == 1) {
+      has_orders_user_id = true;
+    }
+  }
+  EXPECT_TRUE(has_orders_user_id);
+}
+
+// ---------- continuous tuning ------------------------------------------------
+
+TEST(ContinuousTest, DropsUnusedAutomationIndexes) {
+  storage::Database db = MakeUsersDb(2000);
+  catalog::IndexDef stale;
+  stale.table = 0;
+  stale.columns = {6};  // payload: no query uses it
+  stale.created_by_automation = true;
+  ASSERT_TRUE(db.CreateIndex(stale).ok());
+
+  ContinuousTunerOptions options;
+  options.drop_after_idle_intervals = 2;
+  options.aim.validate_on_clone = false;
+  ContinuousTuner tuner(&db, optimizer::CostModel(), options);
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 1", 10.0).ok());
+
+  ASSERT_TRUE(tuner.Tick(w, nullptr).ok());
+  EXPECT_EQ(db.catalog().TableIndexes(0, false).size() >= 1, true);
+  ASSERT_TRUE(tuner.Tick(w, nullptr).ok());
+  Result<IntervalReport> third = tuner.Tick(w, nullptr);
+  ASSERT_TRUE(third.ok());
+  // The payload index must be gone by now.
+  for (const auto* idx : db.catalog().AllIndexes(false, false)) {
+    EXPECT_NE(idx->columns, stale.columns);
+  }
+}
+
+TEST(ContinuousTest, ManualIndexesNeverDropped) {
+  storage::Database db = MakeUsersDb(500);
+  catalog::IndexDef manual;
+  manual.table = 0;
+  manual.columns = {6};
+  manual.created_by_automation = false;  // DBA-created
+  ASSERT_TRUE(db.CreateIndex(manual).ok());
+  ContinuousTunerOptions options;
+  options.drop_after_idle_intervals = 1;
+  options.aim.validate_on_clone = false;
+  ContinuousTuner tuner(&db, optimizer::CostModel(), options);
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 1", 10.0).ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(tuner.Tick(w, nullptr).ok());
+  bool found = false;
+  for (const auto* idx : db.catalog().AllIndexes(false, false)) {
+    if (idx->columns == manual.columns) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ContinuousTest, ShrinksPartiallyUsedIndex) {
+  storage::Database db = MakeUsersDb(3000);
+  catalog::IndexDef wide;
+  wide.table = 0;
+  wide.columns = {1, 2, 6};  // (org_id, status, payload)
+  wide.created_by_automation = true;
+  ASSERT_TRUE(db.CreateIndex(wide).ok());
+
+  ContinuousTunerOptions options;
+  options.shrink_after_idle_intervals = 2;
+  options.drop_after_idle_intervals = 100;  // don't drop
+  options.aim.validate_on_clone = false;
+  options.aim.ranking.storage_budget_bytes = 1.0;  // AIM adds nothing new
+  ContinuousTuner tuner(&db, optimizer::CostModel(), options);
+  workload::Workload w;
+  // Only org_id is filtered: the used prefix is 1 of 3 columns.
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 1", 10.0).ok());
+  bool shrunk = false;
+  for (int i = 0; i < 5 && !shrunk; ++i) {
+    Result<IntervalReport> r = tuner.Tick(w, nullptr);
+    ASSERT_TRUE(r.ok());
+    shrunk = !r.ValueOrDie().shrunk.empty();
+  }
+  EXPECT_TRUE(shrunk);
+  bool narrow_exists = false;
+  for (const auto* idx : db.catalog().AllIndexes(false, false)) {
+    if (idx->columns == std::vector<catalog::ColumnId>{1}) {
+      narrow_exists = true;
+    }
+    EXPECT_NE(idx->columns, wide.columns);
+  }
+  EXPECT_TRUE(narrow_exists);
+}
+
+TEST(ContinuousTest, AdaptsToWorkloadShift) {
+  storage::Database db = MakeUsersDb(3000);
+  ContinuousTunerOptions options;
+  options.aim.validate_on_clone = false;
+  options.drop_after_idle_intervals = 2;
+  ContinuousTuner tuner(&db, optimizer::CostModel(), options);
+
+  workload::Workload w1;
+  ASSERT_TRUE(w1.Add("SELECT id FROM users WHERE org_id = 1", 100.0).ok());
+  ASSERT_TRUE(tuner.Tick(w1, nullptr).ok());
+  bool has_org = false;
+  for (const auto* idx : db.catalog().AllIndexes(false, false)) {
+    if (!idx->columns.empty() && idx->columns[0] == 1) has_org = true;
+  }
+  ASSERT_TRUE(has_org);
+
+  // Workload shifts to created_at lookups; org index should eventually
+  // be dropped and a created_at index added.
+  workload::Workload w2;
+  ASSERT_TRUE(
+      w2.Add("SELECT id FROM users WHERE created_at = 55", 100.0).ok());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(tuner.Tick(w2, nullptr).ok());
+  bool has_created = false;
+  bool still_org = false;
+  for (const auto* idx : db.catalog().AllIndexes(false, false)) {
+    if (!idx->columns.empty() && idx->columns[0] == 4) has_created = true;
+    if (!idx->columns.empty() && idx->columns[0] == 1) still_org = true;
+  }
+  EXPECT_TRUE(has_created);
+  EXPECT_FALSE(still_org);
+}
+
+}  // namespace
+}  // namespace aim::core

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace aim {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad width");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad width");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad width");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<Status::Code> codes = {
+      Status::InvalidArgument("x").code(), Status::NotFound("x").code(),
+      Status::AlreadyExists("x").code(),   Status::OutOfBudget("x").code(),
+      Status::ParseError("x").code(),      Status::Unsupported("x").code(),
+      Status::Internal("x").code(),
+  };
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+Status Fails() { return Status::NotFound("nope"); }
+Status PropagatesThroughMacro() {
+  AIM_RETURN_NOT_OK(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(PropagatesThroughMacro().code(), Status::Code::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInternal);
+}
+
+Result<int> GiveSeven() { return 7; }
+Result<int> UseAssignOrReturn() {
+  AIM_ASSIGN_OR_RETURN(int v, GiveSeven());
+  return v + 1;
+}
+Result<int> FailAssign() {
+  AIM_ASSIGN_OR_RETURN(int v, Result<int>(Status::NotFound("gone")));
+  return v;
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  Result<int> r = UseAssignOrReturn();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 8);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  Result<int> r = FailAssign();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(ResultTest, MoveValueTransfersOwnership) {
+  Result<std::string> r = std::string("payload");
+  std::string v = r.MoveValue();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformZeroBoundIsZero) {
+  Rng rng(5);
+  EXPECT_EQ(rng.Uniform(0), 0u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(6);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.Zipf(100, 0.9), 100u);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallValues) {
+  Rng rng(10);
+  uint64_t small = 0;
+  const int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Zipf(1000, 0.99) < 10) ++small;
+  }
+  // With heavy skew, the top-10 values should dominate far beyond the
+  // uniform expectation of 1%.
+  EXPECT_GT(small, static_cast<uint64_t>(kTrials * 0.2));
+}
+
+TEST(RngTest, ZipfZeroThetaActsUniform) {
+  Rng rng(11);
+  uint64_t small = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.Zipf(1000, 0.0) < 10) ++small;
+  }
+  EXPECT_LT(small, 200u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(12);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(13);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(StringsTest, Split) {
+  std::vector<std::string> parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("SeLeCt"), "SELECT");
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("LineItem", "LINEITEM"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KiB");
+  EXPECT_EQ(HumanBytes(3.5 * 1024 * 1024), "3.50 MiB");
+  EXPECT_EQ(HumanBytes(1.0 * 1024 * 1024 * 1024), "1.00 GiB");
+}
+
+TEST(LoggingTest, LevelGate) {
+  LogLevel prev = Logger::SetLevel(LogLevel::kError);
+  AIM_LOG(Info) << "should be suppressed";
+  EXPECT_EQ(Logger::GetLevel(), LogLevel::kError);
+  Logger::SetLevel(prev);
+}
+
+}  // namespace
+}  // namespace aim

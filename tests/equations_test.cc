@@ -1,0 +1,295 @@
+// Checks tied to the paper's equations and problem definition:
+// Eq. 2-4 (continuous tuning guarantees), Eq. 5 (expected benefit),
+// Eq. 7/8 (utility accounting), the knapsack discipline, and the IPP
+// relaxation of Sec. V-A.
+#include <gtest/gtest.h>
+
+#include "core/aim.h"
+#include "core/sharding.h"
+#include "executor/executor.h"
+#include "tests/test_util.h"
+
+namespace aim::core {
+namespace {
+
+using aim::testing::MakeUsersDb;
+using aim::testing::MustQuery;
+
+// ---------- Eq. 5: B(q) = (1 - ddr_avg) * cpu_avg ---------------------------
+
+TEST(Eq5Test, BenefitFormulaExact) {
+  workload::QueryStats stats;
+  stats.executions = 4;
+  stats.total_cpu_seconds = 2.0;   // cpu_avg = 0.5
+  stats.sum_sent_to_read = 1.2;    // ddr_avg = 0.3
+  EXPECT_DOUBLE_EQ(stats.cpu_avg(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.ddr_avg(), 0.3);
+  EXPECT_DOUBLE_EQ(stats.expected_benefit(), 0.7 * 0.5);
+}
+
+TEST(Eq5Test, EfficientQueryHasNoBenefit) {
+  // ddr_avg = 1 (everything read is sent): nothing to gain.
+  workload::QueryStats stats;
+  stats.executions = 10;
+  stats.total_cpu_seconds = 5.0;
+  stats.sum_sent_to_read = 10.0;
+  EXPECT_DOUBLE_EQ(stats.expected_benefit(), 0.0);
+}
+
+TEST(Eq5Test, ObservedDdrMatchesExecution) {
+  storage::Database db = MakeUsersDb(1000);
+  executor::Executor exec(&db, optimizer::CostModel());
+  // ~10 of 1000 rows match: ddr ingredient ~ 0.01.
+  auto r = exec.Execute(
+      aim::testing::MustParse("SELECT id FROM users WHERE org_id = 5"));
+  ASSERT_TRUE(r.ok());
+  const double ratio = r.ValueOrDie().metrics.SentToReadRatio();
+  EXPECT_GT(ratio, 0.0);
+  EXPECT_LT(ratio, 0.05);
+}
+
+// ---------- Eq. 7/8: utility accounting -------------------------------------
+
+TEST(Eq7Test, BenefitProportionalToCostReduction) {
+  storage::Database db = MakeUsersDb(5000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  workload::Query q = MustQuery("SELECT id FROM users WHERE org_id = 5");
+  SelectedQuery sq;
+  sq.query = &q;
+  sq.stats.executions = 100;
+  sq.stats.total_cpu_seconds = 50.0;  // cpu_avg 0.5s
+
+  catalog::IndexDef def;
+  def.table = 0;
+  def.columns = {1};
+  RankingResult r = RankAndSelect({def}, {sq}, &what_if, {});
+  ASSERT_EQ(r.selected.size(), 1u);
+
+  // Cross-check Eq. 7 by recomputing the ingredients.
+  const double cost_phi = [&] {
+    what_if.ClearConfiguration();
+    return what_if.QueryCost(q.stmt).ValueOrDie();
+  }();
+  (void)what_if.SetConfiguration({def});
+  const double cost_with = what_if.QueryCost(q.stmt).ValueOrDie();
+  what_if.ClearConfiguration();
+  const double expected =
+      (cost_phi - cost_with) / cost_phi * 0.5 * 100.0;
+  EXPECT_NEAR(r.selected[0].benefit, expected, expected * 0.01);
+}
+
+TEST(Eq8Test, MaintenanceScalesWithWriteRate) {
+  storage::Database db = MakeUsersDb(2000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  workload::Query read = MustQuery(
+      "SELECT id FROM users WHERE score = 7", 1.0);
+  workload::Query write = MustQuery(
+      "UPDATE users SET score = 1 WHERE id = 5", 1.0);
+  catalog::IndexDef def;
+  def.table = 0;
+  def.columns = {3};
+
+  auto maintenance_at = [&](uint64_t writes) {
+    SelectedQuery sr;
+    sr.query = &read;
+    sr.stats.executions = 10;
+    sr.stats.total_cpu_seconds = 1.0;
+    SelectedQuery sw;
+    sw.query = &write;
+    sw.stats.executions = writes;
+    sw.stats.total_cpu_seconds = 0.001 * writes;
+    RankingResult r = RankAndSelect({def}, {sr, sw}, &what_if, {});
+    const CandidateIndex& c =
+        r.selected.empty() ? r.rejected[0] : r.selected[0];
+    return c.maintenance;
+  };
+  const double m1 = maintenance_at(100);
+  const double m2 = maintenance_at(1000);
+  EXPECT_GT(m2, m1 * 5.0);  // ~linear in write executions
+}
+
+TEST(KnapsackTest, SelectionRespectsDensityOrder) {
+  // Property: every selected index has density >= any rejected index that
+  // would still have fit in the remaining budget.
+  storage::Database db = MakeUsersDb(5000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  workload::Query q1 = MustQuery("SELECT id FROM users WHERE org_id = 5",
+                                 100.0);
+  workload::Query q2 = MustQuery(
+      "SELECT id FROM users WHERE created_at = 7", 60.0);
+  workload::Query q3 = MustQuery(
+      "SELECT email FROM users WHERE status = 2 AND score > 500", 30.0);
+  std::vector<SelectedQuery> queries;
+  for (auto* q : {&q1, &q2, &q3}) {
+    SelectedQuery sq;
+    sq.query = q;
+    queries.push_back(sq);
+  }
+  std::vector<catalog::IndexDef> candidates;
+  for (std::vector<catalog::ColumnId> cols :
+       std::vector<std::vector<catalog::ColumnId>>{
+           {1}, {4}, {2, 3}, {2, 3, 5}, {3}}) {
+    catalog::IndexDef def;
+    def.table = 0;
+    def.columns = cols;
+    candidates.push_back(def);
+  }
+  RankingOptions options;
+  options.storage_budget_bytes = 300000;
+  RankingResult r = RankAndSelect(candidates, queries, &what_if, options);
+  EXPECT_LE(r.selected_bytes, options.storage_budget_bytes);
+  double min_selected_density = 1e300;
+  for (const auto& c : r.selected) {
+    min_selected_density = std::min(min_selected_density, c.density());
+  }
+  for (const auto& c : r.rejected) {
+    if (c.utility() <= 0) continue;  // rejected for utility, fine
+    if (r.selected_bytes + c.size_bytes <=
+        options.storage_budget_bytes) {
+      // It fit but was not chosen: its density must not beat the picks.
+      EXPECT_LE(c.density(), min_selected_density + 1e-9);
+    }
+  }
+}
+
+// ---------- Eq. 2-4: continuous-tuning guarantees ---------------------------
+
+TEST(Eq3Eq4Test, ValidationReportsImprovementAndRegressions) {
+  storage::Database db = MakeUsersDb(3000);
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5", 10.0).ok());
+  std::vector<SelectedQuery> selected;
+  for (const auto& q : w.queries) {
+    SelectedQuery sq;
+    sq.query = &q;
+    selected.push_back(sq);
+  }
+  CandidateIndex good;
+  good.def.table = 0;
+  good.def.columns = {1};
+  CloneValidationOptions options;
+  options.lambda2 = 0.05;
+  options.lambda3 = 0.20;
+  Result<CloneValidationResult> r =
+      ValidateOnClone(db, {good}, selected, optimizer::CostModel(),
+                      options);
+  ASSERT_TRUE(r.ok());
+  // Eq. 3: at least one query improved by >= lambda2.
+  EXPECT_TRUE(r.ValueOrDie().any_query_improved);
+  // Eq. 4: no query regressed beyond lambda3.
+  EXPECT_TRUE(r.ValueOrDie().no_regressions);
+  ASSERT_EQ(r.ValueOrDie().per_query.size(), 1u);
+  EXPECT_LE(r.ValueOrDie().per_query[0].cpu_after,
+            (1.0 + options.lambda3) *
+                r.ValueOrDie().per_query[0].cpu_before);
+}
+
+TEST(Eq2Test, RunOnceKeepsWorkloadCostNearBootstrapOptimum) {
+  // Eq. 2 with lambda1: the continuous path must land within (1+lambda1)
+  // of a from-scratch bootstrap on the same workload.
+  storage::Database scratch = MakeUsersDb(4000);
+  storage::Database incremental = MakeUsersDb(4000);
+  // The incremental database starts from a mediocre pre-existing config.
+  catalog::IndexDef mediocre;
+  mediocre.table = 0;
+  mediocre.columns = {2};  // status: low selectivity
+  ASSERT_TRUE(incremental.CreateIndex(mediocre).ok());
+
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5", 100.0).ok());
+  ASSERT_TRUE(
+      w.Add("SELECT id FROM users WHERE created_at = 9", 50.0).ok());
+
+  core::AimOptions options;
+  options.validate_on_clone = false;
+  AutomaticIndexManager scratch_aim(&scratch, optimizer::CostModel(),
+                                    options);
+  ASSERT_TRUE(scratch_aim.RunOnce(w, nullptr).ok());
+  AutomaticIndexManager inc_aim(&incremental, optimizer::CostModel(),
+                                options);
+  ASSERT_TRUE(inc_aim.RunOnce(w, nullptr).ok());
+
+  auto workload_cost = [&](const storage::Database& db) {
+    optimizer::WhatIfOptimizer what_if(db.catalog(),
+                                       optimizer::CostModel());
+    return what_if.WorkloadCost(w.statements(), w.weights()).ValueOrDie();
+  };
+  const double lambda1 = 0.10;
+  EXPECT_LE(workload_cost(incremental),
+            (1.0 + lambda1) * workload_cost(scratch));
+}
+
+// ---------- Sec. V-A: IPP relaxation -----------------------------------------
+
+TEST(IppRelaxationTest, FloorTruncatesPrefix) {
+  storage::Database db = MakeUsersDb(2000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  workload::Query q = MustQuery(
+      "SELECT payload FROM users WHERE org_id = 1 AND status = 2 AND "
+      "created_at = 3 AND email = 'user7'");
+  auto aq = optimizer::Analyze(q.stmt, db.catalog()).MoveValue();
+
+  CandidateGenOptions off;
+  CandidateGenerator gen_off(db.catalog(), &what_if, off);
+  auto full = gen_off.GenerateCandidatesForSelection(
+      q, aq, 2, CoveringMode::kNonCovering);
+  ASSERT_EQ(full.size(), 1u);
+  EXPECT_EQ(full[0].width(), 4u);
+
+  CandidateGenOptions on;
+  on.ipp_selectivity_floor = 1e-4;
+  CandidateGenerator gen_on(db.catalog(), &what_if, on);
+  auto relaxed = gen_on.GenerateCandidatesForSelection(
+      q, aq, 2, CoveringMode::kNonCovering);
+  ASSERT_EQ(relaxed.size(), 1u);
+  // email (~1/2000) x created_at (~1/2000) already clears the floor:
+  // org_id / status add nothing and are dropped.
+  EXPECT_LT(relaxed[0].width(), full[0].width());
+  EXPECT_GE(relaxed[0].width(), 1u);
+}
+
+TEST(IppRelaxationTest, KeepsEverythingAboveFloor) {
+  storage::Database db = MakeUsersDb(2000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  workload::Query q = MustQuery(
+      "SELECT payload FROM users WHERE org_id = 1 AND status = 2");
+  auto aq = optimizer::Analyze(q.stmt, db.catalog()).MoveValue();
+  CandidateGenOptions on;
+  on.ipp_selectivity_floor = 1e-9;  // never reached by 1/100 x 1/5
+  CandidateGenerator gen(db.catalog(), &what_if, on);
+  auto orders = gen.GenerateCandidatesForSelection(
+      q, aq, 2, CoveringMode::kNonCovering);
+  ASSERT_EQ(orders.size(), 1u);
+  EXPECT_EQ(orders[0].width(), 2u);
+}
+
+// ---------- engine pricing ----------------------------------------------------
+
+TEST(EnginePricingTest, LsmKeepsWriteChurnedIndexLonger) {
+  // The ablation crossover as a regression test: at a high write:read
+  // ratio the B+Tree engine drops the index while LSM keeps it.
+  auto decide = [&](optimizer::CostParams params, double write_weight) {
+    storage::Database db = MakeUsersDb(8000, 31);
+    workload::Workload w;
+    (void)w.Add("SELECT id FROM users WHERE score = 77", 100.0);
+    (void)w.Add("UPDATE users SET score = 1 WHERE id = 5", write_weight);
+    core::AimOptions options;
+    options.validate_on_clone = false;
+    AutomaticIndexManager aim(&db, optimizer::CostModel(params), options);
+    Result<AimReport> r = aim.Recommend(w, nullptr);
+    if (!r.ok()) return false;
+    for (const auto& c : r.ValueOrDie().recommended) {
+      if (!c.def.columns.empty() && c.def.columns[0] == 3) return true;
+    }
+    return false;
+  };
+  const double kHighChurn = 32000.0;
+  EXPECT_FALSE(decide(optimizer::CostParams::BTree(), kHighChurn));
+  EXPECT_TRUE(decide(optimizer::CostParams::Lsm(), kHighChurn));
+  // Both engines index at low churn.
+  EXPECT_TRUE(decide(optimizer::CostParams::BTree(), 100.0));
+  EXPECT_TRUE(decide(optimizer::CostParams::Lsm(), 100.0));
+}
+
+}  // namespace
+}  // namespace aim::core

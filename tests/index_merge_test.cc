@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "core/aim.h"
+#include "executor/executor.h"
+#include "optimizer/optimizer.h"
+#include "tests/test_util.h"
+
+namespace aim {
+namespace {
+
+using aim::testing::MakeUsersDb;
+using aim::testing::MustParse;
+
+constexpr const char* kOrSql =
+    "SELECT id FROM users WHERE (org_id = 3 AND status = 1) OR "
+    "(created_at BETWEEN 100 AND 120)";
+
+catalog::IndexId AddIndex(storage::Database* db,
+                          std::vector<catalog::ColumnId> cols) {
+  catalog::IndexDef def;
+  def.table = 0;
+  def.columns = std::move(cols);
+  return db->CreateIndex(def).ValueOrDie();
+}
+
+optimizer::Plan PlanWith(const storage::Database& db,
+                         const std::string& sql,
+                         optimizer::OptimizeOptions options = {}) {
+  optimizer::Optimizer opt(db.catalog(), optimizer::CostModel());
+  Result<optimizer::Plan> r = opt.Optimize(MustParse(sql), options);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.MoveValue() : optimizer::Plan{};
+}
+
+TEST(IndexMergeTest, OptimizerChoosesUnionWhenBothArmsIndexed) {
+  storage::Database db = MakeUsersDb(5000);
+  AddIndex(&db, {1, 2});  // (org_id, status)
+  AddIndex(&db, {4});     // created_at
+  optimizer::Plan plan = PlanWith(db, kOrSql);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  ASSERT_TRUE(plan.steps[0].path.is_index_merge());
+  EXPECT_EQ(plan.steps[0].path.union_parts.size(), 2u);
+  const std::string desc = plan.Describe(db.catalog());
+  EXPECT_NE(desc.find("index_merge"), std::string::npos);
+}
+
+TEST(IndexMergeTest, UnionRequiresEveryArmIndexed) {
+  storage::Database db = MakeUsersDb(5000);
+  AddIndex(&db, {1, 2});  // only the first arm has an index
+  optimizer::Plan plan = PlanWith(db, kOrSql);
+  EXPECT_FALSE(plan.steps[0].path.is_index_merge());
+  EXPECT_TRUE(plan.steps[0].path.is_full_scan());
+}
+
+TEST(IndexMergeTest, SwitchDisablesUnion) {
+  storage::Database db = MakeUsersDb(5000);
+  AddIndex(&db, {1, 2});
+  AddIndex(&db, {4});
+  optimizer::OptimizeOptions options;
+  options.switches.index_merge_union = false;
+  optimizer::Plan plan = PlanWith(db, kOrSql, options);
+  EXPECT_FALSE(plan.steps[0].path.is_index_merge());
+}
+
+TEST(IndexMergeTest, NotUsedWithConjunctiveSkeleton) {
+  // A top-level conjunct makes a single-index plan preferable; the union
+  // only fires for pure disjunctions.
+  storage::Database db = MakeUsersDb(5000);
+  AddIndex(&db, {1});
+  AddIndex(&db, {4});
+  optimizer::Plan plan = PlanWith(
+      db,
+      "SELECT id FROM users WHERE org_id = 3 AND (status = 1 OR "
+      "created_at > 100)");
+  EXPECT_FALSE(plan.steps[0].path.is_index_merge());
+}
+
+TEST(IndexMergeTest, ExecutorUnionMatchesBruteForce) {
+  storage::Database db = MakeUsersDb(3000);
+  const auto count_expected = [&]() {
+    uint64_t n = 0;
+    db.heap(0).Scan([&](storage::RowId, const storage::Row& row) {
+      const bool arm1 = row[1].AsInt() == 3 && row[2].AsInt() == 1;
+      const bool arm2 =
+          row[4].AsInt() >= 100 && row[4].AsInt() <= 120;
+      if (arm1 || arm2) ++n;
+      return true;
+    });
+    return n;
+  };
+  executor::Executor exec(&db, optimizer::CostModel());
+  const uint64_t expected = count_expected();
+  Result<executor::ExecuteResult> scan = exec.Execute(MustParse(kOrSql));
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan.ValueOrDie().rows.size(), expected);
+
+  AddIndex(&db, {1, 2});
+  AddIndex(&db, {4});
+  Result<executor::ExecuteResult> merged = exec.Execute(MustParse(kOrSql));
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.ValueOrDie().rows.size(), expected);
+  // The union examines far fewer rows than the scan.
+  EXPECT_LT(merged.ValueOrDie().metrics.rows_examined,
+            scan.ValueOrDie().metrics.rows_examined / 2);
+  EXPECT_EQ(merged.ValueOrDie().metrics.used_indexes.size(), 2u);
+}
+
+TEST(IndexMergeTest, ExecutorDedupsOverlappingArms) {
+  storage::Database db = MakeUsersDb(2000);
+  AddIndex(&db, {1});
+  AddIndex(&db, {2});
+  // The arms overlap heavily (org_id = 3 rows often have status = 1).
+  const char* sql =
+      "SELECT id FROM users WHERE (org_id = 3) OR (status = 1)";
+  uint64_t expected = 0;
+  db.heap(0).Scan([&](storage::RowId, const storage::Row& row) {
+    if (row[1].AsInt() == 3 || row[2].AsInt() == 1) ++expected;
+    return true;
+  });
+  executor::Executor exec(&db, optimizer::CostModel());
+  Result<executor::ExecuteResult> r = exec.Execute(MustParse(sql));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().rows.size(), expected);  // no duplicates
+}
+
+TEST(IndexMergeTest, AimRecommendsPerFactorIndexes) {
+  // The paper's E2 pattern: AIM emits one candidate per DNF factor and,
+  // with index-merge available, both factors' indexes earn benefit.
+  storage::Database db = MakeUsersDb(5000);
+  workload::Workload w;
+  ASSERT_TRUE(w.Add(kOrSql, 100.0).ok());
+  core::AimOptions options;
+  options.validate_on_clone = false;
+  core::AutomaticIndexManager aim(&db, optimizer::CostModel(), options);
+  Result<core::AimReport> r = aim.Recommend(w, nullptr);
+  ASSERT_TRUE(r.ok());
+  bool has_org_arm = false;
+  bool has_created_arm = false;
+  for (const auto& c : r.ValueOrDie().recommended) {
+    if (!c.def.columns.empty() && c.def.columns[0] == 1) {
+      has_org_arm = true;
+    }
+    if (!c.def.columns.empty() && c.def.columns[0] == 4) {
+      has_created_arm = true;
+    }
+  }
+  EXPECT_TRUE(has_org_arm);
+  EXPECT_TRUE(has_created_arm);
+}
+
+// ---------- switch awareness -------------------------------------------------
+
+TEST(SwitchesTest, CandidateGenSkipsOrFactorsWhenMergeOff) {
+  storage::Database db = MakeUsersDb(1000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  core::CandidateGenOptions gen_options;
+  gen_options.switches.index_merge_union = false;
+  core::CandidateGenerator gen(db.catalog(), &what_if, gen_options);
+  workload::Query q = aim::testing::MustQuery(kOrSql);
+  auto aq = optimizer::Analyze(q.stmt, db.catalog()).MoveValue();
+  auto orders = gen.GenerateCandidatesForSelection(
+      q, aq, 2, core::CoveringMode::kNonCovering);
+  // A pure OR has an empty conjunctive skeleton: nothing to index.
+  EXPECT_TRUE(orders.empty());
+
+  core::CandidateGenOptions on;
+  core::CandidateGenerator gen_on(db.catalog(), &what_if, on);
+  EXPECT_EQ(gen_on
+                .GenerateCandidatesForSelection(
+                    q, aq, 2, core::CoveringMode::kNonCovering)
+                .size(),
+            2u);
+}
+
+TEST(SwitchesTest, CandidateGenSkipsOrderByWhenSortAvoidanceOff) {
+  storage::Database db = MakeUsersDb(1000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  core::CandidateGenOptions gen_options;
+  gen_options.switches.sort_avoidance = false;
+  core::CandidateGenerator gen(db.catalog(), &what_if, gen_options);
+  workload::Query q = aim::testing::MustQuery(
+      "SELECT id FROM users ORDER BY created_at LIMIT 5");
+  auto aq = optimizer::Analyze(q.stmt, db.catalog()).MoveValue();
+  EXPECT_TRUE(gen.GenerateCandidatesForOrderBy(
+                     q, aq, 2, core::CoveringMode::kNonCovering)
+                  .empty());
+  workload::Query g = aim::testing::MustQuery(
+      "SELECT status, COUNT(*) FROM users GROUP BY status");
+  auto aqg = optimizer::Analyze(g.stmt, db.catalog()).MoveValue();
+  EXPECT_TRUE(gen.GenerateCandidatesForGroupBy(
+                     g, aqg, 2, core::CoveringMode::kNonCovering)
+                  .empty());
+}
+
+TEST(SwitchesTest, SortAvoidanceOffForcesSort) {
+  storage::Database db = MakeUsersDb(2000);
+  AddIndex(&db, {4});
+  optimizer::OptimizeOptions off;
+  off.switches.sort_avoidance = false;
+  optimizer::Plan forced = PlanWith(
+      db, "SELECT id FROM users ORDER BY created_at LIMIT 5", off);
+  EXPECT_TRUE(forced.needs_sort);
+  optimizer::Plan normal =
+      PlanWith(db, "SELECT id FROM users ORDER BY created_at LIMIT 5");
+  EXPECT_FALSE(normal.needs_sort);
+  EXPECT_LT(normal.total_cost(), forced.total_cost());
+}
+
+TEST(SwitchesTest, IcpOffRaisesEstimatedFetches) {
+  storage::Database db = MakeUsersDb(5000);
+  AddIndex(&db, {1, 4});  // (org_id, created_at): created_at filtered but
+                          // not a prefix -> ICP territory
+  const char* sql =
+      "SELECT email FROM users WHERE org_id = 3 AND created_at < 100";
+  optimizer::Plan with_icp = PlanWith(db, sql);
+  optimizer::OptimizeOptions off;
+  off.switches.index_condition_pushdown = false;
+  optimizer::Plan without_icp = PlanWith(db, sql, off);
+  // Wait: (org_id, created_at) makes created_at the range column, not an
+  // ICP residual. Use an index where the filter column sits deeper.
+  (void)with_icp;
+  (void)without_icp;
+
+  storage::Database db2 = MakeUsersDb(5000);
+  AddIndex(&db2, {1, 2, 4});  // created_at behind an unconstrained status
+  const char* sql2 =
+      "SELECT email FROM users WHERE org_id = 3 AND created_at < 100";
+  optimizer::Plan icp_on = PlanWith(db2, sql2);
+  optimizer::OptimizeOptions off2;
+  off2.switches.index_condition_pushdown = false;
+  optimizer::Plan icp_off = PlanWith(db2, sql2, off2);
+  ASSERT_FALSE(icp_on.steps[0].path.is_full_scan());
+  EXPECT_LT(icp_on.steps[0].path.rows_fetched,
+            icp_off.steps[0].path.rows_fetched);
+  EXPECT_LE(icp_on.total_cost(), icp_off.total_cost());
+}
+
+}  // namespace
+}  // namespace aim

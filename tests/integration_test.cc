@@ -1,0 +1,264 @@
+// End-to-end integration: full benchmark bootstraps, estimate-vs-observed
+// consistency sweeps, and the supporting components working together.
+#include <gtest/gtest.h>
+
+#include "advisors/aim_adapter.h"
+#include "core/aim.h"
+#include "core/continuous.h"
+#include "executor/executor.h"
+#include "support/regression_detector.h"
+#include "support/stats_exporter.h"
+#include "tests/test_util.h"
+#include "workload/job.h"
+#include "workload/replay.h"
+#include "workload/tpch.h"
+
+namespace aim {
+namespace {
+
+using aim::testing::MakeUsersDb;
+
+TEST(IntegrationTest, TpchBootstrapCutsEstimatedCost) {
+  storage::Database db;
+  workload::TpchOptions options;
+  options.materialized_sf = 0.002;
+  options.stats_sf = 10.0;
+  ASSERT_TRUE(workload::BuildTpch(&db, options).ok());
+  workload::Workload w = workload::TpchQueries().MoveValue();
+
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  const double before =
+      what_if.WorkloadCost(w.statements(), w.weights()).ValueOrDie();
+
+  core::AimOptions aim_options;
+  aim_options.validate_on_clone = false;
+  aim_options.candidates.max_index_width = 4;
+  core::AutomaticIndexManager aim(&db, optimizer::CostModel(),
+                                  aim_options);
+  Result<core::AimReport> r = aim.Recommend(w, nullptr);
+  ASSERT_TRUE(r.ok());
+  std::vector<catalog::IndexDef> config;
+  for (const auto& c : r.ValueOrDie().recommended) {
+    config.push_back(c.def);
+  }
+  ASSERT_TRUE(what_if.SetConfiguration(config).ok());
+  const double after =
+      what_if.WorkloadCost(w.statements(), w.weights()).ValueOrDie();
+  // Fig. 4 shape: a relaxed budget cuts the estimated cost by >= 2x.
+  EXPECT_LT(after, before * 0.5);
+  // And AIM stays frugal with optimizer calls.
+  EXPECT_LT(r.ValueOrDie().stats.what_if_calls, 500u);
+}
+
+TEST(IntegrationTest, JobBootstrapCutsEstimatedCost) {
+  storage::Database db;
+  workload::JobOptions options;
+  options.scale = 0.03;
+  options.stats_scale = 30.0;
+  ASSERT_TRUE(workload::BuildJob(&db, options).ok());
+  workload::Workload w = workload::JobQueries().MoveValue();
+
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  const double before =
+      what_if.WorkloadCost(w.statements(), w.weights()).ValueOrDie();
+  core::AimOptions aim_options;
+  aim_options.validate_on_clone = false;
+  core::AutomaticIndexManager aim(&db, optimizer::CostModel(),
+                                  aim_options);
+  Result<core::AimReport> r = aim.Recommend(w, nullptr);
+  ASSERT_TRUE(r.ok());
+  std::vector<catalog::IndexDef> config;
+  for (const auto& c : r.ValueOrDie().recommended) {
+    config.push_back(c.def);
+  }
+  ASSERT_TRUE(what_if.SetConfiguration(config).ok());
+  const double after =
+      what_if.WorkloadCost(w.statements(), w.weights()).ValueOrDie();
+  EXPECT_LT(after, before * 0.2);  // join workloads improve dramatically
+}
+
+// Estimate-vs-observed consistency: when the optimizer claims an index
+// helps a query, actually executing must confirm the direction.
+class ConsistencySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConsistencySweep, OptimizerChoicesImproveObservedCpu) {
+  Rng rng(GetParam());
+  storage::Database db = MakeUsersDb(3000, GetParam());
+  // A random conjunctive query over the fixture schema.
+  const char* eq_cols[] = {"org_id", "status", "score"};
+  const uint64_t ndv[] = {100, 5, 1000};
+  std::string sql = "SELECT id FROM users WHERE ";
+  const int pick = static_cast<int>(rng.Uniform(3));
+  sql += std::string(eq_cols[pick]) + " = " +
+         std::to_string(rng.Uniform(ndv[pick]));
+  if (rng.Bernoulli(0.5)) {
+    sql += " AND created_at > " + std::to_string(rng.Uniform(3000));
+  }
+  sql::Statement stmt = aim::testing::MustParse(sql);
+
+  executor::Executor exec(&db, optimizer::CostModel());
+  const double cpu_before =
+      exec.Execute(stmt).ValueOrDie().metrics.cpu_seconds;
+
+  // Let AIM pick whatever it wants for this single query.
+  workload::Workload w;
+  ASSERT_TRUE(w.Add(sql, 100.0).ok());
+  core::AimOptions options;
+  options.validate_on_clone = false;
+  core::AutomaticIndexManager aim(&db, optimizer::CostModel(), options);
+  Result<core::AimReport> r = aim.RunOnce(w, nullptr);
+  ASSERT_TRUE(r.ok());
+  if (r.ValueOrDie().recommended.empty()) {
+    // Nothing promised, nothing to check.
+    return;
+  }
+  const double cpu_after =
+      exec.Execute(stmt).ValueOrDie().metrics.cpu_seconds;
+  EXPECT_LT(cpu_after, cpu_before * 1.05) << sql;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencySweep,
+                         ::testing::Range<uint64_t>(1, 26));
+
+TEST(IntegrationTest, ExporterFeedsAimAcrossReplicas) {
+  storage::Database db = MakeUsersDb(4000);
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5", 1.0).ok());
+
+  // Two replicas each see half the traffic; AIM consumes the warehouse
+  // aggregate produced by the exporter.
+  workload::WorkloadMonitor replica_a;
+  workload::WorkloadMonitor replica_b;
+  executor::Executor exec(&db, optimizer::CostModel());
+  for (int i = 0; i < 30; ++i) {
+    auto r = exec.Execute(w.queries[0].stmt);
+    ASSERT_TRUE(r.ok());
+    (i % 2 == 0 ? replica_a : replica_b)
+        .RecordKeyed(w.queries[0].fingerprint,
+                     w.queries[0].normalized_sql,
+                     r.ValueOrDie().metrics);
+  }
+  support::StatsExporter exporter;
+  exporter.RegisterReplica("a", &replica_a);
+  exporter.RegisterReplica("b", &replica_b);
+  exporter.ExportInterval();
+
+  core::AimOptions options;
+  options.validate_on_clone = false;
+  options.selection.min_executions = 25;  // neither replica alone passes
+  options.selection.min_benefit_cores = 1e-9;
+  core::AutomaticIndexManager aim(&db, optimizer::CostModel(), options);
+  Result<core::AimReport> r = aim.Recommend(w, &exporter.aggregate());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().stats.queries_selected, 1u);
+  EXPECT_FALSE(r.ValueOrDie().recommended.empty());
+}
+
+TEST(IntegrationTest, RegressionDetectorCatchesDroppedIndex) {
+  // Simulates the production safety loop: a healthy indexed query, the
+  // index disappears (bad automation change), the off-host detector
+  // flags the CPU spike.
+  storage::Database db = MakeUsersDb(4000);
+  catalog::IndexDef def;
+  def.table = 0;
+  def.columns = {1};
+  def.created_by_automation = true;
+  catalog::IndexId idx = db.CreateIndex(def).ValueOrDie();
+
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5", 1.0).ok());
+  executor::Executor exec(&db, optimizer::CostModel());
+  support::RegressionDetector detector;
+
+  auto run_interval = [&]() {
+    workload::WorkloadMonitor monitor;
+    for (int i = 0; i < 20; ++i) {
+      auto r = exec.Execute(w.queries[0].stmt);
+      monitor.RecordKeyed(w.queries[0].fingerprint,
+                          w.queries[0].normalized_sql,
+                          r.ValueOrDie().metrics);
+    }
+    return monitor.Snapshot();
+  };
+  for (int interval = 0; interval < 4; ++interval) {
+    EXPECT_TRUE(detector.Observe(run_interval()).empty());
+  }
+  ASSERT_TRUE(db.DropIndex(idx).ok());
+  auto regressions = detector.Observe(run_interval(), {{idx, 0}});
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_GT(regressions[0].ratio, 2.0);
+}
+
+TEST(IntegrationTest, AimAdvisorMatchesDirectRecommendation) {
+  // The adapter used by the benchmark harness must agree with the core
+  // API it wraps.
+  storage::Database db = MakeUsersDb(3000);
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5", 10.0).ok());
+
+  advisors::AimAdvisor adapter(&db);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  advisors::AdvisorOptions options;
+  Result<advisors::AdvisorResult> via_adapter =
+      adapter.Recommend(w, &what_if, options);
+  ASSERT_TRUE(via_adapter.ok());
+
+  core::AimOptions aim_options;
+  aim_options.validate_on_clone = false;
+  core::AutomaticIndexManager aim(&db, optimizer::CostModel(),
+                                  aim_options);
+  Result<core::AimReport> direct = aim.Recommend(w, nullptr);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(via_adapter.ValueOrDie().indexes.size(),
+            direct.ValueOrDie().recommended.size());
+  for (size_t i = 0; i < direct.ValueOrDie().recommended.size(); ++i) {
+    EXPECT_EQ(via_adapter.ValueOrDie().indexes[i].columns,
+              direct.ValueOrDie().recommended[i].def.columns);
+  }
+}
+
+TEST(IntegrationTest, ReplayRecoveryAfterIndexDrop) {
+  // The Fig. 3 story in miniature: drop -> degraded -> AIM -> recovered.
+  storage::Database db = MakeUsersDb(3000);
+  catalog::IndexDef def;
+  def.table = 0;
+  def.columns = {1};
+  ASSERT_TRUE(db.CreateIndex(def).ok());
+
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5", 1.0).ok());
+  workload::ReplayDriver::Options replay;
+  replay.offered_qps = 40;
+  replay.cpu_capacity_seconds_per_tick = 100.0;
+  workload::ReplayDriver driver(&db, optimizer::CostModel(), replay);
+
+  std::vector<workload::ReplayTick> series = driver.Run(
+      w, 9, [&](int tick) {
+        if (tick == 3) {
+          for (const auto* idx :
+               db.catalog().AllIndexes(false, false)) {
+            (void)db.DropIndex(idx->id);
+          }
+        }
+        if (tick == 6) {
+          core::AimOptions options;
+          options.validate_on_clone = false;
+          options.selection.min_benefit_cores = 1e-9;
+          options.selection.min_executions = 1;
+          core::AutomaticIndexManager aim(&db, optimizer::CostModel(),
+                                          options);
+          Result<core::AimReport> r =
+              aim.RunOnce(w, &driver.monitor());
+          ASSERT_TRUE(r.ok());
+          ASSERT_FALSE(r.ValueOrDie().recommended.empty());
+        }
+      });
+  // healthy < degraded, recovered ~ healthy again.
+  EXPECT_GT(series[4].avg_cpu_per_query,
+            series[1].avg_cpu_per_query * 3.0);
+  EXPECT_LT(series[8].avg_cpu_per_query,
+            series[4].avg_cpu_per_query * 0.5);
+}
+
+}  // namespace
+}  // namespace aim

@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/optimizer.h"
+#include "optimizer/selectivity.h"
+#include "optimizer/what_if.h"
+#include "tests/test_util.h"
+
+namespace aim::optimizer {
+namespace {
+
+using aim::testing::MakeOrdersDb;
+using aim::testing::MakeUsersDb;
+using aim::testing::MustParse;
+
+Plan MustPlan(const storage::Database& db, const std::string& sql,
+              bool hypothetical = true) {
+  Optimizer opt(db.catalog(), CostModel());
+  OptimizeOptions options;
+  options.include_hypothetical = hypothetical;
+  Result<Plan> r = opt.Optimize(MustParse(sql), options);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " sql=" << sql;
+  return r.ok() ? r.MoveValue() : Plan{};
+}
+
+catalog::IndexId AddIndex(storage::Database* db,
+                          std::vector<catalog::ColumnId> cols,
+                          catalog::TableId table = 0,
+                          bool hypothetical = false) {
+  catalog::IndexDef def;
+  def.table = table;
+  def.columns = std::move(cols);
+  def.hypothetical = hypothetical;
+  Result<catalog::IndexId> id = db->CreateIndex(def);
+  EXPECT_TRUE(id.ok()) << id.status().ToString();
+  return id.ok() ? id.ValueOrDie() : catalog::kInvalidIndex;
+}
+
+// ---------- selectivity ------------------------------------------------------
+
+TEST(SelectivityTest, EqUsesNdv) {
+  storage::Database db = MakeUsersDb(2000);
+  AtomicPredicate p;
+  p.column = {0, 2};  // status, ndv ~5
+  p.kind = PredKind::kEq;
+  const double sel = PredicateSelectivity(p, db.catalog(), 0);
+  EXPECT_NEAR(sel, 0.2, 0.15);
+}
+
+TEST(SelectivityTest, InScalesWithListSize) {
+  storage::Database db = MakeUsersDb(2000);
+  AtomicPredicate p;
+  p.column = {0, 1};  // org_id ndv 100
+  p.kind = PredKind::kIn;
+  p.in_list_size = 5;
+  const double sel = PredicateSelectivity(p, db.catalog(), 0);
+  EXPECT_NEAR(sel, 0.05, 0.02);
+}
+
+TEST(SelectivityTest, RangeWithLiteralsUsesHistogram) {
+  storage::Database db = MakeUsersDb(5000);
+  AtomicPredicate p;
+  p.column = {0, 4};  // created_at: uniform over [0, 5000)
+  p.kind = PredKind::kRange;
+  p.has_upper = true;
+  p.upper = 2500;
+  const double sel = PredicateSelectivity(p, db.catalog(), 0);
+  EXPECT_NEAR(sel, 0.5, 0.1);
+}
+
+TEST(SelectivityTest, ParameterizedRangeUsesDefault) {
+  storage::Database db = MakeUsersDb(100);
+  AtomicPredicate p;
+  p.column = {0, 4};
+  p.kind = PredKind::kRange;
+  EXPECT_DOUBLE_EQ(PredicateSelectivity(p, db.catalog(), 0),
+                   kDefaultRangeSelectivity);
+}
+
+TEST(SelectivityTest, CombinedBacksOff) {
+  storage::Database db = MakeUsersDb(2000);
+  AtomicPredicate a;
+  a.column = {0, 1};
+  a.kind = PredKind::kEq;  // ~1/100
+  AtomicPredicate b;
+  b.column = {0, 2};
+  b.kind = PredKind::kEq;  // ~1/5
+  const double combined =
+      CombinedSelectivity(std::vector<AtomicPredicate>{a, b},
+                          db.catalog(), 0);
+  const double sa = PredicateSelectivity(a, db.catalog(), 0);
+  const double sb = PredicateSelectivity(b, db.catalog(), 0);
+  // Backoff: product < combined < min.
+  EXPECT_GT(combined, sa * sb);
+  EXPECT_LT(combined, std::min(sa, sb) + 1e-12);
+}
+
+TEST(SelectivityTest, EmptyPredsIsOne) {
+  storage::Database db = MakeUsersDb(100);
+  EXPECT_DOUBLE_EQ(
+      CombinedSelectivity(std::vector<AtomicPredicate>{}, db.catalog(), 0),
+      1.0);
+}
+
+TEST(SelectivityTest, GroupCountCapped) {
+  storage::Database db = MakeUsersDb(1000);
+  EXPECT_LE(EstimateGroupCount(db.catalog(), 0, {1, 3}, 50.0), 50.0);
+  EXPECT_NEAR(EstimateGroupCount(db.catalog(), 0, {2}, 1e9),
+              5.0, 2.0);
+}
+
+// ---------- access paths & plans --------------------------------------------
+
+TEST(OptimizerTest, FullScanWithoutIndexes) {
+  storage::Database db = MakeUsersDb(1000);
+  Plan plan = MustPlan(db, "SELECT id FROM users WHERE org_id = 5");
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_TRUE(plan.steps[0].path.is_full_scan());
+  EXPECT_NEAR(plan.est_rows_examined, 1000.0, 1.0);
+}
+
+TEST(OptimizerTest, PrefersIndexForSelectiveEq) {
+  storage::Database db = MakeUsersDb(5000);
+  const double scan_cost =
+      MustPlan(db, "SELECT id FROM users WHERE org_id = 5").total_cost();
+  AddIndex(&db, {1});
+  Plan plan = MustPlan(db, "SELECT id FROM users WHERE org_id = 5");
+  ASSERT_FALSE(plan.steps[0].path.is_full_scan());
+  EXPECT_EQ(plan.steps[0].path.eq_prefix_len, 1u);
+  EXPECT_LT(plan.total_cost(), scan_cost);
+}
+
+TEST(OptimizerTest, AddingIndexNeverIncreasesEstimatedCost) {
+  // Property: the optimizer picks the min-cost path, so an extra index
+  // can only help or be ignored.
+  storage::Database db = MakeUsersDb(3000);
+  const char* queries[] = {
+      "SELECT id FROM users WHERE org_id = 5",
+      "SELECT id FROM users WHERE status = 2 AND score > 100",
+      "SELECT org_id, COUNT(*) FROM users GROUP BY org_id",
+      "SELECT id FROM users ORDER BY created_at DESC LIMIT 10",
+  };
+  std::vector<double> before;
+  for (const char* q : queries) before.push_back(MustPlan(db, q).total_cost());
+  AddIndex(&db, {1});
+  AddIndex(&db, {2, 3});
+  AddIndex(&db, {4});
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_LE(MustPlan(db, queries[i]).total_cost(), before[i] + 1e-6)
+        << queries[i];
+  }
+}
+
+TEST(OptimizerTest, MultiColumnPrefixMatching) {
+  storage::Database db = MakeUsersDb(5000);
+  AddIndex(&db, {1, 2, 3});  // (org_id, status, score)
+  Plan plan = MustPlan(
+      db,
+      "SELECT id FROM users WHERE org_id = 3 AND status = 1 AND "
+      "score > 50");
+  ASSERT_FALSE(plan.steps[0].path.is_full_scan());
+  EXPECT_EQ(plan.steps[0].path.eq_prefix_len, 2u);
+  EXPECT_TRUE(plan.steps[0].path.range_on_next);
+}
+
+TEST(OptimizerTest, PrefixStopsAtGap) {
+  storage::Database db = MakeUsersDb(5000);
+  AddIndex(&db, {1, 4, 2});  // (org_id, created_at, status)
+  Plan plan = MustPlan(
+      db, "SELECT id FROM users WHERE org_id = 3 AND status = 1");
+  // created_at is unconstrained: the prefix must stop after org_id.
+  ASSERT_FALSE(plan.steps[0].path.is_full_scan());
+  EXPECT_EQ(plan.steps[0].path.eq_prefix_len, 1u);
+}
+
+TEST(OptimizerTest, CoveringIndexDetected) {
+  storage::Database db = MakeUsersDb(5000);
+  AddIndex(&db, {1, 2});  // covers org_id, status (+ id via PK)
+  Plan plan = MustPlan(
+      db, "SELECT id, status FROM users WHERE org_id = 3");
+  ASSERT_FALSE(plan.steps[0].path.is_full_scan());
+  EXPECT_TRUE(plan.steps[0].path.covering);
+
+  Plan plan2 =
+      MustPlan(db, "SELECT email FROM users WHERE org_id = 3");
+  EXPECT_FALSE(plan2.steps[0].path.covering);
+}
+
+TEST(OptimizerTest, CoveringCostsLessThanFetching) {
+  storage::Database db = MakeUsersDb(5000);
+  AddIndex(&db, {1});
+  const double fetching =
+      MustPlan(db, "SELECT email FROM users WHERE org_id = 3")
+          .total_cost();
+  AddIndex(&db, {1, 5});  // (org_id, email): covering
+  const double covering =
+      MustPlan(db, "SELECT email FROM users WHERE org_id = 3")
+          .total_cost();
+  EXPECT_LT(covering, fetching);
+}
+
+TEST(OptimizerTest, IndexAvoidsSortForOrderBy) {
+  storage::Database db = MakeUsersDb(5000);
+  Plan no_index =
+      MustPlan(db, "SELECT id FROM users ORDER BY created_at LIMIT 10");
+  EXPECT_TRUE(no_index.needs_sort);
+  AddIndex(&db, {4});
+  Plan with_index =
+      MustPlan(db, "SELECT id FROM users ORDER BY created_at LIMIT 10");
+  EXPECT_FALSE(with_index.needs_sort);
+  EXPECT_LT(with_index.total_cost(), no_index.total_cost());
+}
+
+TEST(OptimizerTest, IndexAvoidsSortForGroupBy) {
+  storage::Database db = MakeUsersDb(5000);
+  Plan no_index = MustPlan(
+      db, "SELECT org_id, COUNT(*) FROM users GROUP BY org_id");
+  EXPECT_TRUE(no_index.needs_sort);
+  AddIndex(&db, {1});
+  Plan with_index = MustPlan(
+      db, "SELECT org_id, COUNT(*) FROM users GROUP BY org_id");
+  EXPECT_FALSE(with_index.needs_sort);
+}
+
+TEST(OptimizerTest, DescOrderServedByReverseScan) {
+  storage::Database db = MakeUsersDb(2000);
+  AddIndex(&db, {4});
+  Plan plan = MustPlan(
+      db, "SELECT id FROM users ORDER BY created_at DESC LIMIT 5");
+  EXPECT_FALSE(plan.needs_sort);
+}
+
+TEST(OptimizerTest, LimitPushdownReducesCost) {
+  storage::Database db = MakeUsersDb(5000);
+  AddIndex(&db, {4});
+  const double all =
+      MustPlan(db, "SELECT id FROM users ORDER BY created_at")
+          .total_cost();
+  const double limited =
+      MustPlan(db, "SELECT id FROM users ORDER BY created_at LIMIT 10")
+          .total_cost();
+  EXPECT_LT(limited, all / 10.0);
+}
+
+TEST(OptimizerTest, HypotheticalVisibilityToggle) {
+  storage::Database db = MakeUsersDb(5000);
+  AddIndex(&db, {1}, 0, /*hypothetical=*/true);
+  Plan with = MustPlan(db, "SELECT id FROM users WHERE org_id = 5", true);
+  Plan without =
+      MustPlan(db, "SELECT id FROM users WHERE org_id = 5", false);
+  EXPECT_FALSE(with.steps[0].path.is_full_scan());
+  EXPECT_TRUE(without.steps[0].path.is_full_scan());
+}
+
+TEST(OptimizerTest, JoinUsesIndexOnInnerTable) {
+  storage::Database db = MakeOrdersDb(500, 5000);
+  AddIndex(&db, {1}, 1);  // orders(user_id)
+  Plan plan = MustPlan(
+      db,
+      "SELECT users.id FROM users, orders WHERE users.id = "
+      "orders.user_id AND users.org_id = 7");
+  ASSERT_EQ(plan.steps.size(), 2u);
+  // users (filtered) should drive; orders probed via the index.
+  EXPECT_EQ(plan.steps[0].instance, 0);
+  ASSERT_FALSE(plan.steps[1].path.is_full_scan());
+  EXPECT_EQ(plan.steps[1].path.index->table, 1u);
+}
+
+TEST(OptimizerTest, JoinOrderPrefersFilteredTableFirst) {
+  storage::Database db = MakeOrdersDb(500, 5000);
+  AddIndex(&db, {1}, 1);  // orders(user_id)
+  Plan plan = MustPlan(
+      db,
+      "SELECT orders.id FROM orders, users WHERE users.id = "
+      "orders.user_id AND users.status = 1 AND users.org_id = 3");
+  // The filtered users instance (FROM position 1) should come first.
+  EXPECT_EQ(plan.steps[0].instance, 1);
+}
+
+TEST(OptimizerTest, JoinCardinalityGrowsWithFanout) {
+  storage::Database db = MakeOrdersDb(100, 5000);
+  Plan plan = MustPlan(
+      db,
+      "SELECT users.id FROM users, orders WHERE users.id = "
+      "orders.user_id");
+  // ~5000 order rows survive the equi-join.
+  EXPECT_GT(plan.est_result_rows, 1000.0);
+  EXPECT_LT(plan.est_result_rows, 50000.0);
+}
+
+TEST(OptimizerTest, DmlInsertMaintenanceIncludesAllIndexes) {
+  storage::Database db = MakeUsersDb(1000);
+  AddIndex(&db, {1});
+  AddIndex(&db, {2, 3});
+  Plan plan = MustPlan(
+      db,
+      "INSERT INTO users (id, org_id, status, score, created_at, email, "
+      "payload) VALUES (99999, 1, 2, 3, 4, 'a', 'b')");
+  EXPECT_EQ(plan.maintenance.size(), 2u);
+  EXPECT_GT(plan.maintenance_cost, 0.0);
+}
+
+TEST(OptimizerTest, DmlUpdateOnlyChargesTouchedIndexes) {
+  storage::Database db = MakeUsersDb(1000);
+  AddIndex(&db, {1});     // org_id: untouched
+  AddIndex(&db, {3});     // score: touched
+  Plan plan =
+      MustPlan(db, "UPDATE users SET score = 7 WHERE id = 5");
+  ASSERT_EQ(plan.maintenance.size(), 1u);
+}
+
+TEST(OptimizerTest, DmlDeleteChargesAllIndexes) {
+  storage::Database db = MakeUsersDb(1000);
+  AddIndex(&db, {1});
+  AddIndex(&db, {3});
+  Plan plan = MustPlan(db, "DELETE FROM users WHERE id = 5");
+  EXPECT_EQ(plan.maintenance.size(), 2u);
+}
+
+TEST(OptimizerTest, DmlUsesIndexForWhere) {
+  storage::Database db = MakeUsersDb(5000);
+  AddIndex(&db, {1});
+  Plan plan =
+      MustPlan(db, "UPDATE users SET score = 1 WHERE org_id = 9");
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_FALSE(plan.steps[0].path.is_full_scan());
+}
+
+TEST(OptimizerTest, PlanDescribeMentionsIndex) {
+  storage::Database db = MakeUsersDb(1000);
+  AddIndex(&db, {1});
+  Plan plan = MustPlan(db, "SELECT id FROM users WHERE org_id = 5");
+  const std::string desc = plan.Describe(db.catalog());
+  EXPECT_NE(desc.find("users(org_id)"), std::string::npos);
+}
+
+// ---------- what-if ----------------------------------------------------------
+
+TEST(WhatIfTest, ConfigurationSwapping) {
+  storage::Database db = MakeUsersDb(5000);
+  WhatIfOptimizer what_if(db.catalog(), CostModel());
+  sql::Statement stmt =
+      MustParse("SELECT id FROM users WHERE org_id = 5");
+  const double base = what_if.QueryCost(stmt).ValueOrDie();
+
+  catalog::IndexDef def;
+  def.table = 0;
+  def.columns = {1};
+  ASSERT_TRUE(what_if.SetConfiguration({def}).ok());
+  const double with_index = what_if.QueryCost(stmt).ValueOrDie();
+  EXPECT_LT(with_index, base);
+
+  what_if.ClearConfiguration();
+  EXPECT_DOUBLE_EQ(what_if.QueryCost(stmt).ValueOrDie(), base);
+}
+
+TEST(WhatIfTest, CountsCalls) {
+  storage::Database db = MakeUsersDb(100);
+  WhatIfOptimizer what_if(db.catalog(), CostModel());
+  sql::Statement stmt = MustParse("SELECT id FROM users WHERE org_id = 5");
+  EXPECT_EQ(what_if.call_count(), 0u);
+  (void)what_if.QueryCost(stmt);
+  (void)what_if.QueryCost(stmt);
+  EXPECT_EQ(what_if.call_count(), 2u);
+  what_if.reset_call_count();
+  EXPECT_EQ(what_if.call_count(), 0u);
+}
+
+TEST(WhatIfTest, DoesNotMutateBaseCatalog) {
+  storage::Database db = MakeUsersDb(100);
+  WhatIfOptimizer what_if(db.catalog(), CostModel());
+  catalog::IndexDef def;
+  def.table = 0;
+  def.columns = {1};
+  ASSERT_TRUE(what_if.SetConfiguration({def}).ok());
+  EXPECT_TRUE(db.catalog().AllIndexes(true, false).empty());
+  EXPECT_EQ(what_if.catalog().AllIndexes(true, false).size(), 1u);
+}
+
+TEST(WhatIfTest, WorkloadCostWeights) {
+  storage::Database db = MakeUsersDb(1000);
+  WhatIfOptimizer what_if(db.catalog(), CostModel());
+  sql::Statement stmt = MustParse("SELECT id FROM users WHERE org_id = 5");
+  const double single =
+      what_if.WorkloadCost({&stmt}, {1.0}).ValueOrDie();
+  const double weighted =
+      what_if.WorkloadCost({&stmt, &stmt}, {2.0, 3.0}).ValueOrDie();
+  EXPECT_NEAR(weighted, 5.0 * single, 1e-6);
+}
+
+TEST(WhatIfTest, DuplicateOfRealIndexIgnored) {
+  storage::Database db = MakeUsersDb(100);
+  AddIndex(&db, {1});
+  WhatIfOptimizer what_if(db.catalog(), CostModel());
+  catalog::IndexDef dup;
+  dup.table = 0;
+  dup.columns = {1};
+  EXPECT_TRUE(what_if.SetConfiguration({dup}).ok());
+  EXPECT_EQ(what_if.catalog().AllIndexes(true, false).size(), 1u);
+}
+
+TEST(CostModelTest, LsmWritesCheaper) {
+  CostModel btree{CostParams::BTree()};
+  CostModel lsm{CostParams::Lsm()};
+  EXPECT_LT(lsm.IndexMaintenanceCost(10), btree.IndexMaintenanceCost(10));
+}
+
+TEST(CostModelTest, SortCostSuperlinear) {
+  CostModel cm;
+  EXPECT_EQ(cm.SortCost(1), 0.0);
+  EXPECT_GT(cm.SortCost(2000), 2.0 * cm.SortCost(1000));
+}
+
+}  // namespace
+}  // namespace aim::optimizer

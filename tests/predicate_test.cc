@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "optimizer/predicate.h"
+#include "tests/test_util.h"
+
+namespace aim::optimizer {
+namespace {
+
+using aim::testing::MakeOrdersDb;
+using aim::testing::MakeUsersDb;
+using aim::testing::MustParse;
+
+AnalyzedQuery MustAnalyze(const storage::Database& db,
+                          const std::string& sql) {
+  sql::Statement stmt = MustParse(sql);
+  Result<AnalyzedQuery> r = Analyze(stmt, db.catalog());
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " sql=" << sql;
+  return r.ok() ? r.MoveValue() : AnalyzedQuery{};
+}
+
+TEST(AnalyzeTest, BindsUnqualifiedColumns) {
+  storage::Database db = MakeUsersDb(10);
+  AnalyzedQuery aq =
+      MustAnalyze(db, "SELECT id FROM users WHERE org_id = 5");
+  ASSERT_EQ(aq.instances.size(), 1u);
+  ASSERT_EQ(aq.conjuncts.size(), 1u);
+  EXPECT_EQ(aq.conjuncts[0].column.instance, 0);
+  EXPECT_EQ(aq.conjuncts[0].column.column, 1u);  // org_id
+  EXPECT_EQ(aq.conjuncts[0].kind, PredKind::kEq);
+}
+
+TEST(AnalyzeTest, UnknownColumnFails) {
+  storage::Database db = MakeUsersDb(10);
+  sql::Statement stmt = MustParse("SELECT nope FROM users");
+  EXPECT_FALSE(Analyze(stmt, db.catalog()).ok());
+}
+
+TEST(AnalyzeTest, UnknownTableFails) {
+  storage::Database db = MakeUsersDb(10);
+  sql::Statement stmt = MustParse("SELECT id FROM ghosts");
+  EXPECT_FALSE(Analyze(stmt, db.catalog()).ok());
+}
+
+TEST(AnalyzeTest, AmbiguousColumnFails) {
+  storage::Database db = MakeOrdersDb(10, 10);
+  // `status` exists in both users and orders.
+  sql::Statement stmt =
+      MustParse("SELECT status FROM users, orders WHERE users.id = "
+                "orders.user_id");
+  EXPECT_FALSE(Analyze(stmt, db.catalog()).ok());
+}
+
+TEST(AnalyzeTest, PredicateClassification) {
+  storage::Database db = MakeUsersDb(10);
+  AnalyzedQuery aq = MustAnalyze(
+      db,
+      "SELECT id FROM users WHERE org_id = 3 AND status IN (1, 2) AND "
+      "score > 10 AND email LIKE 'user1%' AND payload LIKE '%x' AND "
+      "created_at BETWEEN 5 AND 100");
+  std::map<catalog::ColumnId, PredKind> kinds;
+  for (const auto& p : aq.conjuncts) kinds[p.column.column] = p.kind;
+  EXPECT_EQ(kinds[1], PredKind::kEq);          // org_id = 3
+  EXPECT_EQ(kinds[2], PredKind::kIn);          // status IN
+  EXPECT_EQ(kinds[3], PredKind::kRange);       // score > 10
+  EXPECT_EQ(kinds[5], PredKind::kLikePrefix);  // email LIKE 'user1%'
+  EXPECT_EQ(kinds[6], PredKind::kOther);       // payload LIKE '%x'
+  EXPECT_EQ(kinds[4], PredKind::kRange);       // created_at BETWEEN
+}
+
+TEST(AnalyzeTest, IndexPrefixPredicateFlag) {
+  storage::Database db = MakeUsersDb(10);
+  AnalyzedQuery aq = MustAnalyze(
+      db, "SELECT id FROM users WHERE org_id = 3 AND score > 10");
+  for (const auto& p : aq.conjuncts) {
+    if (p.column.column == 1) {
+      EXPECT_TRUE(p.is_index_prefix());
+    }
+    if (p.column.column == 3) {
+      EXPECT_FALSE(p.is_index_prefix());
+      EXPECT_TRUE(p.is_sargable());
+    }
+  }
+}
+
+TEST(AnalyzeTest, RangeBoundsExtracted) {
+  storage::Database db = MakeUsersDb(10);
+  AnalyzedQuery aq = MustAnalyze(
+      db, "SELECT id FROM users WHERE score > 10 AND score <= 90");
+  ASSERT_EQ(aq.conjuncts.size(), 2u);
+  const AtomicPredicate& gt = aq.conjuncts[0];
+  EXPECT_TRUE(gt.has_lower);
+  EXPECT_FALSE(gt.lower_inclusive);
+  EXPECT_EQ(gt.lower, 10);
+  const AtomicPredicate& le = aq.conjuncts[1];
+  EXPECT_TRUE(le.has_upper);
+  EXPECT_TRUE(le.upper_inclusive);
+  EXPECT_EQ(le.upper, 90);
+}
+
+TEST(AnalyzeTest, ParameterizedPredicatesHaveNoBounds) {
+  storage::Database db = MakeUsersDb(10);
+  AnalyzedQuery aq =
+      MustAnalyze(db, "SELECT id FROM users WHERE score > ?");
+  ASSERT_EQ(aq.conjuncts.size(), 1u);
+  EXPECT_EQ(aq.conjuncts[0].kind, PredKind::kRange);
+  EXPECT_FALSE(aq.conjuncts[0].has_lower);
+  EXPECT_FALSE(aq.conjuncts[0].has_upper);
+}
+
+TEST(AnalyzeTest, JoinEdgeExtraction) {
+  storage::Database db = MakeOrdersDb(10, 10);
+  AnalyzedQuery aq = MustAnalyze(
+      db,
+      "SELECT users.id FROM users, orders WHERE users.id = orders.user_id "
+      "AND orders.status = 1");
+  ASSERT_EQ(aq.joins.size(), 1u);
+  EXPECT_NE(aq.joins[0].left.instance, aq.joins[0].right.instance);
+  auto join_cols = aq.JoinColumnsOf(0);
+  ASSERT_EQ(join_cols.size(), 1u);
+  EXPECT_EQ(join_cols[0].second, 1);
+}
+
+TEST(AnalyzeTest, SelfJoinDistinctInstances) {
+  storage::Database db = MakeUsersDb(10);
+  AnalyzedQuery aq = MustAnalyze(
+      db,
+      "SELECT a.id FROM users a, users b WHERE a.org_id = b.org_id AND "
+      "a.status = 1");
+  ASSERT_EQ(aq.instances.size(), 2u);
+  ASSERT_EQ(aq.joins.size(), 1u);
+  EXPECT_EQ(aq.ConjunctsForInstance(0).size(), 1u);
+  EXPECT_EQ(aq.ConjunctsForInstance(1).size(), 0u);
+}
+
+TEST(AnalyzeTest, DnfOfSimpleOr) {
+  storage::Database db = MakeUsersDb(10);
+  AnalyzedQuery aq = MustAnalyze(
+      db,
+      "SELECT id FROM users WHERE (org_id = 1 AND status = 2) OR "
+      "(status = 3 AND score < 5)");
+  EXPECT_TRUE(aq.dnf_exact);
+  ASSERT_EQ(aq.dnf.size(), 2u);
+  EXPECT_EQ(aq.dnf[0].predicates.size(), 2u);
+  EXPECT_EQ(aq.dnf[1].predicates.size(), 2u);
+  EXPECT_TRUE(aq.conjuncts.empty());  // no top-level conjuncts
+}
+
+TEST(AnalyzeTest, DnfDistributesConjunctsOverOr) {
+  storage::Database db = MakeUsersDb(10);
+  AnalyzedQuery aq = MustAnalyze(
+      db,
+      "SELECT id FROM users WHERE org_id = 1 AND (status = 2 OR "
+      "score > 9)");
+  EXPECT_TRUE(aq.dnf_exact);
+  ASSERT_EQ(aq.dnf.size(), 2u);
+  // Each factor carries the org_id conjunct plus one OR arm.
+  for (const Factor& f : aq.dnf) {
+    EXPECT_EQ(f.predicates.size(), 2u);
+  }
+  EXPECT_EQ(aq.conjuncts.size(), 1u);
+}
+
+TEST(AnalyzeTest, PaperExampleE2) {
+  // E2 (Sec. IV-B1): (col1=? AND (col2=? OR col4<?) AND col3=?) should
+  // factorize to {col1,col2,col3} and {col1,col4,col3} — two partial
+  // orders in the paper's notation <{c1,c2,c3}> and <{c2... (adapted to
+  // the users schema: org_id=c1, status=c2, score=c4, created_at=c3).
+  storage::Database db = MakeUsersDb(10);
+  AnalyzedQuery aq = MustAnalyze(
+      db,
+      "SELECT id FROM users WHERE org_id = 1 AND (status = 2 OR "
+      "score < 3) AND created_at = 4");
+  EXPECT_TRUE(aq.dnf_exact);
+  ASSERT_EQ(aq.dnf.size(), 2u);
+  for (const Factor& f : aq.dnf) EXPECT_EQ(f.predicates.size(), 3u);
+}
+
+TEST(AnalyzeTest, DnfBlowupFallsBack) {
+  storage::Database db = MakeUsersDb(10);
+  // 6 ORs of 2 -> 64 factors > kMaxDnfFactors (32): falls back.
+  std::string sql = "SELECT id FROM users WHERE ";
+  for (int i = 0; i < 6; ++i) {
+    if (i) sql += " AND ";
+    sql += "(org_id = " + std::to_string(i) + " OR status = " +
+           std::to_string(i) + ")";
+  }
+  AnalyzedQuery aq = MustAnalyze(db, sql);
+  EXPECT_FALSE(aq.dnf_exact);
+  EXPECT_LE(aq.dnf.size(), kMaxDnfFactors);
+}
+
+TEST(AnalyzeTest, GroupByAndOrderByBound) {
+  storage::Database db = MakeUsersDb(10);
+  AnalyzedQuery aq = MustAnalyze(
+      db,
+      "SELECT org_id, COUNT(*) FROM users WHERE status = 1 GROUP BY "
+      "org_id");
+  EXPECT_TRUE(aq.has_group_by);
+  EXPECT_TRUE(aq.has_aggregate);
+  ASSERT_EQ(aq.instances[0].group_by_columns.size(), 1u);
+  EXPECT_EQ(aq.instances[0].group_by_columns[0], 1u);
+
+  AnalyzedQuery aq2 = MustAnalyze(
+      db, "SELECT id FROM users ORDER BY created_at DESC LIMIT 3");
+  EXPECT_TRUE(aq2.has_order_by);
+  ASSERT_EQ(aq2.instances[0].order_by_columns.size(), 1u);
+  EXPECT_FALSE(aq2.instances[0].order_by_columns[0].ascending);
+  EXPECT_EQ(aq2.limit, 3);
+}
+
+TEST(AnalyzeTest, ReferencedColumnsCollected) {
+  storage::Database db = MakeUsersDb(10);
+  AnalyzedQuery aq = MustAnalyze(
+      db,
+      "SELECT email FROM users WHERE org_id = 1 ORDER BY created_at");
+  const auto& refs = aq.instances[0].referenced_columns;
+  // email (5), org_id (1), created_at (4).
+  EXPECT_EQ(refs.size(), 3u);
+}
+
+TEST(AnalyzeTest, SelectStarSetsFlag) {
+  storage::Database db = MakeUsersDb(10);
+  AnalyzedQuery aq = MustAnalyze(db, "SELECT * FROM users WHERE id = 1");
+  EXPECT_TRUE(aq.instances[0].selects_all_columns);
+  EXPECT_EQ(aq.instances[0].referenced_columns.size(), 7u);
+}
+
+TEST(AnalyzeTest, DmlUpdate) {
+  storage::Database db = MakeUsersDb(10);
+  sql::Statement stmt =
+      MustParse("UPDATE users SET score = 5 WHERE org_id = 2");
+  Result<AnalyzedQuery> r = Analyze(stmt, db.catalog());
+  ASSERT_TRUE(r.ok());
+  const AnalyzedQuery& aq = r.ValueOrDie();
+  EXPECT_EQ(aq.dml, AnalyzedQuery::DmlKind::kUpdate);
+  ASSERT_EQ(aq.updated_columns.size(), 1u);
+  EXPECT_EQ(aq.updated_columns[0], 3u);  // score
+  EXPECT_EQ(aq.conjuncts.size(), 1u);
+}
+
+TEST(AnalyzeTest, DmlDeleteAndInsert) {
+  storage::Database db = MakeUsersDb(10);
+  Result<AnalyzedQuery> del =
+      Analyze(MustParse("DELETE FROM users WHERE id = 1"), db.catalog());
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del.ValueOrDie().dml, AnalyzedQuery::DmlKind::kDelete);
+
+  Result<AnalyzedQuery> ins = Analyze(
+      MustParse("INSERT INTO users (id, org_id) VALUES (1, 2)"),
+      db.catalog());
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(ins.ValueOrDie().dml, AnalyzedQuery::DmlKind::kInsert);
+}
+
+TEST(AnalyzeTest, NullSafeEqIsIpp) {
+  storage::Database db = MakeUsersDb(10);
+  AnalyzedQuery aq =
+      MustAnalyze(db, "SELECT id FROM users WHERE org_id <=> 5");
+  ASSERT_EQ(aq.conjuncts.size(), 1u);
+  EXPECT_TRUE(aq.conjuncts[0].is_index_prefix());
+}
+
+TEST(AnalyzeTest, IsNullClassification) {
+  storage::Database db = MakeUsersDb(10);
+  AnalyzedQuery aq =
+      MustAnalyze(db, "SELECT id FROM users WHERE email IS NULL");
+  ASSERT_EQ(aq.conjuncts.size(), 1u);
+  EXPECT_EQ(aq.conjuncts[0].kind, PredKind::kIsNull);
+  AnalyzedQuery aq2 =
+      MustAnalyze(db, "SELECT id FROM users WHERE email IS NOT NULL");
+  ASSERT_EQ(aq2.conjuncts.size(), 1u);
+  EXPECT_EQ(aq2.conjuncts[0].kind, PredKind::kOther);
+}
+
+TEST(AnalyzeTest, NeIsNotSargable) {
+  storage::Database db = MakeUsersDb(10);
+  AnalyzedQuery aq =
+      MustAnalyze(db, "SELECT id FROM users WHERE status <> 3");
+  ASSERT_EQ(aq.conjuncts.size(), 1u);
+  EXPECT_EQ(aq.conjuncts[0].kind, PredKind::kOther);
+  EXPECT_FALSE(aq.conjuncts[0].is_sargable());
+}
+
+}  // namespace
+}  // namespace aim::optimizer

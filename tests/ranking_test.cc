@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "core/explain.h"
+#include "core/ranking.h"
+#include "core/workload_selection.h"
+#include "tests/test_util.h"
+
+namespace aim::core {
+namespace {
+
+using aim::testing::MakeUsersDb;
+using aim::testing::MustQuery;
+
+SelectedQuery Wrap(const workload::Query* q) {
+  SelectedQuery sq;
+  sq.query = q;
+  return sq;
+}
+
+catalog::IndexDef Def(std::vector<catalog::ColumnId> cols,
+                      catalog::TableId table = 0) {
+  catalog::IndexDef def;
+  def.table = table;
+  def.columns = std::move(cols);
+  return def;
+}
+
+TEST(RankingTest, BeneficialIndexSelected) {
+  storage::Database db = MakeUsersDb(5000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  workload::Query q =
+      MustQuery("SELECT id FROM users WHERE org_id = 5", 100.0);
+  std::vector<SelectedQuery> queries = {Wrap(&q)};
+  RankingResult r =
+      RankAndSelect({Def({1})}, queries, &what_if, RankingOptions{});
+  ASSERT_EQ(r.selected.size(), 1u);
+  EXPECT_GT(r.selected[0].benefit, 0.0);
+  EXPECT_EQ(r.selected[0].benefiting_queries.size(), 1u);
+  EXPECT_GT(r.what_if_calls, 0u);
+}
+
+TEST(RankingTest, UselessIndexRejected) {
+  storage::Database db = MakeUsersDb(5000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  workload::Query q =
+      MustQuery("SELECT id FROM users WHERE org_id = 5", 100.0);
+  std::vector<SelectedQuery> queries = {Wrap(&q)};
+  // Index on payload: useless for the query.
+  RankingResult r =
+      RankAndSelect({Def({6})}, queries, &what_if, RankingOptions{});
+  EXPECT_TRUE(r.selected.empty());
+  EXPECT_EQ(r.rejected.size(), 1u);
+}
+
+TEST(RankingTest, BudgetRespected) {
+  storage::Database db = MakeUsersDb(5000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  workload::Query q1 =
+      MustQuery("SELECT id FROM users WHERE org_id = 5", 100.0);
+  workload::Query q2 =
+      MustQuery("SELECT id FROM users WHERE created_at = 9", 100.0);
+  std::vector<SelectedQuery> queries = {Wrap(&q1), Wrap(&q2)};
+  std::vector<catalog::IndexDef> candidates = {Def({1}), Def({4})};
+
+  RankingOptions unbounded;
+  RankingResult all =
+      RankAndSelect(candidates, queries, &what_if, unbounded);
+  ASSERT_EQ(all.selected.size(), 2u);
+
+  RankingOptions tight;
+  tight.storage_budget_bytes = all.selected[0].size_bytes * 1.2;
+  RankingResult limited =
+      RankAndSelect(candidates, queries, &what_if, tight);
+  EXPECT_EQ(limited.selected.size(), 1u);
+  EXPECT_LE(limited.selected_bytes, tight.storage_budget_bytes);
+}
+
+TEST(RankingTest, DensityOrderingPrefersCheaperIndex) {
+  storage::Database db = MakeUsersDb(5000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  workload::Query q =
+      MustQuery("SELECT id FROM users WHERE org_id = 5 AND status = 2",
+                100.0);
+  std::vector<SelectedQuery> queries = {Wrap(&q)};
+  // Narrow (org_id) vs wide (org_id, status, score, created_at, email):
+  // similar benefit, very different storage.
+  std::vector<catalog::IndexDef> candidates = {Def({1, 2}),
+                                               Def({1, 2, 3, 4, 5})};
+  RankingOptions options;
+  RankingResult r = RankAndSelect(candidates, queries, &what_if, options);
+  ASSERT_FALSE(r.selected.empty());
+  EXPECT_EQ(r.selected[0].def.columns.size(), 2u);
+}
+
+TEST(RankingTest, DmlMaintenanceCounted) {
+  storage::Database db = MakeUsersDb(5000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  workload::Query read =
+      MustQuery("SELECT id FROM users WHERE score = 77", 10.0);
+  workload::Query write =
+      MustQuery("UPDATE users SET score = 1 WHERE id = 5", 2000.0);
+  std::vector<SelectedQuery> queries = {Wrap(&read), Wrap(&write)};
+  RankingResult r =
+      RankAndSelect({Def({3})}, queries, &what_if, RankingOptions{});
+  // Either rejected outright or selected with visible maintenance cost.
+  const CandidateIndex& c =
+      r.selected.empty() ? r.rejected[0] : r.selected[0];
+  EXPECT_GT(c.maintenance, 0.0);
+}
+
+TEST(RankingTest, HeavyWritesKillLowValueIndex) {
+  storage::Database db = MakeUsersDb(2000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  workload::Query read =
+      MustQuery("SELECT id FROM users WHERE score = 77", 1.0);
+  workload::Query write = MustQuery(
+      "INSERT INTO users (id, org_id, status, score, created_at, email, "
+      "payload) VALUES (1, 2, 3, 4, 5, 'a', 'b')",
+      1000000.0);
+  std::vector<SelectedQuery> queries = {Wrap(&read), Wrap(&write)};
+  RankingResult r =
+      RankAndSelect({Def({3})}, queries, &what_if, RankingOptions{});
+  EXPECT_TRUE(r.selected.empty());
+  ASSERT_EQ(r.rejected.size(), 1u);
+  EXPECT_LT(r.rejected[0].utility(), 0.0);
+}
+
+TEST(RankingTest, ObservedStatsOverrideWeights) {
+  storage::Database db = MakeUsersDb(5000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  workload::Query q =
+      MustQuery("SELECT id FROM users WHERE org_id = 5", 1.0);
+  SelectedQuery sq = Wrap(&q);
+  sq.stats.executions = 1000;
+  sq.stats.total_cpu_seconds = 50.0;  // hot query
+  RankingResult hot =
+      RankAndSelect({Def({1})}, {sq}, &what_if, RankingOptions{});
+  SelectedQuery cold = Wrap(&q);
+  cold.stats.executions = 10;
+  cold.stats.total_cpu_seconds = 0.5;
+  RankingResult coldr =
+      RankAndSelect({Def({1})}, {cold}, &what_if, RankingOptions{});
+  ASSERT_FALSE(hot.selected.empty());
+  ASSERT_FALSE(coldr.selected.empty());
+  EXPECT_GT(hot.selected[0].benefit, coldr.selected[0].benefit);
+}
+
+TEST(RankingTest, EmptyCandidatesNoop) {
+  storage::Database db = MakeUsersDb(100);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  RankingResult r = RankAndSelect({}, {}, &what_if, RankingOptions{});
+  EXPECT_TRUE(r.selected.empty());
+  EXPECT_TRUE(r.rejected.empty());
+}
+
+// ---------- workload selection -----------------------------------------------
+
+TEST(WorkloadSelectionTest, ThresholdsApplied) {
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 1").ok());
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE status = 2").ok());
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE score = 3").ok());
+
+  workload::WorkloadMonitor monitor;
+  executor::ExecutionMetrics hot;
+  hot.rows_examined = 1000;
+  hot.rows_sent = 1;
+  hot.cpu_seconds = 0.5;
+  // Query 0: hot and inefficient -> selected.
+  for (int i = 0; i < 100; ++i) {
+    monitor.RecordKeyed(w.queries[0].fingerprint,
+                        w.queries[0].normalized_sql, hot);
+  }
+  // Query 1: too few executions -> skipped.
+  monitor.RecordKeyed(w.queries[1].fingerprint,
+                      w.queries[1].normalized_sql, hot);
+  // Query 2: efficient (ddr ~ 1) -> skipped.
+  executor::ExecutionMetrics efficient;
+  efficient.rows_examined = 10;
+  efficient.rows_sent = 10;
+  efficient.cpu_seconds = 0.5;
+  for (int i = 0; i < 100; ++i) {
+    monitor.RecordKeyed(w.queries[2].fingerprint,
+                        w.queries[2].normalized_sql, efficient);
+  }
+
+  WorkloadSelectionOptions options;
+  options.min_executions = 5;
+  options.min_benefit_cores = 0.05;
+  options.interval_seconds = 60.0;
+  std::vector<SelectedQuery> selected =
+      SelectRepresentativeWorkload(w, monitor, options);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0].query->fingerprint, w.queries[0].fingerprint);
+  EXPECT_NEAR(selected[0].expected_benefit, 0.4995, 0.01);
+}
+
+TEST(WorkloadSelectionTest, OrderedByBenefitRate) {
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 1").ok());
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE status = 2").ok());
+  workload::WorkloadMonitor monitor;
+  executor::ExecutionMetrics m;
+  m.rows_examined = 1000;
+  m.rows_sent = 0;
+  m.cpu_seconds = 0.2;
+  for (int i = 0; i < 50; ++i) {
+    monitor.RecordKeyed(w.queries[0].fingerprint,
+                        w.queries[0].normalized_sql, m);
+  }
+  m.cpu_seconds = 2.0;  // second query is 10x hotter
+  for (int i = 0; i < 50; ++i) {
+    monitor.RecordKeyed(w.queries[1].fingerprint,
+                        w.queries[1].normalized_sql, m);
+  }
+  auto selected = SelectRepresentativeWorkload(w, monitor, {});
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0].query->fingerprint, w.queries[1].fingerprint);
+}
+
+TEST(WorkloadSelectionTest, DmlAlwaysCarried) {
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("UPDATE users SET score = 1 WHERE id = 2").ok());
+  workload::WorkloadMonitor monitor;
+  executor::ExecutionMetrics m;
+  m.cpu_seconds = 0.001;
+  monitor.RecordKeyed(w.queries[0].fingerprint,
+                      w.queries[0].normalized_sql, m);
+  auto selected = SelectRepresentativeWorkload(w, monitor, {});
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_TRUE(selected[0].query->stmt.is_dml());
+}
+
+TEST(WorkloadSelectionTest, MaxQueriesCap) {
+  workload::Workload w;
+  workload::WorkloadMonitor monitor;
+  executor::ExecutionMetrics m;
+  m.rows_examined = 1000;
+  m.rows_sent = 0;
+  m.cpu_seconds = 1.0;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        w.Add("SELECT id FROM users WHERE org_id = " + std::to_string(i))
+            .ok());
+  }
+  // All distinct fingerprints? No: they normalize identically! Use
+  // distinct structures instead.
+  w.queries.clear();
+  for (int i = 0; i < 20; ++i) {
+    std::string sql = "SELECT id FROM users WHERE org_id = 1";
+    for (int k = 0; k < i; ++k) sql += " AND status = " + std::to_string(k);
+    ASSERT_TRUE(w.Add(sql).ok());
+  }
+  for (const auto& q : w.queries) {
+    for (int i = 0; i < 50; ++i) {
+      monitor.RecordKeyed(q.fingerprint, q.normalized_sql, m);
+    }
+  }
+  WorkloadSelectionOptions options;
+  options.max_queries = 5;
+  EXPECT_EQ(SelectRepresentativeWorkload(w, monitor, options).size(), 5u);
+}
+
+TEST(ExplainTest, MentionsIndexAndNumbers) {
+  storage::Database db = MakeUsersDb(2000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  workload::Query q =
+      MustQuery("SELECT id FROM users WHERE org_id = 5", 100.0);
+  SelectedQuery sq = Wrap(&q);
+  sq.stats.executions = 42;
+  sq.stats.total_cpu_seconds = 4.2;
+  sq.stats.rows_examined = 1000;
+  std::vector<SelectedQuery> queries = {sq};
+  RankingResult r =
+      RankAndSelect({Def({1})}, queries, &what_if, RankingOptions{});
+  ASSERT_FALSE(r.selected.empty());
+  const std::string text =
+      ExplainRecommendation(r.selected[0], queries, db.catalog());
+  EXPECT_NE(text.find("users(org_id)"), std::string::npos);
+  EXPECT_NE(text.find("execs=42"), std::string::npos);
+  EXPECT_NE(text.find("expected benefit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aim::core

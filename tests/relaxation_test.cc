@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "advisors/relaxation.h"
+#include "tests/test_util.h"
+
+namespace aim::advisors {
+namespace {
+
+using aim::testing::MakeUsersDb;
+
+TEST(RelaxationMergeTest, CombinesKeyOrders) {
+  catalog::IndexDef a;
+  a.table = 0;
+  a.columns = {1, 2};
+  catalog::IndexDef b;
+  b.table = 0;
+  b.columns = {2, 3};
+  catalog::IndexDef merged = RelaxationAdvisor::MergeIndexes(a, b, 8);
+  EXPECT_EQ(merged.columns, (std::vector<catalog::ColumnId>{1, 2, 3}));
+}
+
+TEST(RelaxationMergeTest, TruncatesToWidth) {
+  catalog::IndexDef a;
+  a.table = 0;
+  a.columns = {1, 2, 3};
+  catalog::IndexDef b;
+  b.table = 0;
+  b.columns = {4, 5};
+  catalog::IndexDef merged = RelaxationAdvisor::MergeIndexes(a, b, 4);
+  EXPECT_EQ(merged.columns.size(), 4u);
+  EXPECT_EQ(merged.columns[0], 1u);
+}
+
+TEST(RelaxationTest, FitsBudgetAndReducesCost) {
+  storage::Database db = MakeUsersDb(5000);
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5", 10.0).ok());
+  ASSERT_TRUE(
+      w.Add("SELECT id FROM users WHERE status = 2 AND score > 500", 5.0)
+          .ok());
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  const double base = WorkloadCost(w, &what_if).ValueOrDie();
+
+  RelaxationAdvisor advisor;
+  AdvisorOptions options;
+  options.max_index_width = 3;
+  options.storage_budget_bytes = 400000;
+  Result<AdvisorResult> r = advisor.Recommend(w, &what_if, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r.ValueOrDie().indexes.empty());
+  EXPECT_LE(r.ValueOrDie().total_size_bytes,
+            options.storage_budget_bytes);
+  EXPECT_LT(r.ValueOrDie().final_workload_cost, base);
+}
+
+TEST(RelaxationTest, TinyBudgetRelaxesToNothingUseful) {
+  storage::Database db = MakeUsersDb(2000);
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5", 10.0).ok());
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  RelaxationAdvisor advisor;
+  AdvisorOptions options;
+  options.storage_budget_bytes = 10.0;
+  Result<AdvisorResult> r = advisor.Recommend(w, &what_if, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.ValueOrDie().indexes.empty());
+}
+
+TEST(RelaxationTest, MergePreservesBothQueriesUnderPressure) {
+  // Two queries on overlapping columns; a tight budget forces the
+  // relaxation to merge rather than drop.
+  storage::Database db = MakeUsersDb(5000);
+  workload::Workload w;
+  ASSERT_TRUE(
+      w.Add("SELECT id FROM users WHERE org_id = 5 AND status = 1", 10.0)
+          .ok());
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 7", 10.0).ok());
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+
+  // Budget fits roughly one two-column index.
+  catalog::IndexDef two_col;
+  two_col.table = 0;
+  two_col.columns = {1, 2};
+  const double budget = db.catalog().IndexSizeBytes(two_col) * 1.3;
+  RelaxationAdvisor advisor;
+  AdvisorOptions options;
+  options.storage_budget_bytes = budget;
+  options.max_index_width = 3;
+  Result<AdvisorResult> r = advisor.Recommend(w, &what_if, options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r.ValueOrDie().indexes.empty());
+  // Whatever survived must still serve the org_id prefix for both.
+  bool org_prefix = false;
+  for (const auto& def : r.ValueOrDie().indexes) {
+    if (!def.columns.empty() && def.columns[0] == 1) org_prefix = true;
+  }
+  EXPECT_TRUE(org_prefix);
+}
+
+TEST(RelaxationTest, MoreWhatIfCallsThanAim) {
+  // Sec. IX: Relaxation's top-down pruning is expensive in optimizer
+  // calls compared to AIM's structural generation.
+  storage::Database db = MakeUsersDb(3000);
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5", 10.0).ok());
+  ASSERT_TRUE(
+      w.Add("SELECT id FROM users WHERE status = 2 AND score > 500", 5.0)
+          .ok());
+  ASSERT_TRUE(
+      w.Add("SELECT email FROM users WHERE created_at = 9", 5.0).ok());
+  ASSERT_TRUE(
+      w.Add("SELECT id FROM users WHERE org_id = 2 AND created_at > 100",
+            5.0)
+          .ok());
+  ASSERT_TRUE(
+      w.Add("SELECT id FROM users WHERE score = 7 AND status = 1", 5.0)
+          .ok());
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  RelaxationAdvisor relaxation;
+  AdvisorOptions options;
+  // Tight budget: the ideal configuration must be relaxed repeatedly.
+  catalog::IndexDef one;
+  one.table = 0;
+  one.columns = {1};
+  options.storage_budget_bytes = db.catalog().IndexSizeBytes(one) * 2.5;
+  Result<AdvisorResult> r = relaxation.Recommend(w, &what_if, options);
+  ASSERT_TRUE(r.ok());
+  // AIM solves this workload in a handful of calls (see AimTest); the
+  // relaxation search is at least several times hungrier.
+  EXPECT_GT(r.ValueOrDie().what_if_calls, 50u);
+}
+
+}  // namespace
+}  // namespace aim::advisors

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "core/sharding.h"
+#include "executor/executor.h"
+#include "tests/test_util.h"
+
+namespace aim::core {
+namespace {
+
+using aim::testing::MakeUsersDb;
+
+/// Builds `n` schema-identical shards with different seeds (different row
+/// contents, same distributions).
+std::vector<storage::Database> MakeShards(int n, uint64_t rows = 2000) {
+  std::vector<storage::Database> dbs;
+  for (int i = 0; i < n; ++i) {
+    dbs.push_back(MakeUsersDb(rows, /*seed=*/100 + i));
+  }
+  return dbs;
+}
+
+std::vector<Shard> Wrap(std::vector<storage::Database>* dbs,
+                        const std::vector<workload::WorkloadMonitor>*
+                            monitors = nullptr) {
+  std::vector<Shard> shards;
+  for (size_t i = 0; i < dbs->size(); ++i) {
+    Shard s;
+    s.db = &(*dbs)[i];
+    if (monitors != nullptr && i < monitors->size()) {
+      s.monitor = &(*monitors)[i];
+    }
+    shards.push_back(s);
+  }
+  return shards;
+}
+
+TEST(ShardingTest, RecommendAggregatesStatsAcrossShards) {
+  std::vector<storage::Database> dbs = MakeShards(3);
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5", 1.0).ok());
+
+  // The query is hot on shard 0 only; per-shard stats alone would be
+  // below threshold, but the aggregate clears it.
+  std::vector<workload::WorkloadMonitor> monitors(3);
+  executor::ExecutionMetrics m;
+  m.rows_examined = 2000;
+  m.rows_sent = 20;
+  m.cpu_seconds = 0.5;
+  for (int i = 0; i < 120; ++i) {
+    monitors[0].RecordKeyed(w.queries[0].fingerprint,
+                            w.queries[0].normalized_sql, m);
+  }
+
+  ShardedOptions options;
+  options.aim.selection.min_executions = 50;
+  options.aim.selection.min_benefit_cores = 1e-9;
+  ShardedIndexManager manager(options);
+  std::vector<Shard> shards = Wrap(&dbs, &monitors);
+  Result<ShardedReport> r =
+      manager.Recommend(w, shards, optimizer::CostModel());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r.ValueOrDie().aim.recommended.empty());
+}
+
+TEST(ShardingTest, ReplicationFactorTightensBudget) {
+  // An index that fits a budget once does not fit when every shard must
+  // store it.
+  std::vector<storage::Database> dbs = MakeShards(4);
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5", 100.0).ok());
+
+  const double one_copy_bytes =
+      dbs[0].catalog().IndexSizeBytes([&] {
+        catalog::IndexDef def;
+        def.table = 0;
+        def.columns = {1};
+        return def;
+      }());
+
+  ShardedOptions options;
+  options.aim.ranking.storage_budget_bytes = one_copy_bytes * 2.0;
+  ShardedIndexManager manager(options);
+  std::vector<Shard> shards = Wrap(&dbs);
+  Result<ShardedReport> r =
+      manager.Recommend(w, shards, optimizer::CostModel());
+  ASSERT_TRUE(r.ok());
+  // 4 shards x size > 2 x size: nothing fits.
+  EXPECT_TRUE(r.ValueOrDie().aim.recommended.empty());
+
+  // The same budget with a single shard accepts the index.
+  std::vector<Shard> single = {Shard{&dbs[0], nullptr}};
+  Result<ShardedReport> r1 =
+      manager.Recommend(w, single, optimizer::CostModel());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(r1.ValueOrDie().aim.recommended.empty());
+}
+
+TEST(ShardingTest, RunOnceAppliesCommonDesignEverywhere) {
+  std::vector<storage::Database> dbs = MakeShards(3);
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5", 100.0).ok());
+  ShardedIndexManager manager;
+  std::vector<Shard> shards = Wrap(&dbs);
+  Result<ShardedReport> r =
+      manager.RunOnce(w, shards, optimizer::CostModel());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(r.ValueOrDie().aim.recommended.empty());
+  for (const storage::Database& db : dbs) {
+    EXPECT_EQ(db.catalog().AllIndexes(false, false).size(),
+              r.ValueOrDie().aim.recommended.size());
+  }
+}
+
+TEST(ShardingTest, ComprehensiveValidationCoversAllShards) {
+  std::vector<storage::Database> dbs = MakeShards(3, 1500);
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5", 100.0).ok());
+  ShardedOptions options;
+  options.comprehensive_validation = true;
+  ShardedIndexManager manager(options);
+  std::vector<Shard> shards = Wrap(&dbs);
+  Result<ShardedReport> r =
+      manager.RunOnce(w, shards, optimizer::CostModel());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().validations.size(), 3u);
+  // Default validation covers only the first shard.
+  ShardedIndexManager cheap;
+  std::vector<storage::Database> dbs2 = MakeShards(3, 1500);
+  std::vector<Shard> shards2 = Wrap(&dbs2);
+  Result<ShardedReport> r2 =
+      cheap.RunOnce(w, shards2, optimizer::CostModel());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.ValueOrDie().validations.size(), 1u);
+}
+
+TEST(ShardingTest, UnusedEverywhereRejected) {
+  std::vector<storage::Database> dbs = MakeShards(2);
+  workload::Workload w;
+  // The workload never filters payload; force a payload candidate by
+  // running RunOnce on a workload that generates it plus one that uses
+  // org_id.
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5", 100.0).ok());
+  ShardedOptions options;
+  options.comprehensive_validation = true;
+  ShardedIndexManager manager(options);
+  std::vector<Shard> shards = Wrap(&dbs);
+  Result<ShardedReport> r =
+      manager.RunOnce(w, shards, optimizer::CostModel());
+  ASSERT_TRUE(r.ok());
+  // Everything materialized must be used by the validation replay.
+  for (const auto& v : r.ValueOrDie().validations) {
+    EXPECT_TRUE(v.result.rejected_unused.empty());
+  }
+}
+
+TEST(ShardingTest, NoShardsIsAnError) {
+  workload::Workload w;
+  ShardedIndexManager manager;
+  Result<ShardedReport> r =
+      manager.Recommend(w, {}, optimizer::CostModel());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RankingReplicationTest, FactorScalesBudgetConsumption) {
+  storage::Database db = MakeUsersDb(3000);
+  optimizer::WhatIfOptimizer what_if(db.catalog(), optimizer::CostModel());
+  workload::Query q = aim::testing::MustQuery(
+      "SELECT id FROM users WHERE org_id = 5", 100.0);
+  SelectedQuery sq;
+  sq.query = &q;
+  catalog::IndexDef def;
+  def.table = 0;
+  def.columns = {1};
+  const double size = db.catalog().IndexSizeBytes(def);
+
+  RankingOptions options;
+  options.storage_budget_bytes = size * 3.0;
+  options.storage_replication_factor = 2.0;
+  RankingResult fits = RankAndSelect({def}, {sq}, &what_if, options);
+  EXPECT_EQ(fits.selected.size(), 1u);
+  EXPECT_NEAR(fits.selected_bytes, size * 2.0, size * 0.01);
+
+  options.storage_replication_factor = 4.0;
+  RankingResult too_big = RankAndSelect({def}, {sq}, &what_if, options);
+  EXPECT_TRUE(too_big.selected.empty());
+}
+
+}  // namespace
+}  // namespace aim::core

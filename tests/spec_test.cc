@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "optimizer/what_if.h"
+#include "workload/spec.h"
+
+namespace aim::workload {
+namespace {
+
+constexpr const char* kSchema = R"(
+# demo schema
+TABLE users (id INT PK, org_id INT, score DOUBLE, email STRING(24), joined DATE)
+ROWS users 500 org_id:ndv=20 score:ndv=400 email:ndv=500 joined:ndv=300
+INDEX users (org_id)
+)";
+
+TEST(SchemaSpecTest, BuildsTablesRowsAndIndexes) {
+  Result<storage::Database> r = BuildDatabaseFromSpec(kSchema);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  storage::Database& db = r.ValueOrDie();
+  ASSERT_EQ(db.catalog().table_count(), 1u);
+  const catalog::TableDef& t = db.catalog().table(0);
+  EXPECT_EQ(t.name, "users");
+  ASSERT_EQ(t.columns.size(), 5u);
+  EXPECT_EQ(t.columns[2].type, catalog::ColumnType::kDouble);
+  EXPECT_EQ(t.columns[3].type, catalog::ColumnType::kString);
+  EXPECT_EQ(t.columns[3].avg_width, 24u);
+  EXPECT_EQ(t.columns[4].type, catalog::ColumnType::kDate);
+  ASSERT_EQ(t.primary_key, (std::vector<catalog::ColumnId>{0}));
+  EXPECT_EQ(db.heap(0).live_count(), 500u);
+  // org_id NDV honoured (analyzed from generated data).
+  EXPECT_LE(t.stats.columns[1].ndv, 20u);
+  EXPECT_GE(t.stats.columns[1].ndv, 10u);
+  // One user index + the implicit PRIMARY.
+  EXPECT_EQ(db.catalog().AllIndexes(false, false).size(), 1u);
+}
+
+TEST(SchemaSpecTest, ZipfAndNullOptions) {
+  const char* schema = R"(
+TABLE t (id INT PK, a INT, b INT NULLABLE)
+ROWS t 2000 a:zipf=0.9 a:ndv=100 b:null=0.5
+)";
+  Result<storage::Database> r = BuildDatabaseFromSpec(schema);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& stats = r.ValueOrDie().catalog().table(0).stats;
+  EXPECT_GT(stats.columns[2].null_fraction, 0.3);
+  // Zipf: the hottest value dominates.
+  uint64_t hottest = 0;
+  std::map<int64_t, uint64_t> counts;
+  r.ValueOrDie().heap(0).Scan(
+      [&](storage::RowId, const storage::Row& row) {
+        if (!row[1].is_null()) {
+          hottest = std::max(hottest, ++counts[row[1].AsInt()]);
+        }
+        return true;
+      });
+  EXPECT_GT(hottest, 100u);  // >> 2000/100 uniform expectation
+}
+
+TEST(SchemaSpecTest, Errors) {
+  EXPECT_FALSE(BuildDatabaseFromSpec("GARBAGE directive").ok());
+  EXPECT_FALSE(BuildDatabaseFromSpec("TABLE t id INT").ok());  // no parens
+  EXPECT_FALSE(BuildDatabaseFromSpec(
+                   "TABLE t (id INT PK)\nROWS missing 10")
+                   .ok());
+  EXPECT_FALSE(
+      BuildDatabaseFromSpec("TABLE t (id WEIRDTYPE PK)").ok());
+  EXPECT_FALSE(BuildDatabaseFromSpec(
+                   "TABLE t (id INT PK)\nINDEX t (nope)")
+                   .ok());
+  EXPECT_FALSE(BuildDatabaseFromSpec(
+                   "TABLE t (id INT PK)\nROWS t 10 id:wat=1")
+                   .ok());
+}
+
+TEST(WorkloadSpecTest, ParsesWeightsAndSql) {
+  const char* text = R"(
+# comment
+500 SELECT id FROM users WHERE org_id = 7
+ 25 UPDATE users SET score = 1 WHERE id = 3
+)";
+  Result<Workload> r = ParseWorkloadSpec(text);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.ValueOrDie().size(), 2u);
+  EXPECT_DOUBLE_EQ(r.ValueOrDie().queries[0].weight, 500.0);
+  EXPECT_TRUE(r.ValueOrDie().queries[1].stmt.is_dml());
+}
+
+TEST(WorkloadSpecTest, Errors) {
+  EXPECT_FALSE(ParseWorkloadSpec("SELECT missing weight").ok());
+  EXPECT_FALSE(ParseWorkloadSpec("12").ok());             // no SQL
+  EXPECT_FALSE(ParseWorkloadSpec("5 SELEC nonsense").ok());  // bad SQL
+}
+
+TEST(SpecIntegrationTest, EndToEndAdvisable) {
+  Result<storage::Database> db = BuildDatabaseFromSpec(kSchema);
+  ASSERT_TRUE(db.ok());
+  Result<Workload> w = ParseWorkloadSpec(
+      "100 SELECT id FROM users WHERE joined = 42\n");
+  ASSERT_TRUE(w.ok());
+  optimizer::WhatIfOptimizer what_if(db.ValueOrDie().catalog(),
+                                     optimizer::CostModel());
+  const sql::Statement& stmt = w.ValueOrDie().queries[0].stmt;
+  const double base = what_if.QueryCost(stmt).ValueOrDie();
+  catalog::IndexDef def;
+  def.table = 0;
+  def.columns = {4};  // joined
+  ASSERT_TRUE(what_if.SetConfiguration({def}).ok());
+  EXPECT_LT(what_if.QueryCost(stmt).ValueOrDie(), base);
+}
+
+}  // namespace
+}  // namespace aim::workload

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/normalizer.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "sql/value.h"
+
+namespace aim::sql {
+namespace {
+
+// ---------- Value ------------------------------------------------------------
+
+TEST(ValueTest, NullOrdering) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_GT(Value::Int(0).Compare(Value::Null()), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, NumericCrossKindComparison) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Real(3.0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Real(3.5)), 0);
+  EXPECT_GT(Value::Real(4.0).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_EQ(Value::Str("x").Compare(Value::Str("x")), 0);
+}
+
+TEST(ValueTest, SqlLiteralRendering) {
+  EXPECT_EQ(Value::Null().ToSqlLiteral(), "NULL");
+  EXPECT_EQ(Value::Int(-5).ToSqlLiteral(), "-5");
+  EXPECT_EQ(Value::Str("a'b").ToSqlLiteral(), "'a''b'");
+}
+
+// ---------- Lexer ------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  auto r = Lex("SELECT a, b FROM t WHERE x >= 10");
+  ASSERT_TRUE(r.ok());
+  const auto& toks = r.ValueOrDie();
+  EXPECT_EQ(toks[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(toks[0].text, "SELECT");
+  EXPECT_EQ(toks.back().kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, OperatorVariants) {
+  auto r = Lex("a <= b <> c != d <=> e < f > g");
+  ASSERT_TRUE(r.ok());
+  std::vector<TokenKind> kinds;
+  for (const auto& t : r.ValueOrDie()) kinds.push_back(t.kind);
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokenKind::kLe),
+            kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokenKind::kNullSafeEq),
+            kinds.end());
+  EXPECT_EQ(std::count(kinds.begin(), kinds.end(), TokenKind::kNe), 2);
+}
+
+TEST(LexerTest, NumbersAndNegatives) {
+  auto r = Lex("x = -42");
+  ASSERT_TRUE(r.ok());
+  const auto& toks = r.ValueOrDie();
+  // x, =, -42, EOF
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[2].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(toks[2].int_value, -42);
+}
+
+TEST(LexerTest, DoubleLiteral) {
+  auto r = Lex("x = 3.25");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie()[2].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(r.ValueOrDie()[2].double_value, 3.25);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto r = Lex("x = 'it''s'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie()[2].text, "it's");
+}
+
+TEST(LexerTest, BackquotedIdentifier) {
+  auto r = Lex("SELECT `from` FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie()[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(r.ValueOrDie()[1].text, "from");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("x = 'oops").ok());
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_FALSE(Lex("x = #").ok());
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto r = Lex("select X fRoM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie()[0].text, "SELECT");
+  EXPECT_EQ(r.ValueOrDie()[2].text, "FROM");
+}
+
+// ---------- Parser round trips ----------------------------------------------
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ParsePrintParseStable) {
+  const char* sql = GetParam();
+  Result<Statement> first = Parse(sql);
+  ASSERT_TRUE(first.ok()) << first.status().ToString() << " sql=" << sql;
+  const std::string printed = ToSql(first.ValueOrDie());
+  Result<Statement> second = Parse(printed);
+  ASSERT_TRUE(second.ok()) << second.status().ToString()
+                           << " printed=" << printed;
+  EXPECT_EQ(printed, ToSql(second.ValueOrDie()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, RoundTripTest,
+    ::testing::Values(
+        "SELECT a FROM t",
+        "SELECT a, b FROM t WHERE c = 5",
+        "SELECT * FROM t WHERE a > 1 AND b < 2",
+        "SELECT a FROM t WHERE x IN (1, 2, 3)",
+        "SELECT a FROM t WHERE x BETWEEN 1 AND 9",
+        "SELECT a FROM t WHERE x IS NULL",
+        "SELECT a FROM t WHERE x IS NOT NULL",
+        "SELECT a FROM t WHERE x LIKE 'abc%'",
+        "SELECT a FROM t WHERE (a = 1 AND b = 2) OR (c = 3 AND d = 4)",
+        "SELECT a FROM t WHERE NOT (a = 1)",
+        "SELECT a FROM t1, t2 WHERE t1.x = t2.y",
+        "SELECT t1.a FROM t1 AS x, t2 WHERE x.k = t2.k",
+        "SELECT a, COUNT(*) FROM t GROUP BY a",
+        "SELECT a, SUM(b) FROM t WHERE c = 1 GROUP BY a",
+        "SELECT a FROM t ORDER BY a",
+        "SELECT a FROM t ORDER BY a DESC, b",
+        "SELECT a FROM t LIMIT 10",
+        "SELECT a FROM t WHERE b = ? LIMIT ?",
+        "SELECT MIN(a) FROM t",
+        "SELECT MAX(a) FROM t WHERE b <=> 3",
+        "INSERT INTO t (a, b) VALUES (1, 'x')",
+        "UPDATE t SET a = 5 WHERE b = 2",
+        "UPDATE t SET a = 5, b = 6",
+        "DELETE FROM t WHERE a IN (1, 2)",
+        "DELETE FROM t"));
+
+TEST(ParserTest, JoinOnFoldsIntoWhere) {
+  Result<Statement> r =
+      Parse("SELECT a.x FROM t1 a JOIN t2 b ON a.k = b.k WHERE a.y = 1");
+  ASSERT_TRUE(r.ok());
+  const SelectStatement& s = *r.ValueOrDie().select;
+  ASSERT_EQ(s.from.size(), 2u);
+  ASSERT_NE(s.where, nullptr);
+  // The folded WHERE must contain both the join and the filter.
+  const std::string printed = ToSql(*s.where);
+  EXPECT_NE(printed.find("a.k = b.k"), std::string::npos);
+  EXPECT_NE(printed.find("a.y = 1"), std::string::npos);
+}
+
+TEST(ParserTest, InnerJoinKeyword) {
+  Result<Statement> r =
+      Parse("SELECT t1.a FROM t1 INNER JOIN t2 ON t1.k = t2.k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().select->from.size(), 2u);
+}
+
+TEST(ParserTest, AndOrPrecedence) {
+  Result<Statement> r =
+      Parse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(r.ok());
+  const Expr& where = *r.ValueOrDie().select->where;
+  ASSERT_EQ(where.kind, Expr::Kind::kOr);
+  ASSERT_EQ(where.children.size(), 2u);
+  EXPECT_EQ(where.children[1]->kind, Expr::Kind::kAnd);
+}
+
+TEST(ParserTest, ColumnComparison) {
+  Result<Statement> r =
+      Parse("SELECT a FROM t WHERE t.x = t.y");
+  ASSERT_TRUE(r.ok());
+  const Expr& where = *r.ValueOrDie().select->where;
+  EXPECT_EQ(where.kind, Expr::Kind::kComparison);
+  EXPECT_EQ(where.children[1]->kind, Expr::Kind::kColumn);
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(Parse("SELEC a FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE a =").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t trailing garbage =").ok());
+}
+
+TEST(ParserTest, RejectsNotWithoutPredicate) {
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE a NOT 5").ok());
+}
+
+TEST(ParserTest, ParseSelectRejectsDml) {
+  EXPECT_FALSE(ParseSelect("DELETE FROM t").ok());
+}
+
+TEST(ParserTest, NegatedInBecomesNot) {
+  Result<Statement> r = Parse("SELECT a FROM t WHERE b NOT IN (1, 2)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().select->where->kind, Expr::Kind::kNot);
+}
+
+TEST(ParserTest, StatementClone) {
+  Result<Statement> r = Parse(
+      "SELECT a, COUNT(*) FROM t WHERE b IN (1,2) GROUP BY a ORDER BY a "
+      "LIMIT 5");
+  ASSERT_TRUE(r.ok());
+  Statement clone = r.ValueOrDie().Clone();
+  EXPECT_EQ(ToSql(clone), ToSql(r.ValueOrDie()));
+}
+
+// ---------- Normalizer -------------------------------------------------------
+
+TEST(NormalizerTest, ReplacesLiterals) {
+  Result<Statement> r = Parse("SELECT a FROM t WHERE b = 5 AND c > 2.5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(NormalizedSql(r.ValueOrDie()),
+            "SELECT a FROM t WHERE b = ? AND c > ?");
+}
+
+TEST(NormalizerTest, CollapsesInLists) {
+  Result<Statement> a = Parse("SELECT a FROM t WHERE b IN (1, 2)");
+  Result<Statement> b = Parse("SELECT a FROM t WHERE b IN (3, 4, 5, 6)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(NormalizedSql(a.ValueOrDie()), NormalizedSql(b.ValueOrDie()));
+  EXPECT_EQ(NormalizedFingerprint(a.ValueOrDie()),
+            NormalizedFingerprint(b.ValueOrDie()));
+}
+
+TEST(NormalizerTest, LimitParameterized) {
+  Result<Statement> a = Parse("SELECT a FROM t LIMIT 5");
+  Result<Statement> b = Parse("SELECT a FROM t LIMIT 100");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(NormalizedFingerprint(a.ValueOrDie()),
+            NormalizedFingerprint(b.ValueOrDie()));
+}
+
+TEST(NormalizerTest, DifferentStructureDifferentFingerprint) {
+  Result<Statement> a = Parse("SELECT a FROM t WHERE b = 1");
+  Result<Statement> b = Parse("SELECT a FROM t WHERE c = 1");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(NormalizedFingerprint(a.ValueOrDie()),
+            NormalizedFingerprint(b.ValueOrDie()));
+}
+
+TEST(NormalizerTest, DmlNormalization) {
+  Result<Statement> a =
+      Parse("UPDATE t SET a = 10 WHERE id = 5");
+  Result<Statement> b =
+      Parse("UPDATE t SET a = 99 WHERE id = 123");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(NormalizedSql(a.ValueOrDie()),
+            "UPDATE t SET a = ? WHERE id = ?");
+  EXPECT_EQ(NormalizedFingerprint(a.ValueOrDie()),
+            NormalizedFingerprint(b.ValueOrDie()));
+}
+
+TEST(NormalizerTest, InsertNormalization) {
+  Result<Statement> a = Parse("INSERT INTO t (a, b) VALUES (1, 'x')");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(NormalizedSql(a.ValueOrDie()),
+            "INSERT INTO t (a, b) VALUES (?, ?)");
+}
+
+TEST(NormalizerTest, AlreadyNormalizedIsIdempotent) {
+  Result<Statement> a = Parse("SELECT a FROM t WHERE b = ?");
+  ASSERT_TRUE(a.ok());
+  const std::string n1 = NormalizedSql(a.ValueOrDie());
+  Result<Statement> b = Parse(n1);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(n1, NormalizedSql(b.ValueOrDie()));
+}
+
+}  // namespace
+}  // namespace aim::sql

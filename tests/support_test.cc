@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "support/myshadow.h"
+#include "support/regression_detector.h"
+#include "support/stats_exporter.h"
+#include "tests/test_util.h"
+
+namespace aim::support {
+namespace {
+
+using aim::testing::MakeUsersDb;
+
+TEST(StatsExporterTest, AggregatesAcrossReplicas) {
+  workload::WorkloadMonitor m0, m1, m2;
+  executor::ExecutionMetrics m;
+  m.rows_examined = 100;
+  m.rows_sent = 10;
+  m.cpu_seconds = 1.0;
+  m0.RecordKeyed(1, "q", m);
+  m1.RecordKeyed(1, "q", m);
+  m1.RecordKeyed(1, "q", m);
+  m2.RecordKeyed(2, "other", m);
+
+  StatsExporter exporter;
+  exporter.RegisterReplica("replica-a", &m0);
+  exporter.RegisterReplica("replica-b", &m1);
+  exporter.RegisterReplica("replica-c", &m2);
+
+  int messages = 0;
+  exporter.Subscribe([&](const StatsMessage& msg) {
+    ++messages;
+    EXPECT_EQ(msg.interval, 0);
+  });
+  EXPECT_EQ(exporter.ExportInterval(), 3u);
+  EXPECT_EQ(messages, 3);
+
+  // Warehouse view: query 1 has 3 executions across replicas.
+  const workload::QueryStats* agg = exporter.aggregate().Find(1);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->executions, 3u);
+  // Replica monitors were reset (delta semantics).
+  EXPECT_EQ(m0.distinct_queries(), 0u);
+  EXPECT_EQ(exporter.intervals_exported(), 1);
+}
+
+TEST(StatsExporterTest, SecondIntervalAccumulates) {
+  workload::WorkloadMonitor replica;
+  StatsExporter exporter;
+  exporter.RegisterReplica("r", &replica);
+  executor::ExecutionMetrics m;
+  m.cpu_seconds = 1.0;
+  replica.RecordKeyed(7, "q", m);
+  exporter.ExportInterval();
+  replica.RecordKeyed(7, "q", m);
+  exporter.ExportInterval();
+  EXPECT_EQ(exporter.aggregate().Find(7)->executions, 2u);
+  EXPECT_EQ(exporter.intervals_exported(), 2);
+}
+
+TEST(MyShadowTest, FullCloneReplays) {
+  storage::Database db = MakeUsersDb(1000);
+  MyShadow shadow(db);
+  EXPECT_EQ(shadow.db().heap(0).live_count(), 1000u);
+  workload::Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5").ok());
+  ShadowReplayResult r =
+      shadow.Replay(w, optimizer::CostModel(), /*repetitions=*/3);
+  EXPECT_EQ(r.executed, 3u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_GT(r.total_cpu_seconds, 0.0);
+  EXPECT_EQ(r.monitor.Find(w.queries[0].fingerprint)->executions, 3u);
+}
+
+TEST(MyShadowTest, SampledCloneIsSmaller) {
+  storage::Database db = MakeUsersDb(2000);
+  MyShadow shadow(db, /*sample_fraction=*/0.25);
+  const uint64_t sampled = shadow.db().heap(0).live_count();
+  EXPECT_LT(sampled, 1000u);
+  EXPECT_GT(sampled, 100u);
+  // Statistics re-analyzed for the sample.
+  EXPECT_EQ(shadow.db().catalog().table(0).stats.row_count, sampled);
+}
+
+TEST(MyShadowTest, SampledCloneCopiesIndexes) {
+  storage::Database db = MakeUsersDb(500);
+  catalog::IndexDef def;
+  def.table = 0;
+  def.columns = {1};
+  ASSERT_TRUE(db.CreateIndex(def).ok());
+  MyShadow shadow(db, 0.5);
+  EXPECT_EQ(shadow.db().catalog().AllIndexes(false, false).size(), 1u);
+}
+
+TEST(MyShadowTest, MaterializeBuildsRealIndexes) {
+  storage::Database db = MakeUsersDb(500);
+  MyShadow shadow(db);
+  catalog::IndexDef def;
+  def.table = 0;
+  def.columns = {2};
+  def.hypothetical = true;  // must be forced real on the shadow
+  ASSERT_TRUE(shadow.Materialize({def}).ok());
+  const auto indexes = shadow.db().catalog().AllIndexes(false, false);
+  ASSERT_EQ(indexes.size(), 1u);
+  EXPECT_NE(shadow.db().btree(indexes[0]->id), nullptr);
+  // Production untouched.
+  EXPECT_TRUE(db.catalog().AllIndexes(true, false).empty());
+}
+
+TEST(RegressionDetectorTest, FlagsCpuSpike) {
+  RegressionDetector detector;
+  auto stats_at = [](double cpu_avg) {
+    workload::QueryStats s;
+    s.fingerprint = 42;
+    s.executions = 100;
+    s.total_cpu_seconds = cpu_avg * 100;
+    return std::vector<workload::QueryStats>{s};
+  };
+  // Build a stable baseline.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(detector.Observe(stats_at(1.0)).empty());
+  }
+  // Spike to 3x: flagged, with suspect automation index attached.
+  std::vector<Regression> r =
+      detector.Observe(stats_at(3.0), {{7, 0}});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].fingerprint, 42u);
+  EXPECT_GT(r[0].ratio, 2.0);
+  ASSERT_EQ(r[0].suspect_indexes.size(), 1u);
+  EXPECT_EQ(r[0].suspect_indexes[0], 7u);
+}
+
+TEST(RegressionDetectorTest, IgnoresLowTraffic) {
+  RegressionDetector detector;
+  workload::QueryStats s;
+  s.fingerprint = 1;
+  s.executions = 2;  // below min_executions
+  s.total_cpu_seconds = 100.0;
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(detector.Observe({s}).empty());
+  }
+}
+
+TEST(RegressionDetectorTest, GradualDriftNotFlagged) {
+  RegressionDetector detector;
+  auto stats_at = [](double cpu_avg) {
+    workload::QueryStats s;
+    s.fingerprint = 9;
+    s.executions = 50;
+    s.total_cpu_seconds = cpu_avg * 50;
+    return std::vector<workload::QueryStats>{s};
+  };
+  double cpu = 1.0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(detector.Observe(stats_at(cpu)).empty())
+        << "interval " << i;
+    cpu *= 1.05;  // 5% per interval stays under the 1.5x window ratio
+  }
+}
+
+TEST(RegressionDetectorTest, RecoversAfterWindowRefills) {
+  RegressionDetector detector;
+  auto stats_at = [](double cpu_avg) {
+    workload::QueryStats s;
+    s.fingerprint = 5;
+    s.executions = 50;
+    s.total_cpu_seconds = cpu_avg * 50;
+    return std::vector<workload::QueryStats>{s};
+  };
+  for (int i = 0; i < 4; ++i) detector.Observe(stats_at(1.0));
+  EXPECT_FALSE(detector.Observe(stats_at(5.0)).empty());
+  // The new level becomes the baseline after the window refills.
+  for (int i = 0; i < 4; ++i) detector.Observe(stats_at(5.0));
+  EXPECT_TRUE(detector.Observe(stats_at(5.0)).empty());
+}
+
+}  // namespace
+}  // namespace aim::support

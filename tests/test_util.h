@@ -1,0 +1,59 @@
+#ifndef AIM_TESTS_TEST_UTIL_H_
+#define AIM_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sql/parser.h"
+#include "storage/data_generator.h"
+#include "storage/database.h"
+#include "workload/demo.h"
+#include "workload/workload.h"
+
+namespace aim::testing {
+
+/// Single-table fixture:
+///   users(id PK, org_id, status, score, created_at, email, payload)
+/// org_id ndv 100, status ndv 5, score ndv 1000 (zipf), created_at and
+/// email quasi-unique.
+inline storage::Database MakeUsersDb(uint64_t rows = 2000,
+                                     uint64_t seed = 7) {
+  return workload::MakeUsersDemoDb(rows, seed);
+}
+
+/// users + orders(id PK, user_id, status, total, day) for join tests.
+inline storage::Database MakeOrdersDb(uint64_t users = 1000,
+                                      uint64_t orders = 5000,
+                                      uint64_t seed = 9) {
+  return workload::MakeOrdersDemoDb(users, orders, seed);
+}
+
+/// Parses or records a test failure (for test setup).
+inline sql::Statement MustParse(const std::string& text) {
+  Result<sql::Statement> r = sql::Parse(text);
+  if (!r.ok()) {
+    ADD_FAILURE() << "parse failed: " << r.status().ToString()
+                  << " sql=" << text;
+    return sql::Statement{};
+  }
+  return r.MoveValue();
+}
+
+/// Makes a workload query or records a test failure.
+inline workload::Query MustQuery(const std::string& text,
+                                 double weight = 1.0) {
+  Result<workload::Query> r = workload::MakeQuery(text, weight);
+  if (!r.ok()) {
+    ADD_FAILURE() << "MakeQuery failed: " << r.status().ToString()
+                  << " sql=" << text;
+    return workload::Query{};
+  }
+  return r.MoveValue();
+}
+
+}  // namespace aim::testing
+
+#endif  // AIM_TESTS_TEST_UTIL_H_

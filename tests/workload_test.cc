@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/test_util.h"
+#include "workload/job.h"
+#include "workload/monitor.h"
+#include "workload/products.h"
+#include "workload/replay.h"
+#include "workload/tpch.h"
+
+namespace aim::workload {
+namespace {
+
+using aim::testing::MakeUsersDb;
+
+TEST(WorkloadTest, MakeQueryFillsFields) {
+  Result<Query> r =
+      MakeQuery("SELECT id FROM users WHERE org_id = 5", 3.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().weight, 3.0);
+  EXPECT_EQ(r.ValueOrDie().normalized_sql,
+            "SELECT id FROM users WHERE org_id = ?");
+  EXPECT_NE(r.ValueOrDie().fingerprint, 0u);
+}
+
+TEST(WorkloadTest, AddRejectsBadSql) {
+  Workload w;
+  EXPECT_FALSE(w.Add("SELEC nonsense").ok());
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(WorkloadTest, QueryCopyIsDeep) {
+  Query q = aim::testing::MustQuery("SELECT id FROM users WHERE a = 1");
+  Query copy = q;
+  EXPECT_EQ(copy.sql, q.sql);
+  EXPECT_EQ(copy.fingerprint, q.fingerprint);
+  EXPECT_NE(copy.stmt.select.get(), q.stmt.select.get());
+}
+
+TEST(MonitorTest, AccumulatesPerFingerprint) {
+  WorkloadMonitor monitor;
+  executor::ExecutionMetrics m;
+  m.rows_examined = 100;
+  m.rows_sent = 10;
+  m.cpu_seconds = 0.5;
+  monitor.RecordKeyed(1, "q1", m);
+  monitor.RecordKeyed(1, "q1", m);
+  monitor.RecordKeyed(2, "q2", m);
+  EXPECT_EQ(monitor.distinct_queries(), 2u);
+  const QueryStats* s = monitor.Find(1);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->executions, 2u);
+  EXPECT_DOUBLE_EQ(s->cpu_avg(), 0.5);
+  EXPECT_DOUBLE_EQ(s->ddr_avg(), 0.1);
+  EXPECT_NEAR(s->expected_benefit(), 0.45, 1e-9);
+}
+
+TEST(MonitorTest, MergeFromAggregatesReplicas) {
+  WorkloadMonitor a;
+  WorkloadMonitor b;
+  executor::ExecutionMetrics m;
+  m.rows_examined = 10;
+  m.rows_sent = 5;
+  m.cpu_seconds = 1.0;
+  a.RecordKeyed(1, "q", m);
+  b.RecordKeyed(1, "q", m);
+  b.RecordKeyed(2, "other", m);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.distinct_queries(), 2u);
+  EXPECT_EQ(a.Find(1)->executions, 2u);
+}
+
+TEST(MonitorTest, ResetClears) {
+  WorkloadMonitor monitor;
+  executor::ExecutionMetrics m;
+  monitor.RecordKeyed(1, "q", m);
+  monitor.Reset();
+  EXPECT_EQ(monitor.distinct_queries(), 0u);
+  EXPECT_EQ(monitor.Find(1), nullptr);
+}
+
+TEST(MonitorTest, SentToReadRatioClamped) {
+  executor::ExecutionMetrics m;
+  m.rows_examined = 5;
+  m.rows_sent = 50;  // grouped queries can send "more" than examined
+  EXPECT_DOUBLE_EQ(m.SentToReadRatio(), 1.0);
+  executor::ExecutionMetrics zero;
+  EXPECT_DOUBLE_EQ(zero.SentToReadRatio(), 1.0);
+}
+
+TEST(ReplayTest, ProducesSeriesAndStats) {
+  storage::Database db = MakeUsersDb(2000);
+  Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5", 10.0).ok());
+  ReplayDriver::Options options;
+  options.offered_qps = 20;
+  options.cpu_capacity_seconds_per_tick = 10.0;
+  ReplayDriver driver(&db, optimizer::CostModel(), options);
+  std::vector<ReplayTick> series = driver.Run(w, 5);
+  ASSERT_EQ(series.size(), 5u);
+  for (const auto& tick : series) {
+    EXPECT_GT(tick.throughput_qps, 0.0);
+    EXPECT_GE(tick.cpu_utilization_pct, 0.0);
+    EXPECT_LE(tick.cpu_utilization_pct, 100.0);
+  }
+  EXPECT_EQ(driver.monitor().distinct_queries(), 1u);
+  EXPECT_GE(driver.monitor().Snapshot()[0].executions, 50u);
+}
+
+TEST(ReplayTest, SaturationCapsThroughput) {
+  storage::Database db = MakeUsersDb(5000);
+  Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE score > 0", 1.0).ok());
+  ReplayDriver::Options options;
+  options.offered_qps = 1000;
+  options.cpu_capacity_seconds_per_tick = 0.001;  // tiny machine
+  ReplayDriver driver(&db, optimizer::CostModel(), options);
+  std::vector<ReplayTick> series = driver.Run(w, 2);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_LT(series[0].throughput_qps, 1000.0);
+}
+
+TEST(ReplayTest, OnTickHookCanMutateDatabase) {
+  storage::Database db = MakeUsersDb(3000);
+  Workload w;
+  ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5", 1.0).ok());
+  ReplayDriver::Options options;
+  options.offered_qps = 30;
+  options.cpu_capacity_seconds_per_tick = 100.0;
+  ReplayDriver driver(&db, optimizer::CostModel(), options);
+  std::vector<ReplayTick> series =
+      driver.Run(w, 6, [&](int tick) {
+        if (tick == 3) {
+          catalog::IndexDef def;
+          def.table = 0;
+          def.columns = {1};
+          ASSERT_TRUE(db.CreateIndex(def).ok());
+        }
+      });
+  // After the index lands, per-query CPU drops sharply.
+  EXPECT_LT(series[5].avg_cpu_per_query,
+            series[0].avg_cpu_per_query * 0.5);
+}
+
+// ---------- generators -------------------------------------------------------
+
+TEST(TpchTest, SchemaAndQueriesParse) {
+  storage::Database db;
+  TpchOptions options;
+  options.materialized_sf = 0.002;
+  ASSERT_TRUE(BuildTpch(&db, options).ok());
+  EXPECT_EQ(db.catalog().table_count(), 8u);
+  Result<Workload> w = TpchQueries();
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.ValueOrDie().size(), 22u);
+  // All 22 queries must analyze against the schema.
+  for (const Query& q : w.ValueOrDie().queries) {
+    Result<optimizer::AnalyzedQuery> aq =
+        optimizer::Analyze(q.stmt, db.catalog());
+    EXPECT_TRUE(aq.ok()) << aq.status().ToString() << "\n" << q.sql;
+  }
+}
+
+TEST(TpchTest, StatsScaledToTargetSf) {
+  storage::Database db;
+  TpchOptions options;
+  options.materialized_sf = 0.002;
+  options.stats_sf = 10.0;
+  ASSERT_TRUE(BuildTpch(&db, options).ok());
+  const catalog::TableId li =
+      db.catalog().FindTable("lineitem").ValueOrDie();
+  // SF10 lineitem ~ 60M rows in stats, even though few are materialized.
+  EXPECT_GT(db.catalog().table(li).stats.row_count, 10000000u);
+  EXPECT_LT(db.heap(li).live_count(), 100000u);
+}
+
+TEST(TpchTest, QueriesExecuteOnMaterializedData) {
+  storage::Database db;
+  TpchOptions options;
+  options.materialized_sf = 0.002;
+  options.stats_sf = 0.002;  // keep stats honest for execution
+  ASSERT_TRUE(BuildTpch(&db, options).ok());
+  executor::Executor exec(&db, optimizer::CostModel());
+  for (int qn : {1, 3, 6, 12, 14}) {
+    Result<Query> q = TpchQuery(qn);
+    ASSERT_TRUE(q.ok());
+    Result<executor::ExecuteResult> r = exec.Execute(q.ValueOrDie().stmt);
+    ASSERT_TRUE(r.ok()) << "Q" << qn << ": " << r.status().ToString();
+    EXPECT_GT(r.ValueOrDie().metrics.rows_examined, 0u) << "Q" << qn;
+  }
+}
+
+TEST(TpchTest, QueryNumberValidated) {
+  EXPECT_FALSE(TpchQuery(0).ok());
+  EXPECT_FALSE(TpchQuery(23).ok());
+  EXPECT_TRUE(TpchQuery(21).ok());
+}
+
+TEST(JobTest, SchemaAndQueriesParse) {
+  storage::Database db;
+  JobOptions options;
+  options.scale = 0.05;
+  ASSERT_TRUE(BuildJob(&db, options).ok());
+  EXPECT_GE(db.catalog().table_count(), 10u);
+  Result<Workload> w = JobQueries();
+  ASSERT_TRUE(w.ok());
+  EXPECT_GE(w.ValueOrDie().size(), 20u);
+  int join_queries = 0;
+  for (const Query& q : w.ValueOrDie().queries) {
+    Result<optimizer::AnalyzedQuery> aq =
+        optimizer::Analyze(q.stmt, db.catalog());
+    ASSERT_TRUE(aq.ok()) << aq.status().ToString() << "\n" << q.sql;
+    if (aq.ValueOrDie().instances.size() >= 3) ++join_queries;
+  }
+  // JOB is join-heavy by construction.
+  EXPECT_GT(join_queries, 10);
+}
+
+TEST(ProductsTest, TableIIMetadataMatchesPaper) {
+  std::vector<ProductSpec> specs = TableIIProducts();
+  ASSERT_EQ(specs.size(), 7u);
+  EXPECT_EQ(specs[0].tables, 147);
+  EXPECT_EQ(specs[0].join_queries, 67);
+  EXPECT_EQ(specs[0].mix, WorkloadMix::kWriteHeavy);
+  EXPECT_EQ(specs[1].tables, 184);
+  EXPECT_EQ(specs[1].join_queries, 733);
+  EXPECT_EQ(specs[6].tables, 79);
+  EXPECT_EQ(specs[6].join_queries, 386);
+}
+
+TEST(ProductsTest, BuildSmallProduct) {
+  ProductSpec spec;
+  spec.name = "Mini";
+  spec.tables = 6;
+  spec.join_queries = 8;
+  spec.rows_per_table = 300;
+  spec.mix = WorkloadMix::kBalanced;
+  Result<ProductInstance> r = BuildProduct(spec);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ProductInstance& p = r.ValueOrDie();
+  EXPECT_EQ(p.db.catalog().table_count(), 6u);
+  EXPECT_GT(p.workload.size(), 10u);
+  EXPECT_FALSE(p.dba_indexes.empty());
+  // Every query must analyze.
+  int dml = 0;
+  for (const Query& q : p.workload.queries) {
+    Result<optimizer::AnalyzedQuery> aq =
+        optimizer::Analyze(q.stmt, p.db.catalog());
+    EXPECT_TRUE(aq.ok()) << aq.status().ToString() << "\n" << q.sql;
+    if (q.stmt.is_dml()) ++dml;
+  }
+  EXPECT_GT(dml, 0);
+}
+
+TEST(ProductsTest, MixControlsWriteShare) {
+  ProductSpec read_spec;
+  read_spec.tables = 4;
+  read_spec.join_queries = 10;
+  read_spec.rows_per_table = 100;
+  read_spec.mix = WorkloadMix::kReadHeavy;
+  ProductSpec write_spec = read_spec;
+  write_spec.mix = WorkloadMix::kWriteHeavy;
+  auto count_dml = [](const ProductInstance& p) {
+    int n = 0;
+    for (const Query& q : p.workload.queries) {
+      if (q.stmt.is_dml()) ++n;
+    }
+    return n;
+  };
+  Result<ProductInstance> reads = BuildProduct(read_spec);
+  Result<ProductInstance> writes = BuildProduct(write_spec);
+  ASSERT_TRUE(reads.ok() && writes.ok());
+  EXPECT_GT(count_dml(writes.ValueOrDie()),
+            count_dml(reads.ValueOrDie()));
+}
+
+TEST(ProductsTest, DbaIndexesApplyCleanly) {
+  ProductSpec spec;
+  spec.tables = 5;
+  spec.join_queries = 6;
+  spec.rows_per_table = 200;
+  Result<ProductInstance> r = BuildProduct(spec);
+  ASSERT_TRUE(r.ok());
+  ProductInstance& p = r.ValueOrDie();
+  ASSERT_TRUE(ApplyIndexes(&p.db, p.dba_indexes).ok());
+  EXPECT_EQ(p.db.catalog().AllIndexes(false, false).size(),
+            p.dba_indexes.size());
+}
+
+TEST(ProductsTest, JaccardSimilarity) {
+  catalog::IndexDef a;
+  a.table = 0;
+  a.columns = {1};
+  catalog::IndexDef b;
+  b.table = 0;
+  b.columns = {2};
+  catalog::IndexDef c;
+  c.table = 1;
+  c.columns = {1};
+  EXPECT_DOUBLE_EQ(IndexSetJaccard({a, b}, {a, b}), 1.0);
+  EXPECT_DOUBLE_EQ(IndexSetJaccard({a}, {b}), 0.0);
+  EXPECT_NEAR(IndexSetJaccard({a, b}, {a, c}), 1.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(IndexSetJaccard({}, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace aim::workload

@@ -1,0 +1,160 @@
+// aim_cli — run the AIM index advisor against a schema + workload spec.
+//
+//   $ aim_cli --schema schema.aim --workload workload.aim
+//             [--budget-mb 512] [--width 8] [--j 2] [--engine btree|lsm]
+//             [--no-validate] [--explain]
+//
+// The spec formats are documented in src/workload/spec.h; sample files
+// live in tools/examples/.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "core/aim.h"
+#include "workload/spec.h"
+
+using namespace aim;
+
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --schema FILE --workload FILE [options]\n"
+      "  --budget-mb N    storage budget for new indexes (default: "
+      "unlimited)\n"
+      "  --width N        maximum index width (default 8)\n"
+      "  --j N            join parameter (default 2)\n"
+      "  --engine E       btree | lsm (default btree)\n"
+      "  --no-validate    skip clone validation (estimate-only)\n"
+      "  --explain        print per-index explanations\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string schema_path;
+  std::string workload_path;
+  core::AimOptions options;
+  optimizer::CostParams params;
+  bool explain = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--schema") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      schema_path = v;
+    } else if (arg == "--workload") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      workload_path = v;
+    } else if (arg == "--budget-mb") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      options.ranking.storage_budget_bytes =
+          std::strtod(v, nullptr) * 1024.0 * 1024.0;
+    } else if (arg == "--width") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      options.candidates.max_index_width =
+          std::strtoul(v, nullptr, 10);
+    } else if (arg == "--j") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      options.candidates.join_parameter =
+          static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      if (EqualsIgnoreCase(v, "lsm")) {
+        params = optimizer::CostParams::Lsm();
+      } else if (!EqualsIgnoreCase(v, "btree")) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--no-validate") {
+      options.validate_on_clone = false;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (schema_path.empty() || workload_path.empty()) {
+    return Usage(argv[0]);
+  }
+
+  Result<std::string> schema_text = ReadFile(schema_path);
+  if (!schema_text.ok()) {
+    std::fprintf(stderr, "%s\n", schema_text.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::string> workload_text = ReadFile(workload_path);
+  if (!workload_text.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 workload_text.status().ToString().c_str());
+    return 1;
+  }
+
+  Result<storage::Database> db =
+      workload::BuildDatabaseFromSpec(schema_text.ValueOrDie());
+  if (!db.ok()) {
+    std::fprintf(stderr, "schema: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  Result<workload::Workload> w =
+      workload::ParseWorkloadSpec(workload_text.ValueOrDie());
+  if (!w.ok()) {
+    std::fprintf(stderr, "workload: %s\n", w.status().ToString().c_str());
+    return 1;
+  }
+
+  core::AutomaticIndexManager aim(&db.ValueOrDie(),
+                                  optimizer::CostModel(params), options);
+  Result<core::AimReport> report =
+      options.validate_on_clone
+          ? aim.RunOnce(w.ValueOrDie(), nullptr)
+          : aim.Recommend(w.ValueOrDie(), nullptr);
+  if (!report.ok()) {
+    std::fprintf(stderr, "AIM: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  const core::AimReport& r = report.ValueOrDie();
+  if (r.recommended.empty()) {
+    std::printf("-- no beneficial indexes found\n");
+  }
+  for (const core::CandidateIndex& c : r.recommended) {
+    std::printf("CREATE INDEX ON %s;  -- %s, utility %.4f CPU-s/interval\n",
+                db.ValueOrDie().catalog().DescribeIndex(c.def).c_str(),
+                HumanBytes(c.size_bytes).c_str(), c.utility());
+  }
+  if (explain) {
+    std::printf("\n");
+    for (const std::string& text : r.explanations) {
+      std::printf("%s\n", text.c_str());
+    }
+  }
+  std::fprintf(stderr,
+               "-- %zu queries analyzed, %zu candidates evaluated, "
+               "%llu what-if calls, %.3fs\n",
+               r.stats.queries_selected, r.stats.candidates_evaluated,
+               (unsigned long long)r.stats.what_if_calls,
+               r.stats.runtime_seconds);
+  return 0;
+}
