@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_all_advisors"
+  "../bench/bench_all_advisors.pdb"
+  "CMakeFiles/bench_all_advisors.dir/bench_all_advisors.cpp.o"
+  "CMakeFiles/bench_all_advisors.dir/bench_all_advisors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_all_advisors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_bootstrap"
+  "../bench/bench_fig3_bootstrap.pdb"
+  "CMakeFiles/bench_fig3_bootstrap.dir/bench_fig3_bootstrap.cpp.o"
+  "CMakeFiles/bench_fig3_bootstrap.dir/bench_fig3_bootstrap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_tpch"
+  "../bench/bench_fig4_tpch.pdb"
+  "CMakeFiles/bench_fig4_tpch.dir/bench_fig4_tpch.cpp.o"
+  "CMakeFiles/bench_fig4_tpch.dir/bench_fig4_tpch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_join_param"
+  "../bench/bench_fig6_join_param.pdb"
+  "CMakeFiles/bench_fig6_join_param.dir/bench_fig6_join_param.cpp.o"
+  "CMakeFiles/bench_fig6_join_param.dir/bench_fig6_join_param.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_join_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_products"
+  "../bench/bench_table2_products.pdb"
+  "CMakeFiles/bench_table2_products.dir/bench_table2_products.cpp.o"
+  "CMakeFiles/bench_table2_products.dir/bench_table2_products.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_products.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_validation.dir/shadow_validation.cpp.o"
+  "CMakeFiles/shadow_validation.dir/shadow_validation.cpp.o.d"
+  "shadow_validation"
+  "shadow_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

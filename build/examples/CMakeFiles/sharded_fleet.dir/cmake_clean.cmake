@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_fleet.dir/sharded_fleet.cpp.o"
+  "CMakeFiles/sharded_fleet.dir/sharded_fleet.cpp.o.d"
+  "sharded_fleet"
+  "sharded_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

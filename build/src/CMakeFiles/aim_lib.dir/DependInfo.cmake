@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advisors/advisor.cc" "src/CMakeFiles/aim_lib.dir/advisors/advisor.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/advisors/advisor.cc.o.d"
+  "/root/repo/src/advisors/aim_adapter.cc" "src/CMakeFiles/aim_lib.dir/advisors/aim_adapter.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/advisors/aim_adapter.cc.o.d"
+  "/root/repo/src/advisors/autoadmin.cc" "src/CMakeFiles/aim_lib.dir/advisors/autoadmin.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/advisors/autoadmin.cc.o.d"
+  "/root/repo/src/advisors/db2advis.cc" "src/CMakeFiles/aim_lib.dir/advisors/db2advis.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/advisors/db2advis.cc.o.d"
+  "/root/repo/src/advisors/drop.cc" "src/CMakeFiles/aim_lib.dir/advisors/drop.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/advisors/drop.cc.o.d"
+  "/root/repo/src/advisors/dta.cc" "src/CMakeFiles/aim_lib.dir/advisors/dta.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/advisors/dta.cc.o.d"
+  "/root/repo/src/advisors/extend.cc" "src/CMakeFiles/aim_lib.dir/advisors/extend.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/advisors/extend.cc.o.d"
+  "/root/repo/src/advisors/relaxation.cc" "src/CMakeFiles/aim_lib.dir/advisors/relaxation.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/advisors/relaxation.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/aim_lib.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/statistics.cc" "src/CMakeFiles/aim_lib.dir/catalog/statistics.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/catalog/statistics.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/aim_lib.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/aim_lib.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/aim_lib.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/aim.cc" "src/CMakeFiles/aim_lib.dir/core/aim.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/core/aim.cc.o.d"
+  "/root/repo/src/core/candidate_generation.cc" "src/CMakeFiles/aim_lib.dir/core/candidate_generation.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/core/candidate_generation.cc.o.d"
+  "/root/repo/src/core/clone_validation.cc" "src/CMakeFiles/aim_lib.dir/core/clone_validation.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/core/clone_validation.cc.o.d"
+  "/root/repo/src/core/continuous.cc" "src/CMakeFiles/aim_lib.dir/core/continuous.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/core/continuous.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/aim_lib.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/merge.cc" "src/CMakeFiles/aim_lib.dir/core/merge.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/core/merge.cc.o.d"
+  "/root/repo/src/core/partial_order.cc" "src/CMakeFiles/aim_lib.dir/core/partial_order.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/core/partial_order.cc.o.d"
+  "/root/repo/src/core/ranking.cc" "src/CMakeFiles/aim_lib.dir/core/ranking.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/core/ranking.cc.o.d"
+  "/root/repo/src/core/sharding.cc" "src/CMakeFiles/aim_lib.dir/core/sharding.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/core/sharding.cc.o.d"
+  "/root/repo/src/core/workload_selection.cc" "src/CMakeFiles/aim_lib.dir/core/workload_selection.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/core/workload_selection.cc.o.d"
+  "/root/repo/src/executor/executor.cc" "src/CMakeFiles/aim_lib.dir/executor/executor.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/executor/executor.cc.o.d"
+  "/root/repo/src/optimizer/access_path.cc" "src/CMakeFiles/aim_lib.dir/optimizer/access_path.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/optimizer/access_path.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/aim_lib.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/join_order.cc" "src/CMakeFiles/aim_lib.dir/optimizer/join_order.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/optimizer/join_order.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/aim_lib.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/predicate.cc" "src/CMakeFiles/aim_lib.dir/optimizer/predicate.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/optimizer/predicate.cc.o.d"
+  "/root/repo/src/optimizer/selectivity.cc" "src/CMakeFiles/aim_lib.dir/optimizer/selectivity.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/optimizer/selectivity.cc.o.d"
+  "/root/repo/src/optimizer/what_if.cc" "src/CMakeFiles/aim_lib.dir/optimizer/what_if.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/optimizer/what_if.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/aim_lib.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/normalizer.cc" "src/CMakeFiles/aim_lib.dir/sql/normalizer.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/sql/normalizer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/aim_lib.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/printer.cc" "src/CMakeFiles/aim_lib.dir/sql/printer.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/sql/printer.cc.o.d"
+  "/root/repo/src/storage/btree_index.cc" "src/CMakeFiles/aim_lib.dir/storage/btree_index.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/storage/btree_index.cc.o.d"
+  "/root/repo/src/storage/data_generator.cc" "src/CMakeFiles/aim_lib.dir/storage/data_generator.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/storage/data_generator.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/aim_lib.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/heap_table.cc" "src/CMakeFiles/aim_lib.dir/storage/heap_table.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/storage/heap_table.cc.o.d"
+  "/root/repo/src/support/myshadow.cc" "src/CMakeFiles/aim_lib.dir/support/myshadow.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/support/myshadow.cc.o.d"
+  "/root/repo/src/support/regression_detector.cc" "src/CMakeFiles/aim_lib.dir/support/regression_detector.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/support/regression_detector.cc.o.d"
+  "/root/repo/src/support/stats_exporter.cc" "src/CMakeFiles/aim_lib.dir/support/stats_exporter.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/support/stats_exporter.cc.o.d"
+  "/root/repo/src/workload/demo.cc" "src/CMakeFiles/aim_lib.dir/workload/demo.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/workload/demo.cc.o.d"
+  "/root/repo/src/workload/job.cc" "src/CMakeFiles/aim_lib.dir/workload/job.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/workload/job.cc.o.d"
+  "/root/repo/src/workload/monitor.cc" "src/CMakeFiles/aim_lib.dir/workload/monitor.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/workload/monitor.cc.o.d"
+  "/root/repo/src/workload/products.cc" "src/CMakeFiles/aim_lib.dir/workload/products.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/workload/products.cc.o.d"
+  "/root/repo/src/workload/replay.cc" "src/CMakeFiles/aim_lib.dir/workload/replay.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/workload/replay.cc.o.d"
+  "/root/repo/src/workload/spec.cc" "src/CMakeFiles/aim_lib.dir/workload/spec.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/workload/spec.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/CMakeFiles/aim_lib.dir/workload/tpch.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/workload/tpch.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/aim_lib.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/aim_lib.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/advisors_test.cc" "tests/CMakeFiles/aim_tests.dir/advisors_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/advisors_test.cc.o.d"
+  "/root/repo/tests/aim_test.cc" "tests/CMakeFiles/aim_tests.dir/aim_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/aim_test.cc.o.d"
+  "/root/repo/tests/candidate_generation_test.cc" "tests/CMakeFiles/aim_tests.dir/candidate_generation_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/candidate_generation_test.cc.o.d"
+  "/root/repo/tests/catalog_test.cc" "tests/CMakeFiles/aim_tests.dir/catalog_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/catalog_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/aim_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/equations_test.cc" "tests/CMakeFiles/aim_tests.dir/equations_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/equations_test.cc.o.d"
+  "/root/repo/tests/executor_test.cc" "tests/CMakeFiles/aim_tests.dir/executor_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/executor_test.cc.o.d"
+  "/root/repo/tests/index_merge_test.cc" "tests/CMakeFiles/aim_tests.dir/index_merge_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/index_merge_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/aim_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/model_based_test.cc" "tests/CMakeFiles/aim_tests.dir/model_based_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/model_based_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/aim_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/partial_order_test.cc" "tests/CMakeFiles/aim_tests.dir/partial_order_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/partial_order_test.cc.o.d"
+  "/root/repo/tests/predicate_test.cc" "tests/CMakeFiles/aim_tests.dir/predicate_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/predicate_test.cc.o.d"
+  "/root/repo/tests/ranking_test.cc" "tests/CMakeFiles/aim_tests.dir/ranking_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/ranking_test.cc.o.d"
+  "/root/repo/tests/relaxation_test.cc" "tests/CMakeFiles/aim_tests.dir/relaxation_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/relaxation_test.cc.o.d"
+  "/root/repo/tests/sharding_test.cc" "tests/CMakeFiles/aim_tests.dir/sharding_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/sharding_test.cc.o.d"
+  "/root/repo/tests/skip_scan_test.cc" "tests/CMakeFiles/aim_tests.dir/skip_scan_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/skip_scan_test.cc.o.d"
+  "/root/repo/tests/spec_test.cc" "tests/CMakeFiles/aim_tests.dir/spec_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/spec_test.cc.o.d"
+  "/root/repo/tests/sql_test.cc" "tests/CMakeFiles/aim_tests.dir/sql_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/sql_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/aim_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/support_test.cc" "tests/CMakeFiles/aim_tests.dir/support_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/support_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/aim_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/aim_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aim_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aim_cli.dir/aim_cli.cpp.o"
+  "CMakeFiles/aim_cli.dir/aim_cli.cpp.o.d"
+  "aim_cli"
+  "aim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
