@@ -28,8 +28,14 @@ int main() {
               (unsigned long long)shadow.db().heap(0).live_count());
 
   // Baseline replay on the shadow.
-  support::ShadowReplayResult before =
+  Result<support::ShadowReplayResult> before_r =
       shadow.Replay(w, optimizer::CostModel(), /*repetitions=*/5);
+  if (!before_r.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 before_r.status().ToString().c_str());
+    return 1;
+  }
+  support::ShadowReplayResult before = before_r.MoveValue();
   std::printf("baseline: %.5f CPU-s over %zu executions\n",
               before.total_cpu_seconds, before.executed);
 
@@ -46,8 +52,14 @@ int main() {
     return 1;
   }
 
-  support::ShadowReplayResult after =
+  Result<support::ShadowReplayResult> after_r =
       shadow.Replay(w, optimizer::CostModel(), /*repetitions=*/5);
+  if (!after_r.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 after_r.status().ToString().c_str());
+    return 1;
+  }
+  support::ShadowReplayResult after = after_r.MoveValue();
   std::printf("with candidates: %.5f CPU-s\n", after.total_cpu_seconds);
 
   // Per-query verdicts: the UPDATE pays maintenance on the wide index.

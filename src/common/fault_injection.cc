@@ -1,0 +1,99 @@
+#include "common/fault_injection.h"
+
+namespace aim {
+
+std::atomic<int> FaultRegistry::armed_points_{0};
+
+int& FaultRegistry::SuppressionDepth() {
+  static thread_local int depth = 0;
+  return depth;
+}
+
+FaultRegistry::ScopedFaultSuppression::ScopedFaultSuppression() {
+  ++SuppressionDepth();
+}
+
+FaultRegistry::ScopedFaultSuppression::~ScopedFaultSuppression() {
+  --SuppressionDepth();
+}
+
+FaultRegistry& FaultRegistry::Instance() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& point, FaultSpec spec,
+                        uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spec.message.empty()) {
+    spec.message = "injected fault at " + point;
+  }
+  auto [it, inserted] = faults_.insert_or_assign(
+      point, ArmedFault{std::move(spec), Rng(seed), FaultStats{}});
+  (void)it;
+  if (inserted) {
+    armed_points_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (faults_.erase(point) > 0) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_points_.fetch_sub(static_cast<int>(faults_.size()),
+                          std::memory_order_relaxed);
+  faults_.clear();
+}
+
+Status FaultRegistry::Check(const char* point) {
+  if (SuppressionDepth() > 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = faults_.find(point);
+  if (it == faults_.end()) return Status::OK();
+  ArmedFault& fault = it->second;
+  const FaultSpec& spec = fault.spec;
+  ++fault.stats.hits;
+  fault.stats.injected_latency_ms += spec.latency_ms;
+  if (fault.stats.hits <= static_cast<uint64_t>(spec.skip)) {
+    return Status::OK();
+  }
+  if (spec.fail_times >= 0 &&
+      fault.stats.triggers >= static_cast<uint64_t>(spec.fail_times)) {
+    return Status::OK();
+  }
+  if (spec.probability < 1.0 && !fault.rng.Bernoulli(spec.probability)) {
+    return Status::OK();
+  }
+  ++fault.stats.triggers;
+  return Status::FromCode(spec.code, spec.message);
+}
+
+FaultStats FaultRegistry::stats(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = faults_.find(point);
+  return it == faults_.end() ? FaultStats{} : it->second.stats;
+}
+
+double FaultRegistry::total_injected_latency_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (const auto& [name, fault] : faults_) {
+    total += fault.stats.injected_latency_ms;
+  }
+  return total;
+}
+
+std::vector<std::string> FaultRegistry::ArmedPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> points;
+  points.reserve(faults_.size());
+  for (const auto& [name, fault] : faults_) points.push_back(name);
+  return points;
+}
+
+}  // namespace aim

@@ -1,0 +1,152 @@
+#ifndef AIM_COMMON_FAULT_INJECTION_H_
+#define AIM_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace aim {
+
+/// \brief Deterministic fault injection for robustness testing.
+///
+/// Library code declares *fault points* — named places where a failure can
+/// be injected — via `AIM_FAULT_POINT("storage.create_index")`. In
+/// production (nothing armed) a fault point costs one relaxed atomic load
+/// and a never-taken branch. Tests arm points on the process-wide
+/// `FaultRegistry` with a `FaultSpec`: a deterministic
+/// succeed-S/fail-F schedule, seeded probabilistic triggering, an error
+/// code to inject, and virtual latency (accounted, never slept — tests
+/// stay wall-clock free).
+///
+/// The registry is process-wide and thread-safe. Tests should arm through
+/// `ScopedFault` so points are disarmed even when an assertion fails.
+struct FaultSpec {
+  /// Error code injected when the fault triggers. Defaults to the
+  /// retriable code so retry paths are exercised; set kInternal (etc.) to
+  /// model hard failures.
+  Status::Code code = Status::Code::kUnavailable;
+  /// Message of the injected Status; defaults to "injected fault at
+  /// <point>".
+  std::string message;
+  /// Probability that an eligible hit triggers (1.0 = deterministic).
+  double probability = 1.0;
+  /// Number of initial hits that always succeed before the fault becomes
+  /// eligible (fail-the-k-th schedules: skip = k - 1).
+  int skip = 0;
+  /// Number of triggers after which the point stops failing (the classic
+  /// fail-N-times-then-succeed transient); -1 = fail forever.
+  int fail_times = -1;
+  /// Virtual latency accounted on *every* hit of an armed point (virtual
+  /// clock: accumulated in FaultStats, never slept).
+  double latency_ms = 0.0;
+};
+
+/// Observed activity of one armed fault point.
+struct FaultStats {
+  uint64_t hits = 0;      // times the point was reached while armed
+  uint64_t triggers = 0;  // times a fault was actually injected
+  double injected_latency_ms = 0.0;
+};
+
+class FaultRegistry {
+ public:
+  static FaultRegistry& Instance();
+
+  /// Fast-path gate for AIM_FAULT_POINT: true iff any point is armed.
+  static bool ArmedGlobally() {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Arms (or re-arms, resetting counters) a fault point. `seed` drives
+  /// the point's private RNG for probabilistic triggering.
+  void Arm(const std::string& point, FaultSpec spec, uint64_t seed = 42);
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  /// Evaluates `point`: records a hit and returns the injected Status if
+  /// the fault triggers, OK otherwise. Called by AIM_FAULT_POINT; cheap
+  /// only when armed — guard calls with ArmedGlobally().
+  Status Check(const char* point);
+
+  /// Stats for an armed point (zeros when not armed).
+  FaultStats stats(const std::string& point) const;
+  /// Total virtual latency injected across all armed points.
+  double total_injected_latency_ms() const;
+  std::vector<std::string> ArmedPoints() const;
+
+  /// Thread-local suppression used by rollback paths: while any
+  /// ScopedFaultSuppression lives on this thread, Check() always returns
+  /// OK, so recovery code cannot itself be failed (rollback must be able
+  /// to make progress to guarantee atomicity).
+  class ScopedFaultSuppression {
+   public:
+    ScopedFaultSuppression();
+    ~ScopedFaultSuppression();
+    ScopedFaultSuppression(const ScopedFaultSuppression&) = delete;
+    ScopedFaultSuppression& operator=(const ScopedFaultSuppression&) =
+        delete;
+  };
+
+ private:
+  FaultRegistry() = default;
+
+  struct ArmedFault {
+    FaultSpec spec;
+    Rng rng{42};
+    FaultStats stats;
+  };
+
+  // Accessed only from fault_injection.cc; kept behind an out-of-line
+  // accessor because cross-TU inline access to a thread_local member
+  // trips GCC's UBSan TLS-wrapper check.
+  static int& SuppressionDepth();
+
+  mutable std::mutex mu_;
+  std::map<std::string, ArmedFault> faults_;
+  static std::atomic<int> armed_points_;
+};
+
+/// RAII arming for tests: arms on construction, disarms on destruction.
+class ScopedFault {
+ public:
+  ScopedFault(std::string point, FaultSpec spec, uint64_t seed = 42)
+      : point_(std::move(point)) {
+    FaultRegistry::Instance().Arm(point_, std::move(spec), seed);
+  }
+  ~ScopedFault() { FaultRegistry::Instance().Disarm(point_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+/// Declares a fault point in a function returning Status or Result<T>.
+/// Compiles to a relaxed atomic load + branch when nothing is armed.
+#define AIM_FAULT_POINT(point)                                       \
+  do {                                                               \
+    if (::aim::FaultRegistry::ArmedGlobally()) {                     \
+      ::aim::Status _aim_fault_st =                                  \
+          ::aim::FaultRegistry::Instance().Check(point);             \
+      if (!_aim_fault_st.ok()) return _aim_fault_st;                 \
+    }                                                                \
+  } while (0)
+
+/// Fault-point variant for contexts that cannot `return Status` (loops,
+/// constructors): evaluates to the injected Status (OK when disarmed).
+#define AIM_FAULT_POINT_STATUS(point)                                \
+  (::aim::FaultRegistry::ArmedGlobally()                             \
+       ? ::aim::FaultRegistry::Instance().Check(point)               \
+       : ::aim::Status::OK())
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,101 @@
+#ifndef AIM_COMMON_RETRY_H_
+#define AIM_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace aim {
+
+/// Knobs for RetryPolicy. Backoff for attempt k (1-based) is
+///   min(initial_backoff_ms * multiplier^(k-1), max_backoff_ms)
+/// scaled by a deterministic jitter factor in
+/// [1 - jitter_fraction, 1 + jitter_fraction] drawn from `seed`.
+struct RetryOptions {
+  int max_attempts = 4;
+  double initial_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1000.0;
+  double jitter_fraction = 0.2;
+  uint64_t seed = 42;
+};
+
+/// \brief Exponential-backoff retry for transient (`IsRetriable`)
+/// failures.
+///
+/// Time is virtual: backoff is accounted in `total_backoff_ms()` and
+/// reported to an optional sleep hook, never slept in-process — tests
+/// exercising hundreds of fault schedules stay wall-clock free, and a
+/// production embedder can plug a real sleep in.
+class RetryPolicy {
+ public:
+  using SleepFn = std::function<void(double ms)>;
+
+  explicit RetryPolicy(RetryOptions options = {})
+      : options_(options), rng_(options.seed) {}
+
+  void set_sleep_fn(SleepFn fn) { sleep_fn_ = std::move(fn); }
+
+  /// Runs `fn` (returning Status or Result<T>) up to max_attempts times,
+  /// backing off between attempts while the failure is retriable. Returns
+  /// the first success or the last failure. A policy may be reused for
+  /// several operations; each Run gets the full attempt budget and
+  /// `attempts()` / `total_backoff_ms()` accumulate across them.
+  template <typename F>
+  auto Run(F&& fn) -> std::decay_t<decltype(fn())> {
+    using R = std::decay_t<decltype(fn())>;
+    for (int attempt = 1;; ++attempt) {
+      R result = fn();
+      ++attempts_;
+      const Status& status = StatusOf(result);
+      if (status.ok() || !status.IsRetriable() ||
+          attempt >= options_.max_attempts) {
+        return result;
+      }
+      Backoff(attempt);
+    }
+  }
+
+  /// The (jittered) backoff that follows attempt `attempt` (1-based).
+  /// Advances the jitter RNG; exposed for tests asserting determinism.
+  double NextBackoffMs(int attempt) {
+    double backoff = options_.initial_backoff_ms;
+    for (int i = 1; i < attempt; ++i) backoff *= options_.backoff_multiplier;
+    backoff = std::min(backoff, options_.max_backoff_ms);
+    const double jitter =
+        1.0 + options_.jitter_fraction * (2.0 * rng_.NextDouble() - 1.0);
+    return backoff * jitter;
+  }
+
+  int attempts() const { return attempts_; }
+  double total_backoff_ms() const { return total_backoff_ms_; }
+  const RetryOptions& options() const { return options_; }
+
+ private:
+  static const Status& StatusOf(const Status& status) { return status; }
+  template <typename T>
+  static const Status& StatusOf(const Result<T>& result) {
+    return result.status();
+  }
+
+  void Backoff(int attempt) {
+    const double ms = NextBackoffMs(attempt);
+    total_backoff_ms_ += ms;
+    if (sleep_fn_) sleep_fn_(ms);
+  }
+
+  RetryOptions options_;
+  Rng rng_;
+  SleepFn sleep_fn_;
+  int attempts_ = 0;
+  double total_backoff_ms_ = 0.0;
+};
+
+}  // namespace aim
+
+#endif  // AIM_COMMON_RETRY_H_

@@ -22,6 +22,9 @@ class Status {
     kParseError,
     kUnsupported,
     kInternal,
+    /// Transient failure (resource busy, shadow instance briefly gone).
+    /// The only retriable code: callers may re-attempt via RetryPolicy.
+    kUnavailable,
   };
 
   Status() : code_(Code::kOk) {}
@@ -49,8 +52,18 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  /// Generic factory for code-driven construction (fault injection).
+  /// `code` must not be kOk.
+  static Status FromCode(Code code, std::string msg) {
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
+  /// True when a retry may succeed (currently only kUnavailable).
+  bool IsRetriable() const { return code_ == Code::kUnavailable; }
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -81,6 +94,8 @@ class Status {
         return "Unsupported";
       case Code::kInternal:
         return "Internal";
+      case Code::kUnavailable:
+        return "Unavailable";
     }
     return "Unknown";
   }

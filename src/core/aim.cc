@@ -3,8 +3,11 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/retry.h"
 #include "optimizer/predicate.h"
+#include "storage/index_transaction.h"
 
 namespace aim::core {
 
@@ -157,18 +160,25 @@ Result<AimReport> AutomaticIndexManager::RunOnce(
                                      db_->catalog());
   }
 
-  // Materialize the production indexes.
+  // Materialize the production indexes atomically: a failure on the k-th
+  // build rolls back the k-1 already-installed indexes, so production is
+  // only ever the original configuration or the fully-validated new one.
+  AIM_FAULT_POINT("core.apply");
+  storage::IndexSetTransaction txn(db_);
+  RetryPolicy retry(options_.validation.retry);
   for (const CandidateIndex& c : report.recommended) {
     catalog::IndexDef def = c.def;
     def.hypothetical = false;
     def.id = catalog::kInvalidIndex;
     def.created_by_automation = true;
-    Result<catalog::IndexId> id = db_->CreateIndex(std::move(def));
+    Result<catalog::IndexId> id =
+        retry.Run([&] { return txn.CreateIndex(def); });
     if (!id.ok() &&
         id.status().code() != Status::Code::kAlreadyExists) {
-      return id.status();
+      return id.status();  // txn destructor rolls back prior creates
     }
   }
+  txn.Commit();
   report.stats.indexes_recommended = report.recommended.size();
   report.stats.runtime_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/retry.h"
 #include "executor/executor.h"
 
 namespace aim::core {
@@ -16,18 +18,26 @@ Result<CloneValidationResult> ValidateOnClone(
   CloneValidationResult result;
   if (selected.empty()) return result;
 
+  // Clone construction shares the MyShadow fault point: validation
+  // cannot start without its test environment.
+  AIM_FAULT_POINT("shadow.clone");
+
   // Control clone: production as-is. Test clone: production + candidates,
   // actually materialized (B+Trees built).
   storage::Database control = production;
   storage::Database test = production;
+  RetryPolicy retry(options.retry);
   std::vector<catalog::IndexId> created;
   for (const CandidateIndex& c : selected) {
     catalog::IndexDef def = c.def;
     def.hypothetical = false;
     def.id = catalog::kInvalidIndex;
     def.created_by_automation = true;
-    Result<catalog::IndexId> id = test.CreateIndex(std::move(def));
+    Result<catalog::IndexId> id =
+        retry.Run([&] { return test.CreateIndex(def); });
     if (!id.ok()) {
+      // A candidate that cannot be built contributes no evidence; it is
+      // simply never observed as used and falls out as rejected below.
       AIM_LOG(Warn) << "clone materialization failed: "
                     << id.status().ToString();
       created.push_back(catalog::kInvalidIndex);
@@ -47,11 +57,13 @@ Result<CloneValidationResult> ValidateOnClone(
     Result<executor::ExecuteResult> after =
         test_exec.Execute(sq.query->stmt);
     if (!before.ok() || !after.ok()) {
+      ++result.failed;
       AIM_LOG(Warn) << "validation replay failed: "
                     << (before.ok() ? after.status() : before.status())
                            .ToString();
       continue;
     }
+    ++result.executed;
     for (catalog::IndexId id :
          after.ValueOrDie().metrics.used_indexes) {
       used.insert(id);
@@ -70,6 +82,23 @@ Result<CloneValidationResult> ValidateOnClone(
     result.per_query.push_back(v);
   }
   result.any_query_improved = improved;
+
+  // A replay where too many queries failed proves nothing about the
+  // candidates' effect on production (the failed queries are exactly the
+  // ones whose regressions we would miss): reject the whole set and keep
+  // production unchanged.
+  const size_t replayed = result.executed + result.failed;
+  if (replayed > 0 &&
+      static_cast<double>(result.failed) >
+          options.max_replay_failure_rate * static_cast<double>(replayed)) {
+    result.replay_reliable = false;
+    result.no_regressions = false;
+    result.rejected_unused = selected;
+    AIM_LOG(Warn) << "clone validation rejected candidate set: "
+                  << result.failed << "/" << replayed
+                  << " replayed executions failed";
+    return result;
+  }
 
   for (size_t i = 0; i < selected.size(); ++i) {
     const catalog::IndexId id =

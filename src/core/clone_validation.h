@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/retry.h"
 #include "core/ranking.h"
 #include "storage/database.h"
 
@@ -17,6 +18,14 @@ struct CloneValidationOptions {
   double lambda3 = 0.20;
   /// Drop candidates no query plan actually uses on the clone.
   bool drop_unused = true;
+  /// Maximum tolerated fraction of replayed executions that fail. Above
+  /// this the clone's evidence is considered unreliable: the whole
+  /// candidate set is rejected and production stays unchanged (the
+  /// conservative reading of the no-regression guarantee).
+  double max_replay_failure_rate = 0.1;
+  /// Retry knobs for transient failures while materializing candidates on
+  /// the test clone.
+  RetryOptions retry;
 };
 
 /// Per-query before/after record from the clone replay.
@@ -37,6 +46,14 @@ struct CloneValidationResult {
   /// True when Eq. 4 held for every query (after rejections).
   bool no_regressions = true;
   std::vector<QueryValidation> per_query;
+  /// Before/after executions that completed on both clones.
+  size_t executed = 0;
+  /// Executions that failed on either clone (these queries contribute no
+  /// before/after evidence).
+  size_t failed = 0;
+  /// False when the replay failure rate exceeded
+  /// `max_replay_failure_rate`; every candidate was rejected.
+  bool replay_reliable = true;
 };
 
 /// \brief Line 3 of Algorithm 1: materializes the selected candidates on a

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/retry.h"
 
 namespace aim::core {
 
@@ -64,7 +66,32 @@ Result<IntervalReport> ContinuousTuner::Tick(
     const workload::Workload& workload,
     const workload::WorkloadMonitor* monitor) {
   IntervalReport report;
+  storage::IndexSetTransaction txn(db_);
+  Status st = TickInternal(workload, monitor, &txn, &report);
+  if (st.ok()) {
+    txn.Commit();
+  } else {
+    // Graceful degradation: skip the interval, roll the GC changes back
+    // (AIM's apply step is itself transactional and has already undone
+    // its own creates), and report the failure structurally. Production
+    // keeps its pre-Tick configuration; the next interval retries.
+    (void)txn.Rollback();
+    report = IntervalReport{};
+    report.degraded = true;
+    report.error = st;
+    AIM_LOG(Warn) << "tuning interval degraded: " << st.ToString();
+  }
+  PruneUsage();
+  return report;
+}
+
+Status ContinuousTuner::TickInternal(
+    const workload::Workload& workload,
+    const workload::WorkloadMonitor* monitor,
+    storage::IndexSetTransaction* txn, IntervalReport* report) {
+  AIM_FAULT_POINT("core.tick");
   ObserveUsage(workload);
+  RetryPolicy retry(options_.aim.validation.retry);
 
   // Garbage-collect automation indexes the workload stopped using.
   // Snapshot definitions by value: CreateIndex below can reallocate the
@@ -81,8 +108,8 @@ Result<IntervalReport> ContinuousTuner::Tick(
     const UsageState& state = it->second;
     if (options_.enable_drop &&
         state.idle_intervals >= options_.drop_after_idle_intervals) {
-      report.dropped.push_back(*idx);
-      AIM_RETURN_NOT_OK(db_->DropIndex(idx->id));
+      AIM_RETURN_NOT_OK(txn->DropIndex(idx->id));
+      report->dropped.push_back(*idx);
       usage_.erase(it);
       continue;
     }
@@ -99,19 +126,35 @@ Result<IntervalReport> ContinuousTuner::Tick(
         continue;  // the prefix already exists as its own index
       }
       catalog::IndexDef old = *idx;
-      AIM_RETURN_NOT_OK(db_->DropIndex(idx->id));
-      Result<catalog::IndexId> nid = db_->CreateIndex(narrower);
-      if (nid.ok()) {
-        usage_.erase(it);
-        report.shrunk.emplace_back(old, narrower);
+      // Build the narrower index before dropping the wide one: if the
+      // build fails, the old index is still standing (and the transaction
+      // guarantees the same even for the drop).
+      Result<catalog::IndexId> nid =
+          retry.Run([&] { return txn->CreateIndex(narrower); });
+      if (!nid.ok()) {
+        if (nid.status().code() == Status::Code::kAlreadyExists) continue;
+        return nid.status();
       }
+      AIM_RETURN_NOT_OK(txn->DropIndex(idx->id));
+      usage_.erase(it);
+      report->shrunk.emplace_back(old, narrower);
     }
   }
 
   // Run AIM on this interval's statistics.
   AutomaticIndexManager aim(db_, cm_, options_.aim);
-  AIM_ASSIGN_OR_RETURN(report.aim, aim.RunOnce(workload, monitor));
-  return report;
+  AIM_ASSIGN_OR_RETURN(report->aim, aim.RunOnce(workload, monitor));
+  return Status::OK();
+}
+
+void ContinuousTuner::PruneUsage() {
+  for (auto it = usage_.begin(); it != usage_.end();) {
+    if (db_->catalog().index(it->first) == nullptr) {
+      it = usage_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace aim::core

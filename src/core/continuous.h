@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/aim.h"
+#include "storage/index_transaction.h"
 
 namespace aim::core {
 
@@ -27,6 +28,11 @@ struct IntervalReport {
   std::vector<catalog::IndexDef> dropped;
   /// (old definition, new narrower definition) pairs.
   std::vector<std::pair<catalog::IndexDef, catalog::IndexDef>> shrunk;
+  /// True when the interval failed and was skipped: all of its index
+  /// changes were rolled back, production is exactly as before the Tick,
+  /// and `error` holds the cause. Tuning resumes on the next interval.
+  bool degraded = false;
+  Status error;
 };
 
 /// \brief Periodic (naïve, per Sec. VI-D) continuous tuning: run AIM at
@@ -42,6 +48,11 @@ class ContinuousTuner {
   /// One tuning interval: analyze usage of existing automation indexes
   /// against the current workload, drop/shrink idle ones, then run AIM on
   /// the interval's statistics.
+  ///
+  /// Degrades gracefully: an internal failure never escapes as a non-OK
+  /// Result. Instead the interval's changes are rolled back and the
+  /// returned report is marked `degraded` with the failure status — the
+  /// production configuration is untouched and the tuner stays usable.
   Result<IntervalReport> Tick(const workload::Workload& workload,
                               const workload::WorkloadMonitor* monitor);
 
@@ -55,6 +66,17 @@ class ContinuousTuner {
   /// Plans every workload query against the real configuration and
   /// records which indexes (and how many leading key parts) are used.
   void ObserveUsage(const workload::Workload& workload);
+
+  /// The fallible interval body; all index changes go through `txn` so
+  /// Tick can roll them back on failure.
+  Status TickInternal(const workload::Workload& workload,
+                      const workload::WorkloadMonitor* monitor,
+                      storage::IndexSetTransaction* txn,
+                      IntervalReport* report);
+
+  /// Drops usage entries whose index no longer exists (rolled-back or
+  /// externally dropped ids).
+  void PruneUsage();
 
   storage::Database* db_;
   optimizer::CostModel cm_;

@@ -1,8 +1,11 @@
 #include "core/sharding.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <string>
+
+#include "storage/index_transaction.h"
 
 namespace aim::core {
 
@@ -66,18 +69,18 @@ Result<ShardedReport> ShardedIndexManager::RunOnce(
   std::set<std::string> used_somewhere;
   bool any_shard_regressed = false;
   for (size_t si = 0; si < shards_to_validate; ++si) {
-    Result<CloneValidationResult> r = ValidateOnClone(
-        *shards[si].db, report.aim.recommended,
-        report.aim.selected_workload, cm, options_.aim.validation);
-    if (!r.ok()) return r.status();
-    for (const CandidateIndex& c : r.ValueOrDie().accepted) {
+    AIM_ASSIGN_OR_RETURN(
+        CloneValidationResult vr,
+        ValidateOnClone(*shards[si].db, report.aim.recommended,
+                        report.aim.selected_workload, cm,
+                        options_.aim.validation));
+    for (const CandidateIndex& c : vr.accepted) {
       used_somewhere.insert(Key(c.def));
     }
-    any_shard_regressed =
-        any_shard_regressed || !r.ValueOrDie().no_regressions;
+    any_shard_regressed = any_shard_regressed || !vr.no_regressions;
     ShardValidation sv;
     sv.shard = si;
-    sv.result = r.MoveValue();
+    sv.result = std::move(vr);
     report.validations.push_back(std::move(sv));
   }
 
@@ -94,19 +97,28 @@ Result<ShardedReport> ShardedIndexManager::RunOnce(
   report.aim.recommended = std::move(accepted);
 
   // Common physical design: materialize the survivors on every shard.
+  // All shard transactions commit together — a failure anywhere rolls
+  // back every shard, so the fleet never diverges into a mixed
+  // configuration.
+  std::vector<std::unique_ptr<storage::IndexSetTransaction>> txns;
+  txns.reserve(shards.size());
   for (const Shard& s : shards) {
+    txns.push_back(
+        std::make_unique<storage::IndexSetTransaction>(s.db));
     for (const CandidateIndex& c : report.aim.recommended) {
       catalog::IndexDef def = c.def;
       def.id = catalog::kInvalidIndex;
       def.hypothetical = false;
       def.created_by_automation = true;
-      Result<catalog::IndexId> id = s.db->CreateIndex(std::move(def));
+      Result<catalog::IndexId> id =
+          txns.back()->CreateIndex(std::move(def));
       if (!id.ok() &&
           id.status().code() != Status::Code::kAlreadyExists) {
-        return id.status();
+        return id.status();  // txn destructors roll back every shard
       }
     }
   }
+  for (auto& txn : txns) txn->Commit();
   return report;
 }
 

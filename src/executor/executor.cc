@@ -6,6 +6,7 @@
 #include <optional>
 #include <set>
 
+#include "common/fault_injection.h"
 #include "common/strings.h"
 #include "optimizer/predicate.h"
 
@@ -600,6 +601,7 @@ struct AggState {
 }  // namespace
 
 Result<ExecuteResult> Executor::Execute(const sql::Statement& stmt) {
+  AIM_FAULT_POINT("executor.execute");
   AIM_ASSIGN_OR_RETURN(optimizer::AnalyzedQuery query,
                        optimizer::Analyze(stmt, db_->catalog()));
   optimizer::Optimizer opt(db_->catalog(), cm_);

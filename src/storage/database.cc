@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
+
 namespace aim::storage {
 
 Database::Database(const Database& other) { CopyFrom(other); }
@@ -39,6 +41,7 @@ catalog::TableId Database::CreateTable(catalog::TableDef def) {
 }
 
 Status Database::LoadRows(catalog::TableId table, std::vector<Row> rows) {
+  AIM_FAULT_POINT("storage.load_rows");
   if (table >= heaps_.size()) {
     return Status::InvalidArgument("unknown table id");
   }
@@ -49,6 +52,7 @@ Status Database::LoadRows(catalog::TableId table, std::vector<Row> rows) {
 }
 
 Result<catalog::IndexId> Database::CreateIndex(catalog::IndexDef def) {
+  AIM_FAULT_POINT("storage.create_index");
   const bool hypothetical = def.hypothetical;
   const catalog::TableId table = def.table;
   AIM_ASSIGN_OR_RETURN(catalog::IndexId id,
@@ -56,15 +60,27 @@ Result<catalog::IndexId> Database::CreateIndex(catalog::IndexDef def) {
   if (!hypothetical) {
     BTreeIndex& btree = btrees_[id];
     const catalog::IndexDef& stored = *catalog_.index(id);
+    // Materialization can fail mid-scan (the injected "crash during index
+    // build"); CreateIndex stays atomic by erasing the partial B+Tree and
+    // the catalog entry before surfacing the error.
+    Status build_status;
     heaps_[table].Scan([&](RowId rid, const Row& row) {
+      build_status = AIM_FAULT_POINT_STATUS("storage.build_index_entry");
+      if (!build_status.ok()) return false;
       btree.Insert(MakeIndexKey(stored, row), rid);
       return true;
     });
+    if (!build_status.ok()) {
+      btrees_.erase(id);
+      (void)catalog_.DropIndex(id);
+      return build_status;
+    }
   }
   return id;
 }
 
 Status Database::DropIndex(catalog::IndexId id) {
+  AIM_FAULT_POINT("storage.drop_index");
   AIM_RETURN_NOT_OK(catalog_.DropIndex(id));
   btrees_.erase(id);
   return Status::OK();
@@ -85,6 +101,7 @@ Row Database::MakeIndexKey(const catalog::IndexDef& def,
 
 Result<RowId> Database::InsertRow(catalog::TableId table, Row row,
                                   MaintenanceCost* cost) {
+  AIM_FAULT_POINT("storage.insert_row");
   if (table >= heaps_.size()) {
     return Status::InvalidArgument("unknown table id");
   }
@@ -107,6 +124,7 @@ Result<RowId> Database::InsertRow(catalog::TableId table, Row row,
 
 Status Database::UpdateRow(catalog::TableId table, RowId rid, Row row,
                            MaintenanceCost* cost) {
+  AIM_FAULT_POINT("storage.update_row");
   if (table >= heaps_.size()) {
     return Status::InvalidArgument("unknown table id");
   }
@@ -133,6 +151,7 @@ Status Database::UpdateRow(catalog::TableId table, RowId rid, Row row,
 
 Status Database::DeleteRow(catalog::TableId table, RowId rid,
                            MaintenanceCost* cost) {
+  AIM_FAULT_POINT("storage.delete_row");
   if (table >= heaps_.size()) {
     return Status::InvalidArgument("unknown table id");
   }

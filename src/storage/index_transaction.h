@@ -1,0 +1,64 @@
+#ifndef AIM_STORAGE_INDEX_TRANSACTION_H_
+#define AIM_STORAGE_INDEX_TRANSACTION_H_
+
+#include <vector>
+
+#include "storage/database.h"
+
+namespace aim::storage {
+
+/// \brief All-or-nothing application of a set of index changes.
+///
+/// AIM's apply step installs several indexes; if the k-th CreateIndex
+/// fails, the catalog must not be left with k-1 half-adopted indexes (the
+/// no-regression guarantee covers configuration state, not just query
+/// latency). Route every change through a transaction and either Commit()
+/// or let Rollback() (also run by the destructor) undo them in reverse
+/// order: created indexes are dropped, dropped indexes are rebuilt from
+/// their saved definitions.
+///
+/// Rollback runs under fault suppression so injected faults cannot strand
+/// a half-rolled-back catalog; after a rolled-back drop the index is
+/// rebuilt from the heap and keeps its definition but receives a fresh
+/// IndexId.
+class IndexSetTransaction {
+ public:
+  explicit IndexSetTransaction(Database* db) : db_(db) {}
+  ~IndexSetTransaction() {
+    if (!committed_) (void)Rollback();
+  }
+  IndexSetTransaction(const IndexSetTransaction&) = delete;
+  IndexSetTransaction& operator=(const IndexSetTransaction&) = delete;
+
+  /// Creates an index through the transaction; on later rollback it is
+  /// dropped again.
+  Result<catalog::IndexId> CreateIndex(catalog::IndexDef def);
+
+  /// Drops an index through the transaction; on later rollback it is
+  /// re-created (re-materialized) from its saved definition.
+  Status DropIndex(catalog::IndexId id);
+
+  /// Keeps all changes; the destructor becomes a no-op.
+  void Commit() { committed_ = true; }
+
+  /// Undoes all uncommitted changes in reverse order. Idempotent.
+  Status Rollback();
+
+  bool committed() const { return committed_; }
+  size_t pending_ops() const { return ops_.size(); }
+
+ private:
+  struct Op {
+    bool was_create = false;
+    catalog::IndexId created_id = catalog::kInvalidIndex;
+    catalog::IndexDef dropped_def;
+  };
+
+  Database* db_;
+  std::vector<Op> ops_;
+  bool committed_ = false;
+};
+
+}  // namespace aim::storage
+
+#endif  // AIM_STORAGE_INDEX_TRANSACTION_H_

@@ -1,12 +1,16 @@
 #include "support/myshadow.h"
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "storage/index_transaction.h"
 
 namespace aim::support {
 
 MyShadow::MyShadow(const storage::Database& production,
                    double sample_fraction, uint64_t seed) {
+  init_status_ = AIM_FAULT_POINT_STATUS("shadow.clone");
+  if (!init_status_.ok()) return;
   if (sample_fraction >= 1.0) {
     clone_ = production;
     return;
@@ -23,54 +27,72 @@ MyShadow::MyShadow(const storage::Database& production,
   }
   for (catalog::TableId t = 0; t < src_cat.table_count(); ++t) {
     production.heap(t).Scan([&](storage::RowId, const storage::Row& row) {
-      if (rng.NextDouble() < sample_fraction) {
-        (void)clone_.InsertRow(t, row);
-      }
-      return true;
+      if (rng.NextDouble() >= sample_fraction) return true;
+      Result<storage::RowId> rid = clone_.InsertRow(t, row);
+      if (!rid.ok()) init_status_ = rid.status();
+      return rid.ok();
     });
+    if (!init_status_.ok()) return;
   }
   for (const catalog::IndexDef* idx :
        src_cat.AllIndexes(/*include_hypothetical=*/false, /*include_primary=*/false)) {
     catalog::IndexDef def = *idx;
     def.id = catalog::kInvalidIndex;
-    (void)clone_.CreateIndex(std::move(def));
+    Result<catalog::IndexId> id = clone_.CreateIndex(std::move(def));
+    if (!id.ok() && id.status().code() != Status::Code::kAlreadyExists) {
+      init_status_ = id.status();
+      return;
+    }
   }
   clone_.AnalyzeAll();
 }
 
 Status MyShadow::Materialize(const std::vector<catalog::IndexDef>& indexes) {
+  AIM_RETURN_NOT_OK(init_status_);
+  AIM_FAULT_POINT("shadow.materialize");
+  storage::IndexSetTransaction txn(&clone_);
+  RetryPolicy retry(retry_options_);
   for (catalog::IndexDef def : indexes) {
     def.hypothetical = false;
     def.id = catalog::kInvalidIndex;
-    Result<catalog::IndexId> id = clone_.CreateIndex(std::move(def));
+    Result<catalog::IndexId> id =
+        retry.Run([&] { return txn.CreateIndex(def); });
     if (!id.ok() &&
         id.status().code() != Status::Code::kAlreadyExists) {
-      return id.status();
+      return id.status();  // txn destructor rolls back prior creates
     }
   }
+  txn.Commit();
   return Status::OK();
 }
 
-ShadowReplayResult MyShadow::Replay(const workload::Workload& workload,
-                                    optimizer::CostModel cm,
-                                    int repetitions) {
+Result<ShadowReplayResult> MyShadow::Replay(
+    const workload::Workload& workload, optimizer::CostModel cm,
+    int repetitions) {
+  AIM_RETURN_NOT_OK(init_status_);
+  AIM_FAULT_POINT("shadow.replay");
   ShadowReplayResult result;
   executor::Executor exec(&clone_, cm);
+  RetryPolicy retry(retry_options_);
   for (int r = 0; r < repetitions; ++r) {
     for (const workload::Query& q : workload.queries) {
-      Result<executor::ExecuteResult> res = exec.Execute(q.stmt);
+      const int attempts_before = retry.attempts();
+      Result<executor::ExecuteResult> res =
+          retry.Run([&] { return exec.Execute(q.stmt); });
       if (!res.ok()) {
         ++result.failed;
         AIM_LOG(Warn) << "shadow replay failed: "
                       << res.status().ToString();
         continue;
       }
+      if (retry.attempts() - attempts_before > 1) ++result.recovered;
       ++result.executed;
       result.total_cpu_seconds += res.ValueOrDie().metrics.cpu_seconds;
       result.monitor.RecordKeyed(q.fingerprint, q.normalized_sql,
                                  res.ValueOrDie().metrics);
     }
   }
+  result.retry_backoff_ms = retry.total_backoff_ms();
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/retry.h"
 #include "executor/executor.h"
 #include "workload/monitor.h"
 #include "workload/workload.h"
@@ -16,33 +17,58 @@ struct ShadowReplayResult {
   double total_cpu_seconds = 0.0;
   size_t executed = 0;
   size_t failed = 0;
+  /// Executions that succeeded only after at least one retry.
+  size_t recovered = 0;
+  /// Virtual backoff accounted by the retry policy during the replay.
+  double retry_backoff_ms = 0.0;
 };
 
 /// \brief MyShadow (Sec. VII-B): a test-environment provider that clones a
 /// database (optionally sampling its data) and replays production traffic
 /// onto the clone — the safety net that lets AIM materialize candidate
 /// indexes without touching production.
+///
+/// Failure model: clone construction, materialization, and replay all sit
+/// behind fault points (`shadow.clone`, `shadow.materialize`,
+/// `shadow.replay`). Transient (`kUnavailable`) failures are retried with
+/// exponential backoff; materialization is all-or-nothing on the clone.
 class MyShadow {
  public:
   /// Clones `production`. `sample_fraction` < 1 keeps only that fraction
   /// of each table's rows (economical test beds); statistics are
-  /// re-analyzed after sampling.
+  /// re-analyzed after sampling. Check `init_status()` before use: a
+  /// failed clone construction leaves the shadow unusable (every
+  /// operation returns the construction error).
   MyShadow(const storage::Database& production, double sample_fraction = 1.0,
            uint64_t seed = 17);
+
+  /// OK when the clone was constructed successfully.
+  const Status& init_status() const { return init_status_; }
+
+  /// Retry knobs for transient materialization/replay failures.
+  void set_retry_options(RetryOptions options) { retry_options_ = options; }
 
   storage::Database& db() { return clone_; }
   const storage::Database& db() const { return clone_; }
 
   /// Materializes candidate indexes on the clone (never hypothetical).
+  /// Atomic: on failure the clone's index set is left unchanged.
+  /// Transient failures are retried before giving up.
   Status Materialize(const std::vector<catalog::IndexDef>& indexes);
 
   /// Replays each workload query `repetitions` times, collecting observed
-  /// statistics.
-  ShadowReplayResult Replay(const workload::Workload& workload,
-                            optimizer::CostModel cm, int repetitions = 1);
+  /// statistics. Individual query failures are counted (`failed`), not
+  /// propagated; transient failures are retried first. A non-OK return
+  /// means the replay as a whole could not run (unusable shadow or an
+  /// injected `shadow.replay` fault).
+  Result<ShadowReplayResult> Replay(const workload::Workload& workload,
+                                    optimizer::CostModel cm,
+                                    int repetitions = 1);
 
  private:
   storage::Database clone_;
+  Status init_status_;
+  RetryOptions retry_options_;
 };
 
 }  // namespace aim::support

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 #include "common/logging.h"
@@ -31,9 +32,31 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
       Status::InvalidArgument("x").code(), Status::NotFound("x").code(),
       Status::AlreadyExists("x").code(),   Status::OutOfBudget("x").code(),
       Status::ParseError("x").code(),      Status::Unsupported("x").code(),
-      Status::Internal("x").code(),
+      Status::Internal("x").code(),        Status::Unavailable("x").code(),
   };
-  EXPECT_EQ(codes.size(), 7u);
+  EXPECT_EQ(codes.size(), 8u);
+}
+
+TEST(StatusTest, CodeNamesInToString) {
+  EXPECT_EQ(Status::Unavailable("shadow gone").ToString(),
+            "Unavailable: shadow gone");
+  EXPECT_EQ(Status::Unsupported("no").ToString(), "Unsupported: no");
+  EXPECT_EQ(Status::OutOfBudget("cap").ToString(), "OutOfBudget: cap");
+}
+
+TEST(StatusTest, OnlyUnavailableIsRetriable) {
+  EXPECT_TRUE(Status::Unavailable("x").IsRetriable());
+  EXPECT_FALSE(Status::OK().IsRetriable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetriable());
+  EXPECT_FALSE(Status::NotFound("x").IsRetriable());
+  EXPECT_FALSE(Status::Internal("x").IsRetriable());
+}
+
+TEST(StatusTest, FromCodeMatchesFactory) {
+  Status s = Status::FromCode(Status::Code::kUnavailable, "later");
+  EXPECT_EQ(s.code(), Status::Code::kUnavailable);
+  EXPECT_EQ(s.message(), "later");
+  EXPECT_TRUE(s.IsRetriable());
 }
 
 Status Fails() { return Status::NotFound("nope"); }
@@ -84,6 +107,33 @@ TEST(ResultTest, MoveValueTransfersOwnership) {
   Result<std::string> r = std::string("payload");
   std::string v = r.MoveValue();
   EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, HoldsMoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = r.MoveValue();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 5);
+}
+
+Result<std::unique_ptr<int>> MakeBox(bool fail) {
+  if (fail) return Status::Unavailable("box machine busy");
+  return std::make_unique<int>(9);
+}
+Result<int> UnwrapBox(bool fail) {
+  AIM_ASSIGN_OR_RETURN(std::unique_ptr<int> box, MakeBox(fail));
+  return *box;
+}
+
+TEST(ResultTest, AssignOrReturnMovesMoveOnlyPayload) {
+  Result<int> ok = UnwrapBox(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie(), 9);
+  Result<int> err = UnwrapBox(true);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), Status::Code::kUnavailable);
+  EXPECT_EQ(err.status().message(), "box machine busy");
 }
 
 TEST(RngTest, Deterministic) {

@@ -63,8 +63,10 @@ TEST(MyShadowTest, FullCloneReplays) {
   EXPECT_EQ(shadow.db().heap(0).live_count(), 1000u);
   workload::Workload w;
   ASSERT_TRUE(w.Add("SELECT id FROM users WHERE org_id = 5").ok());
-  ShadowReplayResult r =
+  Result<ShadowReplayResult> rr =
       shadow.Replay(w, optimizer::CostModel(), /*repetitions=*/3);
+  ASSERT_TRUE(rr.ok());
+  const ShadowReplayResult& r = rr.ValueOrDie();
   EXPECT_EQ(r.executed, 3u);
   EXPECT_EQ(r.failed, 0u);
   EXPECT_GT(r.total_cpu_seconds, 0.0);
