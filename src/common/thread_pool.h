@@ -1,0 +1,112 @@
+#ifndef AIM_COMMON_THREAD_POOL_H_
+#define AIM_COMMON_THREAD_POOL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+
+namespace aim::common {
+
+/// \brief Fixed-size worker pool behind the parallel what-if engine.
+///
+/// Tasks are submitted as futures. The fan-out helpers below always
+/// identify results by *input index*, never by completion order, so the
+/// scheduler cannot leak nondeterminism into pipeline results — the
+/// parallel advisor must stay bit-identical to its serial fallback.
+///
+/// Task hand-off crosses the `common.pool.dispatch` fault point. An
+/// injected dispatch failure degrades gracefully: the task runs inline on
+/// the submitting thread instead, so a faulty scheduler can slow the
+/// pipeline down but can never change or lose results.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; values <= 1 create no threads at all and
+  /// every Submit runs inline (the serial fallback).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Schedules `fn` and returns its future. Runs inline when the pool has
+  /// no workers or dispatch fails (injected fault).
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    const Status dispatch = AIM_FAULT_POINT_STATUS("common.pool.dispatch");
+    if (workers_.empty() || !dispatch.ok()) {
+      (*task)();  // degraded dispatch: execute inline, results unchanged
+      return future;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// Splits [0, n) into at most `pool->worker_count()` contiguous chunks and
+/// runs `fn(begin, end)` for each as one pool task, waiting for all of
+/// them in input order. `fn` must produce results that depend only on the
+/// item indexes it is given (per-item independence); chunk boundaries are
+/// then unobservable. With a null or single-worker pool the whole range
+/// runs as one inline chunk. Exceptions propagate to the caller.
+template <typename Fn>
+void ParallelChunks(ThreadPool* pool, size_t n, const Fn& fn) {
+  const size_t workers =
+      pool != nullptr ? static_cast<size_t>(pool->worker_count()) : 0;
+  if (workers <= 1 || n <= 1) {
+    if (n > 0) fn(size_t{0}, n);
+    return;
+  }
+  const size_t chunks = std::min(workers, n);
+  const size_t base = n / chunks;
+  const size_t extra = n % chunks;  // first `extra` chunks get one more
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t end = begin + base + (c < extra ? 1 : 0);
+    futures.push_back(pool->Submit([&fn, begin, end] { fn(begin, end); }));
+    begin = end;
+  }
+  for (std::future<void>& f : futures) f.get();
+}
+
+/// Runs fn(i) for every i in [0, n), fanned out over `pool` in contiguous
+/// chunks. fn must be safe to call concurrently for distinct i.
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, size_t n, const Fn& fn) {
+  ParallelChunks(pool, n, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace aim::common
+
+#endif  // AIM_COMMON_THREAD_POOL_H_

@@ -45,41 +45,76 @@ std::vector<SelectedQuery> AutomaticIndexManager::SelectQueries(
   return selected;
 }
 
+common::ThreadPool* AutomaticIndexManager::EnsurePool() {
+  if (options_.num_threads <= 1) {
+    pool_.reset();
+    return nullptr;
+  }
+  if (pool_ == nullptr ||
+      pool_->worker_count() != options_.num_threads) {
+    pool_ = std::make_unique<common::ThreadPool>(options_.num_threads);
+  }
+  return pool_.get();
+}
+
 Result<AimReport> AutomaticIndexManager::Recommend(
     const workload::Workload& workload,
     const workload::WorkloadMonitor* monitor) {
   const auto t0 = std::chrono::steady_clock::now();
+  auto lap = [last = t0]() mutable {
+    const auto now = std::chrono::steady_clock::now();
+    const double d = std::chrono::duration<double>(now - last).count();
+    last = now;
+    return d;
+  };
   AimReport report;
+  common::ThreadPool* pool = EnsurePool();
 
   // Line 1: representative workload selection.
   report.selected_workload = SelectQueries(workload, monitor);
   report.stats.queries_selected = report.selected_workload.size();
+  report.stats.selection_seconds = lap();
   if (report.selected_workload.empty()) return report;
 
   optimizer::WhatIfOptimizer what_if(db_->catalog(), cm_);
+  optimizer::WhatIfCache cache(options_.what_if_cache_entries);
+  if (options_.what_if_cache_entries > 0) what_if.set_cache(&cache);
   CandidateGenerator generator(what_if.catalog(), &what_if,
                                options_.candidates);
 
-  // Line 2: candidate generation (two-phase, Sec. III-B).
+  // Line 2: candidate generation (two-phase, Sec. III-B). Each query's
+  // generation is independent (DatalessIndexCost restores the ambient
+  // configuration), so the per-query loop fans out over the pool with
+  // per-worker what-if clones; the dedup merge stays serial in query
+  // order, making the result bit-identical to the serial fallback.
   std::vector<PartialOrder> orders;
   std::unordered_set<std::string> seen;
   auto generate_pass = [&](bool covering_enabled) -> Status {
     CandidateGenOptions pass_opts = options_.candidates;
     pass_opts.enable_covering = covering_enabled;
-    CandidateGenerator pass_gen(what_if.catalog(), &what_if, pass_opts);
-    for (const SelectedQuery& sq : report.selected_workload) {
-      if (sq.query->stmt.kind == sql::Statement::Kind::kInsert) continue;
-      Result<optimizer::AnalyzedQuery> aq =
-          optimizer::Analyze(sq.query->stmt, what_if.catalog());
-      if (!aq.ok()) {
-        AIM_LOG(Warn) << "skipping query: " << aq.status().ToString();
-        continue;
-      }
-      const workload::QueryStats* stats =
-          sq.stats.executions > 0 ? &sq.stats : nullptr;
-      AppendUnique(&orders, &seen,
-                   pass_gen.GenerateForQuery(*sq.query, aq.ValueOrDie(),
-                                             stats));
+    const size_t n = report.selected_workload.size();
+    std::vector<std::vector<PartialOrder>> per_query(n);
+    optimizer::ParallelWhatIf(
+        pool, n, &what_if,
+        [&](optimizer::WhatIfOptimizer* w, size_t qi) {
+          const SelectedQuery& sq = report.selected_workload[qi];
+          if (sq.query->stmt.kind == sql::Statement::Kind::kInsert) {
+            return;
+          }
+          Result<optimizer::AnalyzedQuery> aq =
+              optimizer::Analyze(sq.query->stmt, w->catalog());
+          if (!aq.ok()) {
+            AIM_LOG(Warn) << "skipping query: " << aq.status().ToString();
+            return;
+          }
+          CandidateGenerator pass_gen(w->catalog(), w, pass_opts);
+          const workload::QueryStats* stats =
+              sq.stats.executions > 0 ? &sq.stats : nullptr;
+          per_query[qi] =
+              pass_gen.GenerateForQuery(*sq.query, aq.ValueOrDie(), stats);
+        });
+    for (std::vector<PartialOrder>& pos : per_query) {
+      AppendUnique(&orders, &seen, std::move(pos));
     }
     return Status::OK();
   };
@@ -102,6 +137,7 @@ Result<AimReport> AutomaticIndexManager::Recommend(
     what_if.ClearConfiguration();
   }
   report.stats.partial_orders_generated = orders.size();
+  report.stats.candgen_seconds = lap();
 
   // Merge partial orders to a fixpoint (line 6 of Algorithm 2).
   std::vector<PartialOrder> merged =
@@ -125,14 +161,19 @@ Result<AimReport> AutomaticIndexManager::Recommend(
   // Line 4: rank by utility and select under the storage budget.
   RankingResult ranking = RankAndSelect(candidates,
                                         report.selected_workload, &what_if,
-                                        options_.ranking);
+                                        options_.ranking, pool);
   report.recommended = std::move(ranking.selected);
   report.stats.indexes_recommended = report.recommended.size();
   report.explanations = ExplainAll(report.recommended,
                                    report.selected_workload,
                                    db_->catalog());
+  report.stats.ranking_seconds = lap();
 
   report.stats.what_if_calls = what_if.call_count();
+  const optimizer::WhatIfCacheStats cache_stats = cache.stats();
+  report.stats.cache_hits = cache_stats.hits;
+  report.stats.cache_misses = cache_stats.misses;
+  report.stats.cache_evictions = cache_stats.evictions;
   report.stats.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -147,11 +188,16 @@ Result<AimReport> AutomaticIndexManager::RunOnce(
 
   if (options_.validate_on_clone && !report.recommended.empty()) {
     // Line 3: materialize on a clone and keep only validated indexes.
+    // Replay dedup rides the same switch as the plan-cost cache: with
+    // memoization off the engine behaves exactly like the pre-cache one.
+    CloneValidationOptions validation_opts = options_.validation;
+    validation_opts.dedup_replay =
+        validation_opts.dedup_replay || options_.what_if_cache_entries > 0;
     AIM_ASSIGN_OR_RETURN(
         report.validation,
         ValidateOnClone(*db_, report.recommended,
                         report.selected_workload, cm_,
-                        options_.validation));
+                        validation_opts, EnsurePool()));
     report.stats.indexes_rejected_by_validation =
         report.recommended.size() - report.validation.accepted.size();
     report.recommended = report.validation.accepted;
@@ -159,6 +205,10 @@ Result<AimReport> AutomaticIndexManager::RunOnce(
                                      report.selected_workload,
                                      db_->catalog());
   }
+  report.stats.validation_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto t_apply = std::chrono::steady_clock::now();
 
   // Materialize the production indexes atomically: a failure on the k-th
   // build rolls back the k-1 already-installed indexes, so production is
@@ -180,6 +230,10 @@ Result<AimReport> AutomaticIndexManager::RunOnce(
   }
   txn.Commit();
   report.stats.indexes_recommended = report.recommended.size();
+  report.stats.apply_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_apply)
+          .count();
   report.stats.runtime_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -1,9 +1,11 @@
 #ifndef AIM_CORE_AIM_H_
 #define AIM_CORE_AIM_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/candidate_generation.h"
 #include "core/clone_validation.h"
 #include "core/explain.h"
@@ -28,6 +30,14 @@ struct AimOptions {
   /// inefficient query, then covering indexes where the seek volume
   /// justifies them.
   bool two_phase = true;
+  /// Worker threads of the parallel what-if engine. 1 = the serial
+  /// fallback (no pool, no worker clones). The pipeline is deterministic:
+  /// any value produces bit-identical reports.
+  int num_threads = 1;
+  /// Capacity (entries) of the memoizing plan-cost cache shared by all
+  /// what-if clones of one run. 0 disables memoization entirely — the
+  /// pre-cache engine, kept for A/B benchmarking.
+  size_t what_if_cache_entries = 4096;
 };
 
 /// Run statistics, for the runtime comparisons of Fig. 4.
@@ -40,6 +50,23 @@ struct AimRunStats {
   size_t candidates_evaluated = 0;
   size_t indexes_recommended = 0;
   size_t indexes_rejected_by_validation = 0;
+  /// Plan-cost cache activity for this run (zeros when disabled).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  /// Per-phase wall-time breakdown, seconds (where a Fig. 4-style bench's
+  /// time actually goes). selection + candgen + ranking sum to Recommend;
+  /// validation + apply are the extra RunOnce phases.
+  double selection_seconds = 0.0;
+  double candgen_seconds = 0.0;
+  double ranking_seconds = 0.0;
+  double validation_seconds = 0.0;
+  double apply_seconds = 0.0;
+
+  double cache_hit_rate() const {
+    const double total = static_cast<double>(cache_hits + cache_misses);
+    return total > 0.0 ? static_cast<double>(cache_hits) / total : 0.0;
+  }
 };
 
 /// The outcome of one AIM run.
@@ -89,9 +116,14 @@ class AutomaticIndexManager {
       const workload::Workload& workload,
       const workload::WorkloadMonitor* monitor) const;
 
+  /// Lazily (re)builds the worker pool to match `options_.num_threads`.
+  /// Returns nullptr in serial mode.
+  common::ThreadPool* EnsurePool();
+
   storage::Database* db_;
   optimizer::CostModel cm_;
   AimOptions options_;
+  std::unique_ptr<common::ThreadPool> pool_;
 };
 
 }  // namespace aim::core

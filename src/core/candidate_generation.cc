@@ -88,13 +88,22 @@ double CandidateGenerator::DatalessIndexCost(
   def.table = table;
   def.columns = ipp;
   def.columns.push_back(extra);
+  // Probe with the candidate index alone, then restore the ambient
+  // configuration (e.g. the staged phase-1 candidates of two-phase
+  // generation) so the covering checks of *later* queries still see it —
+  // each query's generation is independent of where it sits in the loop,
+  // which is also what lets the per-query fan-out chunk arbitrarily.
+  const std::vector<catalog::IndexDef> ambient =
+      what_if_->CurrentConfiguration();
   Status st = what_if_->SetConfiguration({def});
   double cost = 1e30;
   if (st.ok()) {
     Result<double> c = what_if_->QueryCost(query.stmt);
     if (c.ok()) cost = c.ValueOrDie();
   }
-  what_if_->ClearConfiguration();
+  if (!what_if_->SetConfiguration(ambient).ok()) {
+    what_if_->ClearConfiguration();
+  }
   return cost;
 }
 

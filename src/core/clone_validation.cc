@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
@@ -14,7 +15,7 @@ Result<CloneValidationResult> ValidateOnClone(
     const storage::Database& production,
     const std::vector<CandidateIndex>& selected,
     const std::vector<SelectedQuery>& queries, optimizer::CostModel cm,
-    const CloneValidationOptions& options) {
+    const CloneValidationOptions& options, common::ThreadPool* pool) {
   CloneValidationResult result;
   if (selected.empty()) return result;
 
@@ -49,29 +50,91 @@ Result<CloneValidationResult> ValidateOnClone(
   executor::Executor control_exec(&control, cm);
   executor::Executor test_exec(&test, cm);
 
+  // Replay both clones. Runs of consecutive SELECTs are read-only on both
+  // databases and fan out over the pool; each DML statement is a barrier
+  // executed serially at its workload position so every later query sees
+  // the same clone state as in a serial replay. Outcomes land in
+  // per-query slots and the evidence below is accumulated serially in
+  // workload order — bit-identical to the serial path.
+  struct ReplayOutcome {
+    bool ok = false;
+    Status error;
+    executor::ExecuteResult before;
+    executor::ExecuteResult after;
+  };
+  std::vector<ReplayOutcome> outcomes(queries.size());
+  auto run_query = [&](size_t qi) {
+    ReplayOutcome& out = outcomes[qi];
+    Result<executor::ExecuteResult> before =
+        control_exec.Execute(queries[qi].query->stmt);
+    Result<executor::ExecuteResult> after =
+        test_exec.Execute(queries[qi].query->stmt);
+    if (!before.ok() || !after.ok()) {
+      out.error = before.ok() ? after.status() : before.status();
+      return;
+    }
+    out.ok = true;
+    out.before = before.MoveValue();
+    out.after = after.MoveValue();
+  };
+  for (size_t qi = 0; qi < queries.size();) {
+    if (queries[qi].query->stmt.is_dml()) {
+      run_query(qi);
+      ++qi;
+      continue;
+    }
+    size_t end = qi;
+    while (end < queries.size() && !queries[end].query->stmt.is_dml()) {
+      ++end;
+    }
+    // Within one segment the clone state is fixed and the executor is
+    // deterministic, so duplicates of a statement may share one
+    // execution (`dedup_replay`); each query still gets its own outcome
+    // slot. Owners are discovered in query order, keeping the owner set
+    // (and thus all results) independent of thread count.
+    std::vector<size_t> owners;
+    std::vector<size_t> owner_of(end - qi);
+    std::unordered_map<uint64_t, size_t> first_by_fingerprint;
+    for (size_t k = qi; k < end; ++k) {
+      if (options.dedup_replay) {
+        const uint64_t fp =
+            optimizer::FingerprintStatement(queries[k].query->stmt);
+        auto [it, inserted] = first_by_fingerprint.emplace(fp, k);
+        owner_of[k - qi] = it->second;
+        if (inserted) owners.push_back(k);
+      } else {
+        owner_of[k - qi] = k;
+        owners.push_back(k);
+      }
+    }
+    common::ParallelFor(pool, owners.size(),
+                        [&](size_t j) { run_query(owners[j]); });
+    for (size_t k = qi; k < end; ++k) {
+      const size_t owner = owner_of[k - qi];
+      if (owner != k) outcomes[k] = outcomes[owner];
+    }
+    qi = end;
+  }
+
   std::set<catalog::IndexId> used;
   bool improved = false;
-  for (const SelectedQuery& sq : queries) {
-    Result<executor::ExecuteResult> before =
-        control_exec.Execute(sq.query->stmt);
-    Result<executor::ExecuteResult> after =
-        test_exec.Execute(sq.query->stmt);
-    if (!before.ok() || !after.ok()) {
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const SelectedQuery& sq = queries[qi];
+    const ReplayOutcome& out = outcomes[qi];
+    if (!out.ok) {
       ++result.failed;
       AIM_LOG(Warn) << "validation replay failed: "
-                    << (before.ok() ? after.status() : before.status())
-                           .ToString();
+                    << out.error.ToString();
       continue;
     }
     ++result.executed;
-    for (catalog::IndexId id :
-         after.ValueOrDie().metrics.used_indexes) {
+    for (catalog::IndexId id : out.after.metrics.used_indexes) {
       used.insert(id);
     }
     QueryValidation v;
     v.fingerprint = sq.query->fingerprint;
-    v.cpu_before = before.ValueOrDie().metrics.cpu_seconds;
-    v.cpu_after = after.ValueOrDie().metrics.cpu_seconds;
+    v.cpu_before = out.before.metrics.cpu_seconds;
+    v.cpu_after = out.after.metrics.cpu_seconds;
     v.improved =
         v.cpu_after <= (1.0 - options.lambda2) * v.cpu_before &&
         v.cpu_before > 0;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/retry.h"
+#include "common/thread_pool.h"
 #include "core/ranking.h"
 #include "storage/database.h"
 
@@ -26,6 +27,13 @@ struct CloneValidationOptions {
   /// Retry knobs for transient failures while materializing candidates on
   /// the test clone.
   RetryOptions retry;
+  /// Execute each distinct statement once per DML-free replay segment and
+  /// share the outcome among its duplicates (multi-stream workloads repeat
+  /// statements verbatim). Sound because the executor is deterministic and
+  /// the clone state only changes at DML barriers; every duplicate still
+  /// contributes its own per-query validation record. Enabled by the
+  /// advisor alongside the what-if plan-cost cache.
+  bool dedup_replay = false;
 };
 
 /// Per-query before/after record from the clone replay.
@@ -61,11 +69,19 @@ struct CloneValidationResult {
 /// the workload, and keeps only indexes the optimizer actually uses
 /// without regressing any query beyond λ₃ — the paper's "no regression"
 /// guarantee for production.
+///
+/// The replay fans out over `pool` in DML-delimited segments: runs of
+/// consecutive SELECTs execute concurrently (the executor's read path
+/// never mutates the clone), every DML statement is a barrier executed
+/// serially at its workload position, and the before/after evidence is
+/// always accumulated serially in workload order. The result is therefore
+/// bit-identical to the serial replay (`pool == nullptr`).
 Result<CloneValidationResult> ValidateOnClone(
     const storage::Database& production,
     const std::vector<CandidateIndex>& selected,
     const std::vector<SelectedQuery>& queries, optimizer::CostModel cm,
-    const CloneValidationOptions& options = {});
+    const CloneValidationOptions& options = {},
+    common::ThreadPool* pool = nullptr);
 
 }  // namespace aim::core
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
+#include <unordered_map>
 
 #include "common/logging.h"
 
@@ -27,24 +29,43 @@ double CpuAvg(const SelectedQuery& sq, double est_cost_phi,
   return cm.ToCpuSeconds(est_cost_phi);
 }
 
+/// Repoints `path`'s IndexDef pointers at `target`'s entries by id. Plans
+/// reference the planning optimizer's catalog; a plan produced by a worker
+/// clone must be rebound to the master catalog before the clone dies.
+void RebindPath(optimizer::AccessPath* path,
+                const catalog::Catalog& target) {
+  if (path->index != nullptr) {
+    path->index = target.index(path->index->id);
+  }
+  for (optimizer::AccessPath& part : path->union_parts) {
+    RebindPath(&part, target);
+  }
+}
+
 }  // namespace
 
 RankingResult RankAndSelect(const std::vector<catalog::IndexDef>& candidates,
                             const std::vector<SelectedQuery>& queries,
                             optimizer::WhatIfOptimizer* what_if,
-                            const RankingOptions& options) {
+                            const RankingOptions& options,
+                            common::ThreadPool* pool) {
   RankingResult result;
   if (candidates.empty() || what_if == nullptr) return result;
 
   const uint64_t calls_before = what_if->call_count();
 
   // cost(q, φ): plans under the *current* configuration (no candidates).
+  // Fanned out over the pool; each slot depends only on its own query, so
+  // chunking is unobservable. Duplicate statements are served by the
+  // shared cache (single-flight: one plan per unique statement).
   what_if->ClearConfiguration();
   std::vector<double> cost_phi(queries.size(), 0.0);
-  for (size_t qi = 0; qi < queries.size(); ++qi) {
-    Result<double> c = what_if->QueryCost(queries[qi].query->stmt);
-    cost_phi[qi] = c.ok() ? c.ValueOrDie() : 0.0;
-  }
+  optimizer::ParallelWhatIf(
+      pool, queries.size(), what_if,
+      [&](optimizer::WhatIfOptimizer* w, size_t qi) {
+        Result<double> c = w->QueryCost(queries[qi].query->stmt);
+        cost_phi[qi] = c.ok() ? c.ValueOrDie() : 0.0;
+      });
 
   // Install all candidates hypothetically and identify their ids.
   if (Status st = what_if->SetConfiguration(candidates); !st.ok()) {
@@ -65,12 +86,51 @@ RankingResult RankAndSelect(const std::vector<catalog::IndexDef>& candidates,
     }
   }
 
+  // Plans under the full candidate configuration. Planning fans out over
+  // the pool; when a cache is attached, duplicate statements share one
+  // plan (the optimizer is deterministic, so a representative's plan is
+  // bit-identical to what each duplicate would have produced). Without a
+  // cache — the pre-memoization engine — every query is planned.
+  std::vector<size_t> plan_owner(queries.size());
+  std::unordered_map<uint64_t, size_t> first_by_fingerprint;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    if (what_if->cache() != nullptr) {
+      const uint64_t fp =
+          optimizer::FingerprintStatement(queries[qi].query->stmt);
+      plan_owner[qi] = first_by_fingerprint.emplace(fp, qi).first->second;
+    } else {
+      plan_owner[qi] = qi;
+    }
+  }
+  std::vector<size_t> representatives;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    if (plan_owner[qi] == qi) representatives.push_back(qi);
+  }
+  std::vector<std::optional<optimizer::Plan>> plans(queries.size());
+  optimizer::ParallelWhatIf(
+      pool, representatives.size(), what_if,
+      [&](optimizer::WhatIfOptimizer* w, size_t ri) {
+        const size_t qi = representatives[ri];
+        Result<optimizer::Plan> r = w->PlanQuery(queries[qi].query->stmt);
+        if (!r.ok()) return;
+        optimizer::Plan plan = r.MoveValue();
+        if (w != what_if) {
+          // Clone() preserves index ids, so the rebind is a pure pointer
+          // swap; it must happen here, while the clone is still alive.
+          for (optimizer::JoinStep& step : plan.steps) {
+            RebindPath(&step.path, what_if->catalog());
+          }
+        }
+        plans[qi] = std::move(plan);
+      });
+
+  // Benefit/maintenance accumulation stays serial, in query order — the
+  // floating-point sums are identical at any thread count.
   const optimizer::CostModel& cm = what_if->cost_model();
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     const SelectedQuery& sq = queries[qi];
-    Result<optimizer::Plan> plan_r = what_if->PlanQuery(sq.query->stmt);
-    if (!plan_r.ok()) continue;
-    const optimizer::Plan& plan = plan_r.ValueOrDie();
+    if (!plans[plan_owner[qi]].has_value()) continue;
+    const optimizer::Plan& plan = *plans[plan_owner[qi]];
     const double execs = Executions(sq);
     const double cpu = CpuAvg(sq, cost_phi[qi], cm);
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/workload_selection.h"
 #include "optimizer/what_if.h"
 
@@ -44,7 +45,9 @@ struct RankingResult {
   std::vector<CandidateIndex> selected;
   std::vector<CandidateIndex> rejected;
   double selected_bytes = 0.0;
-  /// cost(q, φ) per query fingerprint (diagnostics / explanations).
+  /// What-if optimizer calls spent by this ranking pass, aggregated over
+  /// every per-worker optimizer clone (each worker counts locally; the
+  /// totals are folded together after the parallel phases join).
   uint64_t what_if_calls = 0;
 };
 
@@ -57,10 +60,17 @@ struct RankingResult {
 /// candidate indexes its new plan uses, proportional to each index's
 /// estimated I/O reduction versus a table scan. Maintenance u₋ is read
 /// off the DML plans' per-index maintenance costs.
+///
+/// Both per-query planning loops fan out over `pool` (per-worker what-if
+/// clones, results slotted by query index, benefit accumulation kept
+/// serial in query order) and are bit-identical to the serial fallback
+/// (`pool == nullptr` or a single-worker pool). When `what_if` carries a
+/// WhatIfCache, duplicate statements are planned once and shared.
 RankingResult RankAndSelect(const std::vector<catalog::IndexDef>& candidates,
                             const std::vector<SelectedQuery>& queries,
                             optimizer::WhatIfOptimizer* what_if,
-                            const RankingOptions& options = {});
+                            const RankingOptions& options = {},
+                            common::ThreadPool* pool = nullptr);
 
 }  // namespace aim::core
 

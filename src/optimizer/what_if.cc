@@ -1,6 +1,32 @@
 #include "optimizer/what_if.h"
 
+#include <string>
+
+#include "sql/printer.h"
+
 namespace aim::optimizer {
+
+namespace {
+
+/// FNV-1a over a byte string.
+uint64_t Fnv64(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void HashMix(uint64_t* h, uint64_t v) {
+  *h ^= v + 0x9E3779B97F4A7C15ull + (*h << 6) + (*h >> 2);
+}
+
+}  // namespace
+
+uint64_t FingerprintStatement(const sql::Statement& stmt) {
+  return Fnv64(sql::ToSql(stmt));
+}
 
 Status WhatIfOptimizer::SetConfiguration(
     const std::vector<catalog::IndexDef>& config) {
@@ -10,26 +36,61 @@ Status WhatIfOptimizer::SetConfiguration(
     def.id = catalog::kInvalidIndex;
     Result<catalog::IndexId> r = catalog_.AddIndex(std::move(def));
     if (!r.ok() && r.status().code() != Status::Code::kAlreadyExists) {
+      config_fingerprint_ = ComputeConfigFingerprint();
       return r.status();
     }
   }
+  config_fingerprint_ = ComputeConfigFingerprint();
   return Status::OK();
 }
 
 void WhatIfOptimizer::ClearConfiguration() {
   catalog_.DropAllHypothetical();
+  config_fingerprint_ = ComputeConfigFingerprint();
+}
+
+std::vector<catalog::IndexDef> WhatIfOptimizer::CurrentConfiguration()
+    const {
+  std::vector<catalog::IndexDef> config;
+  for (const catalog::IndexDef* idx : catalog_.AllIndexes(true, false)) {
+    if (idx->hypothetical) config.push_back(*idx);
+  }
+  return config;
+}
+
+uint64_t WhatIfOptimizer::ComputeConfigFingerprint() const {
+  // Content hash (ids excluded): logically identical configurations map
+  // to the same fingerprint even when hypothetical index ids drift across
+  // repeated SetConfiguration calls. Iteration is in id order, which is
+  // deterministic for a given construction sequence.
+  uint64_t h = 1469598103934665603ull;
+  for (const catalog::IndexDef* idx : catalog_.AllIndexes(true, true)) {
+    HashMix(&h, idx->table);
+    HashMix(&h, idx->columns.size());
+    for (catalog::ColumnId c : idx->columns) HashMix(&h, c);
+    HashMix(&h, (idx->hypothetical ? 2u : 0u) | (idx->unique ? 1u : 0u));
+  }
+  return h;
 }
 
 Result<Plan> WhatIfOptimizer::PlanQuery(const sql::Statement& stmt,
                                         const OptimizeOptions& options) {
-  ++call_count_;
+  call_count_.fetch_add(1, std::memory_order_relaxed);
   Optimizer opt(catalog_, cm_);
   return opt.Optimize(stmt, options);
 }
 
 Result<double> WhatIfOptimizer::QueryCost(const sql::Statement& stmt) {
-  AIM_ASSIGN_OR_RETURN(Plan plan, PlanQuery(stmt));
-  return plan.total_cost();
+  if (cache_ == nullptr) {
+    AIM_ASSIGN_OR_RETURN(Plan plan, PlanQuery(stmt));
+    return plan.total_cost();
+  }
+  const WhatIfCache::Key key{FingerprintStatement(stmt),
+                             config_fingerprint_};
+  return cache_->GetOrCompute(key, [&]() -> Result<double> {
+    AIM_ASSIGN_OR_RETURN(Plan plan, PlanQuery(stmt));
+    return plan.total_cost();
+  });
 }
 
 Result<double> WhatIfOptimizer::WorkloadCost(

@@ -1,12 +1,20 @@
 #ifndef AIM_OPTIMIZER_WHAT_IF_H_
 #define AIM_OPTIMIZER_WHAT_IF_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "optimizer/optimizer.h"
+#include "optimizer/what_if_cache.h"
 
 namespace aim::optimizer {
+
+/// Stable 64-bit fingerprint of `stmt` including literals (unlike the
+/// normalized fingerprint: two statements that differ only in parameter
+/// values can plan differently, so they must not share cached costs).
+uint64_t FingerprintStatement(const sql::Statement& stmt);
 
 /// \brief The "what-if" costing interface (HypoPG / AutoAdmin analysis
 /// utility): evaluate query costs under hypothetical index configurations
@@ -16,10 +24,40 @@ namespace aim::optimizer {
 /// and out freely. Every `PlanQuery` counts as one optimizer call — the
 /// currency in which index-advisor runtimes are traditionally measured
 /// (Papadomanolakis et al.: 90% of advisor runtime is optimizer calls).
+///
+/// Concurrency contract: planning is a pure read of the catalog, so any
+/// number of threads may call `PlanQuery`/`QueryCost` concurrently as
+/// long as no thread mutates the configuration. Pipeline stages that
+/// change configurations mid-flight give each worker its own `Clone()`
+/// instead. The call counter is atomic so clones and concurrent callers
+/// can be aggregated (`AddCalls`). An optional `WhatIfCache` (shared
+/// across clones) memoizes `QueryCost` by (statement fingerprint,
+/// configuration fingerprint).
 class WhatIfOptimizer {
  public:
   WhatIfOptimizer(const catalog::Catalog& base, CostModel cm)
-      : catalog_(base), cm_(cm) {}
+      : catalog_(base), cm_(cm) {
+    config_fingerprint_ = ComputeConfigFingerprint();
+  }
+  WhatIfOptimizer(const WhatIfOptimizer&) = delete;
+  WhatIfOptimizer& operator=(const WhatIfOptimizer&) = delete;
+  WhatIfOptimizer(WhatIfOptimizer&& other) noexcept
+      : catalog_(std::move(other.catalog_)),
+        cm_(other.cm_),
+        cache_(other.cache_),
+        config_fingerprint_(other.config_fingerprint_),
+        call_count_(other.call_count_.load(std::memory_order_relaxed)) {}
+
+  /// Deep copy for per-worker use: snapshots the catalog (including the
+  /// current hypothetical configuration, with index ids preserved),
+  /// shares the plan-cost cache, and starts a zero call counter — the
+  /// orchestrator folds worker counts back with `AddCalls`.
+  WhatIfOptimizer Clone() const {
+    WhatIfOptimizer clone(catalog_, cm_);
+    clone.cache_ = cache_;
+    clone.config_fingerprint_ = config_fingerprint_;
+    return clone;
+  }
 
   /// Replaces the hypothetical configuration with `config` (the defs'
   /// `hypothetical` flags are forced on). Duplicates of existing real
@@ -27,11 +65,17 @@ class WhatIfOptimizer {
   Status SetConfiguration(const std::vector<catalog::IndexDef>& config);
   /// Removes all hypothetical indexes.
   void ClearConfiguration();
+  /// The current hypothetical configuration, for save/restore around
+  /// probing (e.g. `dataless_index_cost` keeping a staged phase-1
+  /// configuration intact).
+  std::vector<catalog::IndexDef> CurrentConfiguration() const;
 
   /// Plans `stmt` under the current configuration. Counts one call.
   Result<Plan> PlanQuery(const sql::Statement& stmt,
                          const OptimizeOptions& options = {});
   /// Total estimated cost of `stmt` under the current configuration.
+  /// Served from the attached cache when possible; only real plans count
+  /// optimizer calls.
   Result<double> QueryCost(const sql::Statement& stmt);
 
   /// Weighted workload cost: sum of weight[i] * cost(stmt[i]).
@@ -39,18 +83,65 @@ class WhatIfOptimizer {
       const std::vector<const sql::Statement*>& stmts,
       const std::vector<double>& weights);
 
-  uint64_t call_count() const { return call_count_; }
-  void reset_call_count() { call_count_ = 0; }
+  uint64_t call_count() const {
+    return call_count_.load(std::memory_order_relaxed);
+  }
+  void reset_call_count() {
+    call_count_.store(0, std::memory_order_relaxed);
+  }
+  /// Folds a worker clone's optimizer calls into this counter.
+  void AddCalls(uint64_t calls) {
+    call_count_.fetch_add(calls, std::memory_order_relaxed);
+  }
+
+  /// Attaches a memoizing plan-cost cache (not owned; shared by clones).
+  void set_cache(WhatIfCache* cache) { cache_ = cache; }
+  WhatIfCache* cache() const { return cache_; }
+  /// Content fingerprint of the visible index configuration (real +
+  /// hypothetical) — the configuration half of the cache key. Changes on
+  /// every SetConfiguration/ClearConfiguration, which is what invalidates
+  /// stale cache entries (their keys become unreachable).
+  uint64_t config_fingerprint() const { return config_fingerprint_; }
 
   catalog::Catalog& catalog() { return catalog_; }
   const catalog::Catalog& catalog() const { return catalog_; }
   const CostModel& cost_model() const { return cm_; }
 
  private:
+  uint64_t ComputeConfigFingerprint() const;
+
   catalog::Catalog catalog_;
   CostModel cm_;
-  uint64_t call_count_ = 0;
+  WhatIfCache* cache_ = nullptr;
+  uint64_t config_fingerprint_ = 0;
+  std::atomic<uint64_t> call_count_{0};
 };
+
+/// Fans `fn(what_if, i)` over [0, n) in contiguous chunks. Each worker
+/// chunk gets its own `master->Clone()`; the serial path (null or
+/// single-worker pool) runs the same per-item code inline on `master`
+/// itself — so parallel and serial execute identical logic and, because
+/// results must depend only on the item index, produce identical output.
+/// Worker clone call counts are folded back into `master` in chunk order
+/// after the join.
+template <typename Fn>
+void ParallelWhatIf(common::ThreadPool* pool, size_t n,
+                    WhatIfOptimizer* master, const Fn& fn) {
+  const int workers = pool != nullptr ? pool->worker_count() : 0;
+  if (workers <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(master, i);
+    return;
+  }
+  std::vector<uint64_t> chunk_calls;
+  std::mutex calls_mu;
+  common::ParallelChunks(pool, n, [&](size_t begin, size_t end) {
+    WhatIfOptimizer clone = master->Clone();
+    for (size_t i = begin; i < end; ++i) fn(&clone, i);
+    std::lock_guard<std::mutex> lock(calls_mu);
+    chunk_calls.push_back(clone.call_count());
+  });
+  for (uint64_t calls : chunk_calls) master->AddCalls(calls);
+}
 
 }  // namespace aim::optimizer
 

@@ -1,0 +1,76 @@
+#include "optimizer/what_if_cache.h"
+
+namespace aim::optimizer {
+
+Result<double> WhatIfCache::GetOrCompute(
+    const Key& key, const std::function<Result<double>()>& compute) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) break;  // this thread computes
+    if (it->second.ready) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      return it->second.cost;
+    }
+    // In flight on another thread: wait for it to become ready (served
+    // waiters re-enter the loop and take the hit path) or to be erased
+    // after a failure (then this thread takes over the computation).
+    ready_cv_.wait(lock);
+  }
+  entries_.emplace(key, Entry{});  // computing marker, not on the LRU
+  ++stats_.misses;
+  lock.unlock();
+
+  Result<double> result = compute();
+
+  lock.lock();
+  auto it = entries_.find(key);  // still present: only the owner resolves it
+  if (result.ok()) {
+    it->second.cost = result.ValueOrDie();
+    it->second.ready = true;
+    lru_.push_front(key);
+    it->second.lru = lru_.begin();
+    EvictLocked();
+  } else {
+    entries_.erase(it);  // failures are not cached
+  }
+  lock.unlock();
+  ready_cv_.notify_all();
+  return result;
+}
+
+std::optional<double> WhatIfCache::Peek(const Key& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.ready) return std::nullopt;
+  return it->second.cost;
+}
+
+void WhatIfCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // In-flight entries stay: their owners hold no lock but will look the
+  // marker up again to resolve it. Only ready entries are dropped.
+  for (const Key& key : lru_) entries_.erase(key);
+  lru_.clear();
+}
+
+size_t WhatIfCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();  // ready entries only
+}
+
+WhatIfCacheStats WhatIfCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void WhatIfCache::EvictLocked() {
+  while (lru_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace aim::optimizer

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace aim::workload {
@@ -33,6 +34,14 @@ std::vector<ReplayTick> ReplayDriver::Run(
       const size_t pick =
           std::lower_bound(cum.begin(), cum.end(), r) - cum.begin();
       const Query& q = workload.queries[std::min(pick, cum.size() - 1)];
+      // An injected replay fault behaves exactly like a failed execution:
+      // logged, skipped, and absorbed by the driver's shed-load model.
+      const Status fault = AIM_FAULT_POINT_STATUS("workload.replay");
+      if (!fault.ok()) {
+        AIM_LOG(Warn) << "replay execution failed: " << fault.ToString()
+                      << " sql=" << q.sql;
+        continue;
+      }
       Result<executor::ExecuteResult> res = exec.Execute(q.stmt);
       if (!res.ok()) {
         AIM_LOG(Warn) << "replay execution failed: "

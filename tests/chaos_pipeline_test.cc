@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "core/continuous.h"
 #include "tests/test_util.h"
+#include "workload/replay.h"
 
 namespace aim::core {
 namespace {
@@ -78,6 +79,9 @@ ContinuousTunerOptions ChaosTunerOptions() {
   options.shrink_after_idle_intervals = 1;
   // Fast retries: schedules with fail_times <= 2 are recoverable.
   options.aim.validation.retry.max_attempts = 3;
+  // Run the parallel what-if engine so fault schedules also cross the
+  // pool's dispatch path (degraded dispatch must not change results).
+  options.aim.num_threads = 2;
   return options;
 }
 
@@ -88,6 +92,7 @@ const char* const kFaultPoints[] = {
     "storage.drop_index",   "executor.execute",
     "shadow.clone",         "shadow.materialize",
     "core.apply",           "core.tick",
+    "common.pool.dispatch", "workload.replay",
 };
 
 /// Arms a randomized subset of fault points from `rng` (always at least
@@ -197,6 +202,80 @@ TEST(ChaosPipelineTest, DisarmedPipelineIsDeterministic) {
   // (c) The tuner converged on a non-trivial configuration — the
   // determinism check is not comparing two empty runs.
   EXPECT_GT(first.size(), 1u);
+}
+
+// A faulty pool scheduler may only slow the pipeline down, never change
+// its output: with "common.pool.dispatch" armed at probability 1 every
+// task degrades to inline execution, and the tuned configuration must be
+// bit-identical to the fault-free parallel run.
+TEST(ChaosPipelineTest, DispatchFaultsDegradeToInlineWithoutChangingResults) {
+  FaultRegistry::Instance().DisarmAll();
+  const storage::Database base = MakeUsersDb(300, /*seed=*/7);
+  const workload::Workload w = ChaosWorkload();
+
+  auto run = [&] {
+    storage::Database db = base;
+    ContinuousTuner tuner(&db, optimizer::CostModel(),
+                          ChaosTunerOptions());
+    for (int tick = 0; tick < 2; ++tick) {
+      Result<IntervalReport> r = tuner.Tick(w, nullptr);
+      EXPECT_TRUE(r.ok());
+      EXPECT_FALSE(r.ValueOrDie().degraded);
+    }
+    return IndexSignature(db);
+  };
+
+  const std::multiset<std::string> healthy = run();
+
+  FaultSpec spec;
+  spec.code = Status::Code::kUnavailable;
+  spec.probability = 1.0;
+  spec.fail_times = -1;  // every dispatch, forever
+  FaultRegistry::Instance().Arm("common.pool.dispatch", spec, /*seed=*/1);
+  const std::multiset<std::string> degraded = run();
+  FaultRegistry::Instance().DisarmAll();
+
+  EXPECT_EQ(healthy, degraded);
+  EXPECT_GT(healthy.size(), 1u);
+}
+
+// Injected replay faults behave like failed executions: the driver sheds
+// the load and keeps going, so the series stays full-length and the
+// monitor only records the executions that actually completed.
+TEST(ChaosPipelineTest, ReplayFaultsShedLoadWithoutAborting) {
+  FaultRegistry::Instance().DisarmAll();
+  storage::Database db = MakeUsersDb(300, /*seed=*/7);
+  const workload::Workload w = ChaosWorkload();
+
+  workload::ReplayDriver::Options opts;
+  opts.offered_qps = 40.0;
+  workload::ReplayDriver healthy_driver(&db, optimizer::CostModel(), opts);
+  const std::vector<workload::ReplayTick> healthy =
+      healthy_driver.Run(w, /*ticks=*/3);
+
+  FaultSpec spec;
+  spec.code = Status::Code::kUnavailable;
+  spec.probability = 1.0;
+  spec.fail_times = -1;
+  FaultRegistry::Instance().Arm("workload.replay", spec, /*seed=*/1);
+  workload::ReplayDriver faulty_driver(&db, optimizer::CostModel(), opts);
+  const std::vector<workload::ReplayTick> faulty =
+      faulty_driver.Run(w, /*ticks=*/3);
+  FaultRegistry::Instance().DisarmAll();
+
+  ASSERT_EQ(healthy.size(), 3u);
+  ASSERT_EQ(faulty.size(), 3u);
+  double healthy_served = 0.0;
+  double faulty_served = 0.0;
+  for (const workload::ReplayTick& t : healthy) {
+    healthy_served += t.throughput_qps;
+  }
+  for (const workload::ReplayTick& t : faulty) {
+    faulty_served += t.throughput_qps;
+  }
+  EXPECT_GT(healthy_served, 0.0);
+  EXPECT_EQ(faulty_served, 0.0);  // every execution failed, none crashed
+  EXPECT_EQ(faulty_driver.monitor().Snapshot().size(), 0u);
 }
 
 }  // namespace
