@@ -69,7 +69,7 @@ int main() {
         }
       }
     }
-    exporter.ExportInterval();
+    if (!exporter.ExportInterval().ok()) continue;  // retried next interval
 
     // Off-host regression watch over the aggregated stats.
     std::vector<std::pair<catalog::IndexId, catalog::TableId>> automation;

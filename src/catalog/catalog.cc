@@ -1,5 +1,7 @@
 #include "catalog/catalog.h"
 
+#include <cstring>
+
 #include "common/strings.h"
 
 namespace aim::catalog {
@@ -155,6 +157,52 @@ double Catalog::TotalIndexBytes() const {
     total += IndexSizeBytes(*idx);
   }
   return total;
+}
+
+uint64_t Catalog::SchemaStatsFingerprint() const {
+  // FNV-1a-style chain over schema and statistics, in table/column order
+  // (stable: tables are append-only and ids never move). Indexes are
+  // deliberately excluded — what-if cache keys already embed the index
+  // configuration fingerprint, so creating or dropping indexes must NOT
+  // invalidate a persisted cache; only changes that alter what a given
+  // (statement, configuration) pair would cost do.
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  };
+  const auto mix_str = [&](const std::string& s) {
+    uint64_t sh = 1469598103934665603ull;
+    for (unsigned char c : s) {
+      sh ^= c;
+      sh *= 1099511628211ull;
+    }
+    mix(sh);
+  };
+  mix(tables_.size());
+  for (const TableDef& t : tables_) {
+    mix_str(t.name);
+    mix(t.columns.size());
+    for (const ColumnDef& c : t.columns) {
+      mix_str(c.name);
+      mix(static_cast<uint64_t>(c.type));
+      mix(c.avg_width);
+      mix(c.nullable ? 1u : 0u);
+    }
+    for (ColumnId c : t.primary_key) mix(c);
+    mix(t.stats.row_count);
+    mix(t.stats.columns.size());
+    for (const ColumnStats& cs : t.stats.columns) {
+      mix(cs.ndv);
+      uint64_t bits = 0;
+      std::memcpy(&bits, &cs.null_fraction, sizeof(bits));
+      mix(bits);
+      mix(static_cast<uint64_t>(cs.min));
+      mix(static_cast<uint64_t>(cs.max));
+      mix(cs.histogram.size());
+      for (int64_t b : cs.histogram) mix(static_cast<uint64_t>(b));
+    }
+  }
+  return h;
 }
 
 std::string Catalog::DescribeIndex(const IndexDef& index) const {

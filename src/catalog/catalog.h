@@ -120,6 +120,15 @@ class Catalog {
     return tables_[ref.table].stats.columns[ref.column];
   }
 
+  /// Content hash of the schema and statistics — tables, columns, primary
+  /// keys, row counts, and per-column distribution stats — deliberately
+  /// EXCLUDING index definitions. A persisted what-if cache keys every
+  /// entry by its index-configuration fingerprint already, so index DDL
+  /// between tuning intervals must not invalidate it; anything that would
+  /// change a plan's cost for a fixed configuration (schema or statistics
+  /// drift) does.
+  uint64_t SchemaStatsFingerprint() const;
+
   /// Human-readable "table(col1, col2, ...)" for diagnostics.
   std::string DescribeIndex(const IndexDef& index) const;
 

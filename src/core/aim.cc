@@ -77,8 +77,18 @@ Result<AimReport> AutomaticIndexManager::Recommend(
   if (report.selected_workload.empty()) return report;
 
   optimizer::WhatIfOptimizer what_if(db_->catalog(), cm_);
-  optimizer::WhatIfCache cache(options_.what_if_cache_entries);
-  if (options_.what_if_cache_entries > 0) what_if.set_cache(&cache);
+  optimizer::WhatIfCache local_cache(options_.what_if_cache_entries);
+  optimizer::WhatIfCache* cache = options_.shared_cache != nullptr
+                                      ? options_.shared_cache
+                                      : &local_cache;
+  const bool cache_enabled =
+      options_.shared_cache != nullptr || options_.what_if_cache_entries > 0;
+  if (cache_enabled) what_if.set_cache(cache);
+  // Shared caches arrive with history: report this run's activity as
+  // deltas, and record how warm the cache was when the run began.
+  const optimizer::WhatIfCacheStats cache_before = cache->stats();
+  report.stats.cache_entries_at_start = cache_enabled ? cache->size() : 0;
+  report.stats.cache_warm_start = report.stats.cache_entries_at_start > 0;
   CandidateGenerator generator(what_if.catalog(), &what_if,
                                options_.candidates);
 
@@ -170,10 +180,11 @@ Result<AimReport> AutomaticIndexManager::Recommend(
   report.stats.ranking_seconds = lap();
 
   report.stats.what_if_calls = what_if.call_count();
-  const optimizer::WhatIfCacheStats cache_stats = cache.stats();
-  report.stats.cache_hits = cache_stats.hits;
-  report.stats.cache_misses = cache_stats.misses;
-  report.stats.cache_evictions = cache_stats.evictions;
+  const optimizer::WhatIfCacheStats cache_stats = cache->stats();
+  report.stats.cache_hits = cache_stats.hits - cache_before.hits;
+  report.stats.cache_misses = cache_stats.misses - cache_before.misses;
+  report.stats.cache_evictions =
+      cache_stats.evictions - cache_before.evictions;
   report.stats.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

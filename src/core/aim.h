@@ -38,6 +38,11 @@ struct AimOptions {
   /// what-if clones of one run. 0 disables memoization entirely — the
   /// pre-cache engine, kept for A/B benchmarking.
   size_t what_if_cache_entries = 4096;
+  /// Externally owned plan-cost cache to use instead of a per-run one.
+  /// This is how the continuous tuner carries warm entries (and their
+  /// snapshot on disk) across intervals; the advisor never clears it —
+  /// lifetime and invalidation are the owner's job. Null = per-run cache.
+  optimizer::WhatIfCache* shared_cache = nullptr;
 };
 
 /// Run statistics, for the runtime comparisons of Fig. 4.
@@ -50,10 +55,17 @@ struct AimRunStats {
   size_t candidates_evaluated = 0;
   size_t indexes_recommended = 0;
   size_t indexes_rejected_by_validation = 0;
-  /// Plan-cost cache activity for this run (zeros when disabled).
+  /// Plan-cost cache activity attributable to this run (zeros when
+  /// disabled). With a shared cache these are deltas against the counters
+  /// at run start, so carried-over caches don't double-count prior runs.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
+  /// Ready cache entries visible when the run started. Non-zero means a
+  /// warm start: entries carried over from an earlier interval or loaded
+  /// from a persisted snapshot.
+  size_t cache_entries_at_start = 0;
+  bool cache_warm_start = false;
   /// Per-phase wall-time breakdown, seconds (where a Fig. 4-style bench's
   /// time actually goes). selection + candgen + ranking sum to Recommend;
   /// validation + apply are the extra RunOnce phases.
@@ -62,6 +74,10 @@ struct AimRunStats {
   double ranking_seconds = 0.0;
   double validation_seconds = 0.0;
   double apply_seconds = 0.0;
+  /// Sharded-run extras (zero outside ShardedIndexManager): wall time of
+  /// the per-shard validation fan-out and of the all-shard apply.
+  double shard_validation_seconds = 0.0;
+  double shard_apply_seconds = 0.0;
 
   double cache_hit_rate() const {
     const double total = static_cast<double>(cache_hits + cache_misses);

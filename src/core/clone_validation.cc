@@ -24,21 +24,37 @@ Result<CloneValidationResult> ValidateOnClone(
   AIM_FAULT_POINT("shadow.clone");
 
   // Control clone: production as-is. Test clone: production + candidates,
-  // actually materialized (B+Trees built).
+  // actually materialized (B+Trees built). Losing the clone here — the
+  // `shard.clone.materialize` fault — fails this validation, which the
+  // sharding layer reads as "this shard vetoes", not as a crashed run.
+  AIM_FAULT_POINT("shard.clone.materialize");
   storage::Database control = production;
   storage::Database test = production;
-  RetryPolicy retry(options.retry);
-  std::vector<catalog::IndexId> created;
+  std::vector<catalog::IndexDef> defs;
+  defs.reserve(selected.size());
   for (const CandidateIndex& c : selected) {
     catalog::IndexDef def = c.def;
     def.hypothetical = false;
     def.id = catalog::kInvalidIndex;
     def.created_by_automation = true;
-    Result<catalog::IndexId> id =
-        retry.Run([&] { return test.CreateIndex(def); });
+    defs.push_back(std::move(def));
+  }
+  // Batch build: heap scans fan out over the pool, ids and adoption order
+  // stay identical to the serial one-by-one path. Transient failures get
+  // the retry policy serially afterwards; a candidate that still cannot
+  // be built contributes no evidence — it is simply never observed as
+  // used and falls out as rejected below.
+  RetryPolicy retry(options.retry);
+  std::vector<Result<catalog::IndexId>> built =
+      test.CreateIndexes(defs, pool);
+  std::vector<catalog::IndexId> created;
+  created.reserve(selected.size());
+  for (size_t i = 0; i < built.size(); ++i) {
+    Result<catalog::IndexId> id = built[i];
+    if (!id.ok() && id.status().IsRetriable()) {
+      id = retry.Run([&] { return test.CreateIndex(defs[i]); });
+    }
     if (!id.ok()) {
-      // A candidate that cannot be built contributes no evidence; it is
-      // simply never observed as used and falls out as rejected below.
       AIM_LOG(Warn) << "clone materialization failed: "
                     << id.status().ToString();
       created.push_back(catalog::kInvalidIndex);

@@ -70,6 +70,15 @@ struct CloneValidationResult {
 /// without regressing any query beyond λ₃ — the paper's "no regression"
 /// guarantee for production.
 ///
+/// Candidate materialization on the test clone batches all B+Tree builds
+/// through `storage::Database::CreateIndexes`, fanning the heap scans over
+/// `pool` while keeping catalog registration and adoption serial in
+/// candidate order — ids and outcomes match the serial build exactly. The
+/// whole materialize-and-replay block sits behind the
+/// `shard.clone.materialize` fault point: an injected clone loss fails
+/// this validation, which callers must treat as "reject the candidates",
+/// never as corrupted production state.
+///
 /// The replay fans out over `pool` in DML-delimited segments: runs of
 /// consecutive SELECTs execute concurrently (the executor's read path
 /// never mutates the clone), every DML statement is a barrier executed

@@ -1,6 +1,7 @@
 #include "core/continuous.h"
 
 #include <algorithm>
+#include <fstream>
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
@@ -62,23 +63,88 @@ void ContinuousTuner::ObserveUsage(const workload::Workload& workload) {
   }
 }
 
+void ContinuousTuner::PrepareCache(IntervalReport* report) {
+  const bool carry = options_.carry_what_if_cache &&
+                     options_.aim.what_if_cache_entries > 0 &&
+                     options_.aim.shared_cache == nullptr;
+  if (!carry) {
+    cache_.reset();
+    return;
+  }
+  if (cache_ == nullptr) {
+    cache_ = std::make_unique<optimizer::WhatIfCache>(
+        options_.aim.what_if_cache_entries);
+  }
+  const uint64_t fp = db_->catalog().SchemaStatsFingerprint();
+  if (!snapshot_load_attempted_ && !options_.cache_snapshot_path.empty()) {
+    // One load per tuner lifetime: after the first Tick the in-memory
+    // cache is always at least as fresh as the snapshot.
+    snapshot_load_attempted_ = true;
+    std::ifstream in(options_.cache_snapshot_path, std::ios::binary);
+    if (in) {
+      Result<bool> adopted = cache_->LoadFrom(in, fp);
+      if (adopted.ok() && adopted.ValueOrDie()) {
+        report->cache_loaded_from_snapshot = true;
+        cache_schema_fingerprint_ = fp;
+      } else if (!adopted.ok()) {
+        AIM_LOG(Warn) << "what-if cache snapshot load failed (starting "
+                      << "cold): " << adopted.status().ToString();
+      }
+      // Rejected snapshots (stale fingerprint, old version, corruption)
+      // are the designed cold-start path: nothing to do.
+    }
+  }
+  if (cache_->size() > 0 && fp != cache_schema_fingerprint_) {
+    // Schema or statistics drifted since the carried costs were computed:
+    // every entry may now be wrong, so the whole cache goes.
+    cache_->Clear();
+    report->cache_invalidated = true;
+  }
+  cache_schema_fingerprint_ = fp;
+  report->cache_entries_carried = cache_->size();
+}
+
+void ContinuousTuner::SaveCacheSnapshot() {
+  if (cache_ == nullptr || options_.cache_snapshot_path.empty()) return;
+  std::ofstream out(options_.cache_snapshot_path,
+                    std::ios::binary | std::ios::trunc);
+  Status st = out ? cache_->SaveTo(out, cache_schema_fingerprint_)
+                  : Status::Internal("cannot open snapshot file");
+  if (!st.ok()) {
+    AIM_LOG(Warn) << "what-if cache snapshot save failed: "
+                  << st.ToString();
+  }
+}
+
 Result<IntervalReport> ContinuousTuner::Tick(
     const workload::Workload& workload,
     const workload::WorkloadMonitor* monitor) {
   IntervalReport report;
+  PrepareCache(&report);
+  // The cache bookkeeping must survive a degraded-interval report reset.
+  const size_t cache_entries_carried = report.cache_entries_carried;
+  const bool cache_loaded = report.cache_loaded_from_snapshot;
+  const bool cache_invalidated = report.cache_invalidated;
   storage::IndexSetTransaction txn(db_);
   Status st = TickInternal(workload, monitor, &txn, &report);
   if (st.ok()) {
     txn.Commit();
+    SaveCacheSnapshot();
   } else {
     // Graceful degradation: skip the interval, roll the GC changes back
     // (AIM's apply step is itself transactional and has already undone
     // its own creates), and report the failure structurally. Production
-    // keeps its pre-Tick configuration; the next interval retries.
+    // keeps its pre-Tick configuration; the next interval retries. The
+    // carried cache keeps any entries the failed run added — their costs
+    // are pure functions of (catalog, configuration), which the rollback
+    // restored.
     (void)txn.Rollback();
     report = IntervalReport{};
     report.degraded = true;
     report.error = st;
+    report.cache_entries_carried = cache_entries_carried;
+    report.cache_loaded_from_snapshot = cache_loaded;
+    report.cache_invalidated = cache_invalidated;
     AIM_LOG(Warn) << "tuning interval degraded: " << st.ToString();
   }
   PruneUsage();
@@ -141,8 +207,12 @@ Status ContinuousTuner::TickInternal(
     }
   }
 
-  // Run AIM on this interval's statistics.
-  AutomaticIndexManager aim(db_, cm_, options_.aim);
+  // Run AIM on this interval's statistics, against the carried plan-cost
+  // cache when one exists (PrepareCache already invalidated it if the
+  // schema or statistics drifted since the cached costs were computed).
+  AimOptions aim_options = options_.aim;
+  if (cache_ != nullptr) aim_options.shared_cache = cache_.get();
+  AutomaticIndexManager aim(db_, cm_, aim_options);
   AIM_ASSIGN_OR_RETURN(report->aim, aim.RunOnce(workload, monitor));
   return Status::OK();
 }

@@ -2,6 +2,9 @@
 #define AIM_CORE_CONTINUOUS_H_
 
 #include <map>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/aim.h"
@@ -20,6 +23,19 @@ struct ContinuousTunerOptions {
   int shrink_after_idle_intervals = 3;
   bool enable_drop = true;
   bool enable_shrink = true;
+  /// Keep the what-if plan-cost cache alive across intervals instead of
+  /// rebuilding it from zero every Tick. Sound because cache keys embed
+  /// the index-configuration fingerprint (so DDL between intervals only
+  /// adds new keys) and the tuner clears the cache whenever the schema
+  /// or statistics drift (see Catalog::SchemaStatsFingerprint). Requires
+  /// `aim.what_if_cache_entries > 0`; ignored when the tuner is handed an
+  /// `aim.shared_cache` explicitly.
+  bool carry_what_if_cache = true;
+  /// When non-empty, the carried cache is additionally persisted here: a
+  /// snapshot is loaded once on the first Tick (warm-starting a restarted
+  /// tuner) and rewritten after every successful interval. A missing,
+  /// stale, or corrupt snapshot simply cold-starts the cache.
+  std::string cache_snapshot_path;
 };
 
 /// What one tuning interval did.
@@ -33,6 +49,16 @@ struct IntervalReport {
   /// and `error` holds the cause. Tuning resumes on the next interval.
   bool degraded = false;
   Status error;
+  /// Cross-interval plan-cost cache bookkeeping (valid even on degraded
+  /// intervals). `cache_entries_carried` is how many warm entries this
+  /// interval started with; per-interval hit/miss deltas live in
+  /// `aim.stats`. `cache_invalidated` means schema/statistics drift
+  /// cleared the carried entries before this interval's run;
+  /// `cache_loaded_from_snapshot` means the warm entries came from the
+  /// persisted snapshot rather than the previous interval.
+  size_t cache_entries_carried = 0;
+  bool cache_loaded_from_snapshot = false;
+  bool cache_invalidated = false;
 };
 
 /// \brief Periodic (naïve, per Sec. VI-D) continuous tuning: run AIM at
@@ -56,6 +82,10 @@ class ContinuousTuner {
   Result<IntervalReport> Tick(const workload::Workload& workload,
                               const workload::WorkloadMonitor* monitor);
 
+  /// The carried plan-cost cache; null when carrying is disabled. Exposed
+  /// for tests and benchmarks asserting warm-start behaviour.
+  const optimizer::WhatIfCache* cache() const { return cache_.get(); }
+
  private:
   struct UsageState {
     int idle_intervals = 0;
@@ -78,10 +108,27 @@ class ContinuousTuner {
   /// externally dropped ids).
   void PruneUsage();
 
+  /// Readies `cache_` for the coming interval: allocates it on first use,
+  /// loads the snapshot exactly once, and clears carried entries when the
+  /// schema/statistics fingerprint drifted. Fills the report's cache
+  /// bookkeeping fields (they survive a degraded-interval reset because
+  /// Tick re-applies them after the reset).
+  void PrepareCache(IntervalReport* report);
+
+  /// Best-effort snapshot write after a successful interval; failures are
+  /// logged, never surfaced (the cache stays warm in memory regardless).
+  void SaveCacheSnapshot();
+
   storage::Database* db_;
   optimizer::CostModel cm_;
   ContinuousTunerOptions options_;
   std::map<catalog::IndexId, UsageState> usage_;
+  /// Carried across Ticks; keyed entries stay valid across index DDL, so
+  /// only schema/statistics drift clears it.
+  std::unique_ptr<optimizer::WhatIfCache> cache_;
+  /// SchemaStatsFingerprint the cached costs were computed against.
+  uint64_t cache_schema_fingerprint_ = 0;
+  bool snapshot_load_attempted_ = false;
 };
 
 }  // namespace aim::core

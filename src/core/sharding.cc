@@ -1,10 +1,14 @@
 #include "core/sharding.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 
+#include "common/fault_injection.h"
+#include "common/logging.h"
 #include "storage/index_transaction.h"
 
 namespace aim::core {
@@ -15,7 +19,25 @@ std::string Key(const catalog::IndexDef& def) {
   for (catalog::ColumnId c : def.columns) k += "," + std::to_string(c);
   return k;
 }
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
 }  // namespace
+
+common::ThreadPool* ShardedIndexManager::EnsurePool() {
+  if (options_.aim.num_threads <= 1) {
+    pool_.reset();
+    return nullptr;
+  }
+  if (pool_ == nullptr ||
+      pool_->worker_count() != options_.aim.num_threads) {
+    pool_ = std::make_unique<common::ThreadPool>(options_.aim.num_threads);
+  }
+  return pool_.get();
+}
 
 Result<ShardedReport> ShardedIndexManager::Recommend(
     const workload::Workload& workload, const std::vector<Shard>& shards,
@@ -66,23 +88,61 @@ Result<ShardedReport> ShardedIndexManager::RunOnce(
   // regression detector to revert bad changes after the fact.
   const size_t shards_to_validate =
       options_.comprehensive_validation ? shards.size() : 1;
+  common::ThreadPool* pool = EnsurePool();
+  CloneValidationOptions validation_opts = options_.aim.validation;
+  validation_opts.dedup_replay = validation_opts.dedup_replay ||
+                                 options_.aim.what_if_cache_entries > 0 ||
+                                 options_.aim.shared_cache != nullptr;
+
+  // Fan the clone validations out over the pool, one slot per shard.
+  // When several shards validate concurrently each validation replays
+  // serially inside (a nested blocking fan-out on the same fixed-size
+  // pool can deadlock: every worker would block on futures only an
+  // occupied worker could run). With a single validated shard the pool
+  // is spent inside that one validation instead.
+  const auto t_validate = std::chrono::steady_clock::now();
+  const bool shard_fan_out = pool != nullptr && shards_to_validate > 1;
+  std::vector<Result<CloneValidationResult>> outcomes(
+      shards_to_validate,
+      Result<CloneValidationResult>(Status::Internal("unresolved")));
+  common::ParallelFor(pool, shards_to_validate, [&](size_t si) {
+    const Status lost = AIM_FAULT_POINT_STATUS("shard.validate");
+    if (!lost.ok()) {
+      outcomes[si] = lost;
+      return;
+    }
+    outcomes[si] = ValidateOnClone(
+        *shards[si].db, report.aim.recommended,
+        report.aim.selected_workload, cm, validation_opts,
+        shard_fan_out ? nullptr : pool);
+  });
+
+  // Serial fold in shard order: the used-set, the regression veto, and
+  // the per-shard records never depend on completion order.
   std::set<std::string> used_somewhere;
   bool any_shard_regressed = false;
   for (size_t si = 0; si < shards_to_validate; ++si) {
-    AIM_ASSIGN_OR_RETURN(
-        CloneValidationResult vr,
-        ValidateOnClone(*shards[si].db, report.aim.recommended,
-                        report.aim.selected_workload, cm,
-                        options_.aim.validation));
-    for (const CandidateIndex& c : vr.accepted) {
-      used_somewhere.insert(Key(c.def));
-    }
-    any_shard_regressed = any_shard_regressed || !vr.no_regressions;
     ShardValidation sv;
     sv.shard = si;
-    sv.result = std::move(vr);
+    if (!outcomes[si].ok()) {
+      // Lost shard: no evidence, conservative veto, run still completes.
+      sv.error = outcomes[si].status();
+      any_shard_regressed = true;
+      ++report.shards_lost;
+      report.degraded = true;
+      AIM_LOG(Warn) << "shard " << si << " lost during validation: "
+                    << sv.error.ToString();
+    } else {
+      CloneValidationResult vr = outcomes[si].MoveValue();
+      for (const CandidateIndex& c : vr.accepted) {
+        used_somewhere.insert(Key(c.def));
+      }
+      any_shard_regressed = any_shard_regressed || !vr.no_regressions;
+      sv.result = std::move(vr);
+    }
     report.validations.push_back(std::move(sv));
   }
+  report.aim.stats.shard_validation_seconds = SecondsSince(t_validate);
 
   std::vector<CandidateIndex> accepted;
   for (const CandidateIndex& c : report.aim.recommended) {
@@ -97,28 +157,35 @@ Result<ShardedReport> ShardedIndexManager::RunOnce(
   report.aim.recommended = std::move(accepted);
 
   // Common physical design: materialize the survivors on every shard.
-  // All shard transactions commit together — a failure anywhere rolls
-  // back every shard, so the fleet never diverges into a mixed
-  // configuration.
-  std::vector<std::unique_ptr<storage::IndexSetTransaction>> txns;
-  txns.reserve(shards.size());
-  for (const Shard& s : shards) {
-    txns.push_back(
-        std::make_unique<storage::IndexSetTransaction>(s.db));
+  // Shard transactions build concurrently (each touches only its own
+  // database) but commit together, serially, after every build has been
+  // checked in shard order — a failure anywhere rolls back every shard,
+  // so the fleet never diverges into a mixed configuration.
+  const auto t_apply = std::chrono::steady_clock::now();
+  std::vector<std::unique_ptr<storage::IndexSetTransaction>> txns(
+      shards.size());
+  std::vector<Status> apply_status(shards.size());
+  common::ParallelFor(pool, shards.size(), [&](size_t si) {
+    txns[si] =
+        std::make_unique<storage::IndexSetTransaction>(shards[si].db);
     for (const CandidateIndex& c : report.aim.recommended) {
       catalog::IndexDef def = c.def;
       def.id = catalog::kInvalidIndex;
       def.hypothetical = false;
       def.created_by_automation = true;
-      Result<catalog::IndexId> id =
-          txns.back()->CreateIndex(std::move(def));
+      Result<catalog::IndexId> id = txns[si]->CreateIndex(std::move(def));
       if (!id.ok() &&
           id.status().code() != Status::Code::kAlreadyExists) {
-        return id.status();  // txn destructors roll back every shard
+        apply_status[si] = id.status();
+        return;
       }
     }
+  });
+  for (const Status& st : apply_status) {
+    if (!st.ok()) return st;  // txn destructors roll back every shard
   }
   for (auto& txn : txns) txn->Commit();
+  report.aim.stats.shard_apply_seconds = SecondsSince(t_apply);
   return report;
 }
 

@@ -1,6 +1,7 @@
 #ifndef AIM_CORE_SHARDING_H_
 #define AIM_CORE_SHARDING_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/aim.h"
@@ -28,6 +29,12 @@ struct ShardedOptions {
 struct ShardValidation {
   size_t shard = 0;
   CloneValidationResult result;
+  /// Non-OK when this shard's validation never completed — its clone was
+  /// lost mid-materialization or mid-replay (`shard.clone.materialize`,
+  /// `shard.validate`). `result` is then empty and the shard counts as a
+  /// veto: a shard we could not validate is a shard we must assume would
+  /// regress.
+  Status error = Status::OK();
 };
 
 struct ShardedReport {
@@ -35,6 +42,12 @@ struct ShardedReport {
   std::vector<ShardValidation> validations;
   /// Candidates rejected because some shard regressed or never used them.
   std::vector<CandidateIndex> rejected_by_shards;
+  /// Shards whose validation failed outright (see ShardValidation::error).
+  size_t shards_lost = 0;
+  /// True when at least one shard was lost: the run completed and
+  /// production is untouched, but the rejection decision was made on
+  /// degraded evidence rather than a full validation.
+  bool degraded = false;
 };
 
 /// \brief Index management for sharded deployments (Sec. VIII-b).
@@ -44,6 +57,23 @@ struct ShardedReport {
 /// pays the storage and maintenance cost of every index. The ranking
 /// therefore multiplies maintenance and storage by the shard count while
 /// benefits come from the aggregated statistics.
+///
+/// With `aim.num_threads > 1`, RunOnce fans per-shard clone validation
+/// and the per-shard apply transactions over a worker pool. Validation
+/// outcomes land in per-shard slots and every decision — the used-on-
+/// some-shard set, the regression veto, the rejection list — is folded
+/// serially in shard order, so the report is bit-identical to a serial
+/// run at any thread count. When several shards validate concurrently,
+/// each shard's inner replay runs serially (nesting blocking fan-outs on
+/// one fixed-size pool can deadlock); the single-validated-shard default
+/// instead parallelizes inside the one validation.
+///
+/// A shard lost mid-validation (fault points `shard.validate` and
+/// `shard.clone.materialize`) degrades the run instead of failing it:
+/// the lost shard vetoes the candidate set (all candidates land in
+/// `rejected_by_shards`), production stays untouched, and the report
+/// carries `degraded` / `shards_lost` so operators can distinguish "no
+/// useful index" from "no usable evidence".
 class ShardedIndexManager {
  public:
   explicit ShardedIndexManager(ShardedOptions options = {})
@@ -61,7 +91,12 @@ class ShardedIndexManager {
                                 optimizer::CostModel cm);
 
  private:
+  /// Lazily (re)builds the shard fan-out pool to match
+  /// `options_.aim.num_threads`. Returns nullptr in serial mode.
+  common::ThreadPool* EnsurePool();
+
   ShardedOptions options_;
+  std::unique_ptr<common::ThreadPool> pool_;
 };
 
 }  // namespace aim::core

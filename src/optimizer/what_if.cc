@@ -59,16 +59,26 @@ std::vector<catalog::IndexDef> WhatIfOptimizer::CurrentConfiguration()
 }
 
 uint64_t WhatIfOptimizer::ComputeConfigFingerprint() const {
-  // Content hash (ids excluded): logically identical configurations map
-  // to the same fingerprint even when hypothetical index ids drift across
-  // repeated SetConfiguration calls. Iteration is in id order, which is
-  // deterministic for a given construction sequence.
+  // Content hash of the *logical* configuration. Ids are excluded so
+  // hypothetical ids may drift across repeated SetConfiguration calls;
+  // the hypothetical flag is excluded because the optimizer plans a
+  // dataless index exactly like a materialized one (the what-if
+  // contract), so the cost of a statement depends only on which index
+  // *definitions* are visible; and per-index hashes combine by addition
+  // (order-independent) so the same set reached through a different
+  // creation order — e.g. a candidate staged hypothetically during
+  // ranking versus the same index created for real by a later apply —
+  // fingerprints identically. This is what lets a persisted plan-cost
+  // cache keep hitting across continuous-tuner intervals after the
+  // recommended indexes have been materialized.
   uint64_t h = 1469598103934665603ull;
   for (const catalog::IndexDef* idx : catalog_.AllIndexes(true, true)) {
-    HashMix(&h, idx->table);
-    HashMix(&h, idx->columns.size());
-    for (catalog::ColumnId c : idx->columns) HashMix(&h, c);
-    HashMix(&h, (idx->hypothetical ? 2u : 0u) | (idx->unique ? 1u : 0u));
+    uint64_t e = 0x243F6A8885A308D3ull;  // per-index chain, mixed by sum
+    HashMix(&e, idx->table);
+    HashMix(&e, idx->columns.size());
+    for (catalog::ColumnId c : idx->columns) HashMix(&e, c);
+    HashMix(&e, idx->unique ? 1u : 0u);
+    h += e * 0x9E3779B97F4A7C15ull;
   }
   return h;
 }

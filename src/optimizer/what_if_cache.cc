@@ -1,6 +1,44 @@
 #include "optimizer/what_if_cache.h"
 
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <iterator>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+
 namespace aim::optimizer {
+
+namespace {
+
+// Snapshot layout, all fixed-width little-endian-as-stored:
+//   magic u64 | version u32 | catalog_fingerprint u64 | count u64 |
+//   count x { statement u64, configuration u64, cost f64 }
+// Bump kSnapshotVersion on any layout change: an old snapshot is then
+// rejected (cold start), never misread.
+constexpr uint64_t kSnapshotMagic = 0x31434649574D4941ull;  // "AIMWIFC1"
+constexpr uint32_t kSnapshotVersion = 1;
+
+template <typename T>
+void WriteRaw(std::ostream& out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.write(buf, sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(std::istream& in, T* value) {
+  char buf[sizeof(T)];
+  in.read(buf, sizeof(T));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(T))) return false;
+  std::memcpy(value, buf, sizeof(T));
+  return true;
+}
+
+}  // namespace
 
 Result<double> WhatIfCache::GetOrCompute(
     const Key& key, const std::function<Result<double>()>& compute) {
@@ -45,6 +83,73 @@ std::optional<double> WhatIfCache::Peek(const Key& key) const {
   auto it = entries_.find(key);
   if (it == entries_.end() || !it->second.ready) return std::nullopt;
   return it->second.cost;
+}
+
+Status WhatIfCache::SaveTo(std::ostream& out,
+                           uint64_t catalog_fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WriteRaw(out, kSnapshotMagic);
+  WriteRaw(out, kSnapshotVersion);
+  WriteRaw(out, catalog_fingerprint);
+  WriteRaw(out, static_cast<uint64_t>(lru_.size()));
+  // MRU first, so LoadFrom can rebuild the recency order (and truncate at
+  // a smaller capacity) by appending in read order.
+  for (const Key& key : lru_) {
+    const auto it = entries_.find(key);
+    WriteRaw(out, key.statement);
+    WriteRaw(out, key.configuration);
+    WriteRaw(out, it->second.cost);
+  }
+  if (!out.good()) {
+    return Status::Internal("what-if cache snapshot write failed");
+  }
+  return Status::OK();
+}
+
+Result<bool> WhatIfCache::LoadFrom(std::istream& in,
+                                   uint64_t catalog_fingerprint) {
+  AIM_FAULT_POINT("whatif.cache.load");
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint64_t snapshot_fingerprint = 0;
+  uint64_t count = 0;
+  if (!ReadRaw(in, &magic) || magic != kSnapshotMagic ||
+      !ReadRaw(in, &version) || version != kSnapshotVersion ||
+      !ReadRaw(in, &snapshot_fingerprint) || !ReadRaw(in, &count)) {
+    return false;  // unrecognized or truncated header: stay cold
+  }
+  if (snapshot_fingerprint != catalog_fingerprint) {
+    // The snapshot's costs were computed against a different schema or
+    // different statistics: every entry is stale, reject wholesale.
+    return false;
+  }
+  // Stage outside the cache so a truncated body leaves it untouched.
+  std::vector<std::pair<Key, double>> staged;
+  staged.reserve(static_cast<size_t>(std::min<uint64_t>(count, capacity_)));
+  for (uint64_t i = 0; i < count; ++i) {
+    Key key;
+    double cost = 0.0;
+    if (!ReadRaw(in, &key.statement) || !ReadRaw(in, &key.configuration) ||
+        !ReadRaw(in, &cost)) {
+      return false;  // truncated mid-entry: reject the whole snapshot
+    }
+    if (staged.size() < capacity_) staged.emplace_back(key, cost);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Key& key : lru_) entries_.erase(key);
+  lru_.clear();
+  // Entries arrive MRU first; appending keeps that order, so eviction
+  // pressure after a warm start falls on the coldest carried entries.
+  for (const auto& [key, cost] : staged) {
+    auto [it, inserted] = entries_.emplace(key, Entry{});
+    if (!inserted) continue;  // duplicate key in a hand-built snapshot
+    it->second.cost = cost;
+    it->second.ready = true;
+    lru_.push_back(key);
+    it->second.lru = std::prev(lru_.end());
+  }
+  return true;
 }
 
 void WhatIfCache::Clear() {

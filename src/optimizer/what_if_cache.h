@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -71,6 +72,25 @@ class WhatIfCache {
 
   /// Test/diagnostic peek; touches neither counters nor LRU order.
   std::optional<double> Peek(const Key& key) const;
+
+  /// Serializes every ready entry (most-recently-used first) as a
+  /// versioned binary snapshot. `catalog_fingerprint` identifies the
+  /// schema + statistics the costs were computed against; LoadFrom
+  /// refuses a snapshot taken against a different catalog (the costs
+  /// would be stale, not just unreachable). In-flight computations are
+  /// skipped — only resolved costs persist.
+  Status SaveTo(std::ostream& out, uint64_t catalog_fingerprint) const;
+
+  /// Restores a SaveTo snapshot, replacing any ready entries. Returns
+  /// true when the snapshot was adopted; false when it was *rejected* —
+  /// version or catalog-fingerprint mismatch, corruption, truncation —
+  /// in which case the cache is left cold (never partially loaded).
+  /// A rejected snapshot is the designed cold-start path, not an error;
+  /// a non-OK status means the load itself failed (crosses the
+  /// `whatif.cache.load` fault point) and callers should also start
+  /// cold. Counters are untouched either way: hits against loaded
+  /// entries are how carried-over value is measured.
+  Result<bool> LoadFrom(std::istream& in, uint64_t catalog_fingerprint);
 
   void Clear();
   size_t size() const;

@@ -1,8 +1,10 @@
 #include "storage/database.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/fault_injection.h"
+#include "common/thread_pool.h"
 
 namespace aim::storage {
 
@@ -77,6 +79,59 @@ Result<catalog::IndexId> Database::CreateIndex(catalog::IndexDef def) {
     }
   }
   return id;
+}
+
+std::vector<Result<catalog::IndexId>> Database::CreateIndexes(
+    std::vector<catalog::IndexDef> defs, common::ThreadPool* pool) {
+  const size_t n = defs.size();
+  std::vector<Result<catalog::IndexId>> results(
+      n, Result<catalog::IndexId>(Status::Internal("unresolved")));
+  // Phase 1 — serial registration, input order. Ids come out exactly as a
+  // serial CreateIndex loop would assign them, which is what keeps the
+  // parallel clone-materialization path bit-identical to the serial one.
+  std::vector<bool> needs_build(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    const Status faulted = AIM_FAULT_POINT_STATUS("storage.create_index");
+    if (!faulted.ok()) {
+      results[i] = faulted;
+      continue;
+    }
+    const bool hypothetical = defs[i].hypothetical;
+    Result<catalog::IndexId> id = catalog_.AddIndex(std::move(defs[i]));
+    results[i] = id;
+    needs_build[i] = id.ok() && !hypothetical;
+  }
+  // Phase 2 — parallel builds into standalone B+Trees. Workers only read
+  // the (now frozen) catalog and heaps and write their own slot.
+  std::vector<BTreeIndex> built(n);
+  std::vector<Status> build_status(n);
+  common::ParallelFor(pool, n, [&](size_t i) {
+    if (!needs_build[i]) return;
+    const catalog::IndexId id = results[i].ValueOrDie();
+    const catalog::IndexDef& stored = *catalog_.index(id);
+    Status st;
+    heaps_[stored.table].Scan([&](RowId rid, const Row& row) {
+      st = AIM_FAULT_POINT_STATUS("storage.build_index_entry");
+      if (!st.ok()) return false;
+      built[i].Insert(MakeIndexKey(stored, row), rid);
+      return true;
+    });
+    build_status[i] = st;
+  });
+  // Phase 3 — serial adoption, input order. A failed build unregisters its
+  // catalog entry (same atomicity as single CreateIndex) and surfaces the
+  // build error in its slot; successful builds become visible together.
+  for (size_t i = 0; i < n; ++i) {
+    if (!needs_build[i]) continue;
+    const catalog::IndexId id = results[i].ValueOrDie();
+    if (build_status[i].ok()) {
+      btrees_[id] = std::move(built[i]);
+    } else {
+      (void)catalog_.DropIndex(id);
+      results[i] = build_status[i];
+    }
+  }
+  return results;
 }
 
 Status Database::DropIndex(catalog::IndexId id) {

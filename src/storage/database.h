@@ -11,6 +11,10 @@
 #include "storage/btree_index.h"
 #include "storage/heap_table.h"
 
+namespace aim::common {
+class ThreadPool;
+}  // namespace aim::common
+
 namespace aim::storage {
 
 /// \brief Counters for one DML operation's index-maintenance work.
@@ -49,6 +53,18 @@ class Database {
   /// Creates an index; materializes it by scanning the heap unless the
   /// definition is hypothetical. Returns the index id.
   Result<catalog::IndexId> CreateIndex(catalog::IndexDef def);
+
+  /// Batch CreateIndex with the heap scans fanned over `pool` (nullptr or
+  /// single-worker pool = serial). Results are slotted by input position.
+  /// Three deterministic phases: catalog registration in input order (ids
+  /// are identical to serial one-by-one creation), parallel B+Tree builds
+  /// against the then-frozen catalog/heaps, and adoption in input order.
+  /// Each definition succeeds or fails independently — a failed build
+  /// (e.g. an injected `storage.build_index_entry` crash) unregisters only
+  /// its own catalog entry, exactly like single CreateIndex atomicity.
+  std::vector<Result<catalog::IndexId>> CreateIndexes(
+      std::vector<catalog::IndexDef> defs, common::ThreadPool* pool = nullptr);
+
   Status DropIndex(catalog::IndexId id);
 
   /// The materialized B+Tree for a real index; nullptr for hypothetical or

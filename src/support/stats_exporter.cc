@@ -1,5 +1,7 @@
 #include "support/stats_exporter.h"
 
+#include "common/fault_injection.h"
+
 namespace aim::support {
 
 void StatsExporter::RegisterReplica(const std::string& name,
@@ -11,20 +13,33 @@ void StatsExporter::Subscribe(Subscriber subscriber) {
   subscribers_.push_back(std::move(subscriber));
 }
 
-size_t StatsExporter::ExportInterval() {
-  size_t published = 0;
+Result<size_t> StatsExporter::ExportInterval() {
+  // Phase 1 — snapshot. Nothing is mutated yet: a failure anywhere below
+  // must leave every monitor still holding this interval's deltas.
+  std::vector<StatsMessage> messages;
+  messages.reserve(replicas_.size());
   for (auto& [name, monitor] : replicas_) {
     StatsMessage msg;
     msg.replica = name;
     msg.interval = interval_;
     msg.stats = monitor->Snapshot();
+    messages.push_back(std::move(msg));
+  }
+  // Phase 2 — publish. An injected transport failure aborts the export
+  // with monitors unreset and `interval_` unchanged, so the next call
+  // re-exports the same interval (at-least-once delivery).
+  for (const StatsMessage& msg : messages) {
+    AIM_FAULT_POINT("support.stats.export");
+    for (const Subscriber& s : subscribers_) s(msg);
+  }
+  // Phase 3 — commit: fold into the warehouse aggregate, reset the
+  // monitors to start the next delta window, advance the interval.
+  for (auto& [name, monitor] : replicas_) {
     aggregate_.MergeFrom(*monitor);
     monitor->Reset();
-    for (const Subscriber& s : subscribers_) s(msg);
-    ++published;
   }
   ++interval_;
-  return published;
+  return messages.size();
 }
 
 }  // namespace aim::support

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "workload/monitor.h"
 
 namespace aim::support {
@@ -40,7 +41,16 @@ class StatsExporter {
   /// them into the warehouse aggregate, then resets the per-replica
   /// monitors (delta semantics). Returns the number of messages
   /// published.
-  size_t ExportInterval();
+  ///
+  /// Crash-safe in three phases — snapshot, publish (crosses the
+  /// `support.stats.export` fault point per message), commit. A publish
+  /// failure returns before ANY monitor is reset, the aggregate is
+  /// touched, or `interval_` advances: the interval's deltas stay in the
+  /// monitors and the next call re-exports the same interval under the
+  /// same number. Delivery is therefore at-least-once — subscribers that
+  /// saw part of a failed interval will see its messages again on retry
+  /// and must deduplicate by (replica, interval).
+  Result<size_t> ExportInterval();
 
   /// The holistic cross-replica view of the workload.
   const workload::WorkloadMonitor& aggregate() const { return aggregate_; }

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include "core/aim.h"
 #include "core/continuous.h"
 #include "executor/executor.h"
@@ -338,6 +342,108 @@ TEST(ContinuousTest, AdaptsToWorkloadShift) {
   }
   EXPECT_TRUE(has_created);
   EXPECT_FALSE(still_org);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-interval what-if cache carry
+
+TEST(ContinuousTest, SecondIntervalWarmStartsFromCarriedCache) {
+  storage::Database db = MakeUsersDb(3000);
+  ContinuousTunerOptions options;  // carry_what_if_cache defaults on
+  ContinuousTuner tuner(&db, optimizer::CostModel(), options);
+  const workload::Workload w = SimpleWorkload();
+
+  Result<IntervalReport> first = tuner.Tick(w, nullptr);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.ValueOrDie().cache_entries_carried, 0u);
+  EXPECT_FALSE(first.ValueOrDie().aim.stats.cache_warm_start);
+  EXPECT_GT(first.ValueOrDie().aim.stats.cache_misses, 0u);
+
+  // Interval 2 starts warm but costs everything under the configuration
+  // interval 1 *installed* — a fingerprint interval 1 never costed, so
+  // the carried entries are unreachable (stale-proof by construction).
+  Result<IntervalReport> second = tuner.Tick(w, nullptr);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_GT(second.ValueOrDie().cache_entries_carried, 0u);
+  EXPECT_TRUE(second.ValueOrDie().aim.stats.cache_warm_start);
+  EXPECT_GT(second.ValueOrDie().aim.stats.cache_entries_at_start, 0u);
+
+  // Interval 3 runs at the now-stable configuration interval 2 also ran
+  // at: interval 2's entries answer interval 3's costing directly.
+  Result<IntervalReport> third = tuner.Tick(w, nullptr);
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_GT(third.ValueOrDie().cache_entries_carried, 0u);
+  EXPECT_TRUE(third.ValueOrDie().aim.stats.cache_warm_start);
+  EXPECT_GT(third.ValueOrDie().aim.stats.cache_hits, 0u);
+}
+
+TEST(ContinuousTest, CacheInvalidatedWhenStatisticsDrift) {
+  storage::Database db = MakeUsersDb(3000);
+  ContinuousTunerOptions options;
+  ContinuousTuner tuner(&db, optimizer::CostModel(), options);
+  const workload::Workload w = SimpleWorkload();
+
+  ASSERT_TRUE(tuner.Tick(w, nullptr).ok());
+  // Re-analyze with a different histogram resolution: same data, new
+  // statistics — every carried cost is now computed against a stale
+  // cost-model input and must be dropped, not reused.
+  db.AnalyzeAll(/*histogram_buckets=*/8);
+  Result<IntervalReport> second = tuner.Tick(w, nullptr);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second.ValueOrDie().cache_invalidated);
+  EXPECT_EQ(second.ValueOrDie().cache_entries_carried, 0u);
+  EXPECT_FALSE(second.ValueOrDie().aim.stats.cache_warm_start);
+
+  // Stable statistics afterwards: the carry resumes.
+  Result<IntervalReport> third = tuner.Tick(w, nullptr);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third.ValueOrDie().cache_invalidated);
+  EXPECT_GT(third.ValueOrDie().cache_entries_carried, 0u);
+}
+
+TEST(ContinuousTest, CacheSnapshotWarmStartsAcrossTunerInstances) {
+  const std::string path =
+      ::testing::TempDir() + "/tuner_whatif_cache.bin";
+  std::remove(path.c_str());
+  const storage::Database base = MakeUsersDb(3000);
+  const workload::Workload w = SimpleWorkload();
+
+  ContinuousTunerOptions options;
+  options.cache_snapshot_path = path;
+  {
+    storage::Database db = base;
+    ContinuousTuner tuner(&db, optimizer::CostModel(), options);
+    Result<IntervalReport> r = tuner.Tick(w, nullptr);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // Nothing to load on the very first interval ever.
+    EXPECT_FALSE(r.ValueOrDie().cache_loaded_from_snapshot);
+  }
+  {
+    // A brand-new tuner process on the same database state: interval 1
+    // starts warm from the snapshot the previous instance saved.
+    storage::Database db = base;
+    ContinuousTuner tuner(&db, optimizer::CostModel(), options);
+    Result<IntervalReport> r = tuner.Tick(w, nullptr);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r.ValueOrDie().cache_loaded_from_snapshot);
+    EXPECT_GT(r.ValueOrDie().cache_entries_carried, 0u);
+    EXPECT_TRUE(r.ValueOrDie().aim.stats.cache_warm_start);
+    EXPECT_GT(r.ValueOrDie().aim.stats.cache_hits, 0u);
+  }
+  {
+    // Corrupt the snapshot: the next instance must start cold — same
+    // decisions, no error, no degraded interval.
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "not a snapshot";
+    out.close();
+    storage::Database db = base;
+    ContinuousTuner tuner(&db, optimizer::CostModel(), options);
+    Result<IntervalReport> r = tuner.Tick(w, nullptr);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r.ValueOrDie().cache_loaded_from_snapshot);
+    EXPECT_FALSE(r.ValueOrDie().degraded);
+    EXPECT_EQ(r.ValueOrDie().cache_entries_carried, 0u);
+  }
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 //       machinery itself has zero effect when off.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 #include <set>
 #include <string>
@@ -18,6 +19,7 @@
 #include "common/fault_injection.h"
 #include "common/rng.h"
 #include "core/continuous.h"
+#include "core/sharding.h"
 #include "tests/test_util.h"
 #include "workload/replay.h"
 
@@ -73,7 +75,8 @@ workload::Workload ChaosWorkload() {
   return w;
 }
 
-ContinuousTunerOptions ChaosTunerOptions() {
+ContinuousTunerOptions ChaosTunerOptions(
+    const std::string& snapshot_path = "") {
   ContinuousTunerOptions options;
   options.drop_after_idle_intervals = 1;  // aggressive GC: exercise drops
   options.shrink_after_idle_intervals = 1;
@@ -82,6 +85,9 @@ ContinuousTunerOptions ChaosTunerOptions() {
   // Run the parallel what-if engine so fault schedules also cross the
   // pool's dispatch path (degraded dispatch must not change results).
   options.aim.num_threads = 2;
+  // With a snapshot path the tuner also crosses the cache save/load
+  // path, so schedules can kill `whatif.cache.load` too.
+  options.cache_snapshot_path = snapshot_path;
   return options;
 }
 
@@ -93,15 +99,26 @@ const char* const kFaultPoints[] = {
     "shadow.clone",         "shadow.materialize",
     "core.apply",           "core.tick",
     "common.pool.dispatch", "workload.replay",
+    "whatif.cache.load",
 };
 
-/// Arms a randomized subset of fault points from `rng` (always at least
-/// one) and returns a human-readable description for failure messages.
-std::string ArmRandomSchedule(Rng* rng, uint64_t seed) {
+/// The additional points the *sharded* pipeline crosses: losing a shard
+/// at validation entry or mid-clone-materialization.
+const char* const kShardFaultPoints[] = {
+    "shard.validate",       "shard.clone.materialize",
+    "storage.create_index", "storage.build_index_entry",
+    "executor.execute",     "common.pool.dispatch",
+};
+
+/// Arms a randomized subset of `points` from `rng` (always at least one)
+/// and returns a human-readable description for failure messages.
+template <size_t N>
+std::string ArmRandomSchedule(Rng* rng, uint64_t seed,
+                              const char* const (&points)[N]) {
   std::string description;
   bool armed_any = false;
   while (!armed_any) {
-    for (const char* point : kFaultPoints) {
+    for (const char* point : points) {
       if (!rng->Bernoulli(0.35)) continue;
       FaultSpec spec;
       spec.code = rng->Bernoulli(0.5) ? Status::Code::kUnavailable
@@ -134,12 +151,19 @@ TEST(ChaosPipelineTest, NoRegressionGuaranteeUnderRandomFaultSchedules) {
   size_t clean_intervals = 0;
   size_t intervals_with_changes = 0;
 
+  // One shared snapshot file across schedules: later seeds start from a
+  // carried cache (valid — same base catalog), earlier seeds cold. A
+  // faulted or truncated load must behave exactly like cold.
+  const std::string snapshot_path =
+      ::testing::TempDir() + "/chaos_whatif_cache.bin";
+  std::remove(snapshot_path.c_str());
+
   for (uint64_t seed = 1; seed <= kSchedules; ++seed) {
     Rng rng(seed);
     storage::Database db = base;
     ContinuousTuner tuner(&db, optimizer::CostModel(),
-                          ChaosTunerOptions());
-    const std::string schedule = ArmRandomSchedule(&rng, seed);
+                          ChaosTunerOptions(snapshot_path));
+    const std::string schedule = ArmRandomSchedule(&rng, seed, kFaultPoints);
 
     for (int tick = 0; tick < kTicksPerSchedule; ++tick) {
       const std::multiset<std::string> before = IndexSignature(db);
@@ -276,6 +300,173 @@ TEST(ChaosPipelineTest, ReplayFaultsShedLoadWithoutAborting) {
   EXPECT_GT(healthy_served, 0.0);
   EXPECT_EQ(faulty_served, 0.0);  // every execution failed, none crashed
   EXPECT_EQ(faulty_driver.monitor().Snapshot().size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded chaos: a shard lost mid-validation degrades the run — rejected
+// candidates, untouched production — and never fails or splits the fleet.
+
+std::vector<storage::Database> MakeChaosShards(int n) {
+  std::vector<storage::Database> dbs;
+  dbs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    dbs.push_back(MakeUsersDb(600, /*seed=*/50 + i));
+  }
+  return dbs;
+}
+
+ShardedOptions ChaosShardedOptions() {
+  ShardedOptions options;
+  options.comprehensive_validation = true;  // every shard validates
+  options.aim.num_threads = 2;              // fan validations out
+  return options;
+}
+
+Result<ShardedReport> RunShardedOnce(std::vector<storage::Database>* dbs) {
+  ShardedIndexManager manager(ChaosShardedOptions());
+  std::vector<Shard> shards;
+  shards.reserve(dbs->size());
+  for (storage::Database& db : *dbs) {
+    shards.push_back(Shard{&db, nullptr});
+  }
+  return manager.RunOnce(ChaosWorkload(), shards, optimizer::CostModel());
+}
+
+/// Kills exactly one shard's validation at `point` and asserts the
+/// degraded-not-failed contract: the run completes, every candidate is
+/// rejected (conservative veto — the lost shard could have shown a
+/// regression), and no shard's production catalog changes.
+void ExpectOneLostShardDegrades(const char* point) {
+  FaultRegistry::Instance().DisarmAll();
+  std::vector<storage::Database> dbs = MakeChaosShards(3);
+  std::vector<std::multiset<std::string>> before;
+  for (const storage::Database& db : dbs) {
+    before.push_back(IndexSignature(db));
+  }
+
+  FaultSpec spec;
+  spec.code = Status::Code::kUnavailable;
+  spec.probability = 1.0;
+  spec.fail_times = 1;  // exactly one crossing dies, the rest survive
+  ScopedFault fault(point, spec);
+
+  Result<ShardedReport> r = RunShardedOnce(&dbs);
+  ASSERT_TRUE(r.ok()) << point << ": " << r.status().ToString();
+  const ShardedReport& report = r.ValueOrDie();
+  EXPECT_TRUE(report.degraded) << point;
+  EXPECT_EQ(report.shards_lost, 1u) << point;
+  size_t lost = 0;
+  for (const ShardValidation& sv : report.validations) {
+    if (!sv.error.ok()) ++lost;
+  }
+  EXPECT_EQ(lost, 1u) << point;
+  // The workload has winning candidates (the healthy run applies them),
+  // so "nothing applied" here demonstrates the veto, not an empty run.
+  EXPECT_TRUE(report.aim.recommended.empty()) << point;
+  EXPECT_FALSE(report.rejected_by_shards.empty()) << point;
+  for (size_t i = 0; i < dbs.size(); ++i) {
+    EXPECT_EQ(IndexSignature(dbs[i]), before[i])
+        << point << ": lost shard mutated production on shard " << i;
+  }
+}
+
+TEST(ShardedChaosTest, ShardLostAtValidationEntryDegradesNotFails) {
+  ExpectOneLostShardDegrades("shard.validate");
+}
+
+TEST(ShardedChaosTest, ShardLostMidMaterializationDegradesNotFails) {
+  ExpectOneLostShardDegrades("shard.clone.materialize");
+}
+
+TEST(ShardedChaosTest, ReplayDeathOnClonesRejectsWholesaleNotDegraded) {
+  // Every replayed execution on every clone dies mid-replay. That is not
+  // a lost shard — validation itself completed — but it proves nothing
+  // about the candidates, so the whole set is rejected and production
+  // stays untouched.
+  FaultRegistry::Instance().DisarmAll();
+  std::vector<storage::Database> dbs = MakeChaosShards(3);
+  std::vector<std::multiset<std::string>> before;
+  for (const storage::Database& db : dbs) {
+    before.push_back(IndexSignature(db));
+  }
+
+  FaultSpec spec;
+  spec.code = Status::Code::kUnavailable;
+  spec.probability = 1.0;
+  spec.fail_times = -1;
+  ScopedFault fault("executor.execute", spec);
+
+  Result<ShardedReport> r = RunShardedOnce(&dbs);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ShardedReport& report = r.ValueOrDie();
+  EXPECT_FALSE(report.degraded);
+  EXPECT_EQ(report.shards_lost, 0u);
+  EXPECT_TRUE(report.aim.recommended.empty());
+  EXPECT_FALSE(report.rejected_by_shards.empty());
+  for (const ShardValidation& sv : report.validations) {
+    EXPECT_TRUE(sv.error.ok());
+    EXPECT_FALSE(sv.result.replay_reliable);
+  }
+  for (size_t i = 0; i < dbs.size(); ++i) {
+    EXPECT_EQ(IndexSignature(dbs[i]), before[i]) << "shard " << i;
+  }
+}
+
+TEST(ShardedChaosTest, RandomShardFaultSchedulesNeverSplitTheFleet) {
+  constexpr int kSchedules = 60;
+  size_t degraded_runs = 0;
+  size_t applied_runs = 0;
+
+  for (uint64_t seed = 1; seed <= kSchedules; ++seed) {
+    Rng rng(seed);
+    std::vector<storage::Database> dbs = MakeChaosShards(3);
+    std::vector<std::multiset<std::string>> before;
+    for (const storage::Database& db : dbs) {
+      before.push_back(IndexSignature(db));
+    }
+    const std::string schedule =
+        ArmRandomSchedule(&rng, seed, kShardFaultPoints);
+
+    Result<ShardedReport> r = RunShardedOnce(&dbs);
+    if (!r.ok()) {
+      // A hard failure (e.g. apply died) must roll back every shard.
+      for (size_t i = 0; i < dbs.size(); ++i) {
+        EXPECT_EQ(IndexSignature(dbs[i]), before[i])
+            << "failed run left changes on shard " << i
+            << "; schedule: " << schedule << " seed=" << seed;
+      }
+    } else {
+      const ShardedReport& report = r.ValueOrDie();
+      if (report.degraded) {
+        ++degraded_runs;
+        // Lost shards veto everything: production untouched.
+        EXPECT_TRUE(report.aim.recommended.empty())
+            << "schedule: " << schedule << " seed=" << seed;
+        for (size_t i = 0; i < dbs.size(); ++i) {
+          EXPECT_EQ(IndexSignature(dbs[i]), before[i])
+              << "degraded run mutated shard " << i << "; schedule: "
+              << schedule << " seed=" << seed;
+        }
+      } else if (!report.aim.recommended.empty()) {
+        ++applied_runs;
+      }
+      // The fleet never diverges: whatever happened, every shard ends
+      // with the identical physical design.
+      for (size_t i = 1; i < dbs.size(); ++i) {
+        EXPECT_EQ(IndexSignature(dbs[i]), IndexSignature(dbs[0]))
+            << "fleet split between shard 0 and shard " << i
+            << "; schedule: " << schedule << " seed=" << seed;
+      }
+      for (const storage::Database& db : dbs) {
+        ExpectWellFormed(db, seed);
+      }
+    }
+    FaultRegistry::Instance().DisarmAll();
+  }
+
+  // The schedules must exercise both outcomes.
+  EXPECT_GT(degraded_runs, 5u);
+  EXPECT_GT(applied_runs, 5u);
 }
 
 }  // namespace

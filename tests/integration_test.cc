@@ -141,7 +141,7 @@ TEST(IntegrationTest, ExporterFeedsAimAcrossReplicas) {
   support::StatsExporter exporter;
   exporter.RegisterReplica("a", &replica_a);
   exporter.RegisterReplica("b", &replica_b);
-  exporter.ExportInterval();
+  ASSERT_TRUE(exporter.ExportInterval().ok());
 
   core::AimOptions options;
   options.validate_on_clone = false;

@@ -160,6 +160,183 @@ TEST(WhatIfCacheTest, SingleFlightComputesConcurrentMissesOnce) {
 }
 
 // ---------------------------------------------------------------------------
+// WhatIfCache persistence
+
+TEST(WhatIfCachePersistenceTest, RoundTripReproducesEntriesColdCounters) {
+  optimizer::WhatIfCache cache(16);
+  auto cost = [](double v) {
+    return [v]() -> Result<double> { return v; };
+  };
+  ASSERT_TRUE(cache.GetOrCompute({1, 10}, cost(1.5)).ok());
+  ASSERT_TRUE(cache.GetOrCompute({2, 10}, cost(2.5)).ok());
+  ASSERT_TRUE(cache.GetOrCompute({3, 20}, cost(3.5)).ok());
+
+  std::stringstream snapshot;
+  ASSERT_TRUE(cache.SaveTo(snapshot, /*catalog_fingerprint=*/77).ok());
+
+  optimizer::WhatIfCache restored(16);
+  Result<bool> adopted = restored.LoadFrom(snapshot, 77);
+  ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+  EXPECT_TRUE(adopted.ValueOrDie());
+  EXPECT_EQ(restored.size(), 3u);
+  EXPECT_EQ(restored.Peek({1, 10}).value(), 1.5);
+  EXPECT_EQ(restored.Peek({2, 10}).value(), 2.5);
+  EXPECT_EQ(restored.Peek({3, 20}).value(), 3.5);
+  // Counters start cold: hits against loaded entries are how the value
+  // of a carried cache is measured.
+  EXPECT_EQ(restored.stats().hits, 0u);
+  EXPECT_EQ(restored.stats().misses, 0u);
+  // Every loaded key is served without recomputation.
+  auto never = []() -> Result<double> {
+    ADD_FAILURE() << "loaded entry recomputed";
+    return -1.0;
+  };
+  EXPECT_EQ(restored.GetOrCompute({1, 10}, never).ValueOrDie(), 1.5);
+  EXPECT_EQ(restored.stats().hits, 1u);
+}
+
+TEST(WhatIfCachePersistenceTest, CatalogFingerprintMismatchIsRejected) {
+  optimizer::WhatIfCache cache(16);
+  ASSERT_TRUE(
+      cache.GetOrCompute({1, 1}, [] { return Result<double>(1.0); }).ok());
+  std::stringstream snapshot;
+  ASSERT_TRUE(cache.SaveTo(snapshot, 77).ok());
+
+  // The snapshot was taken against catalog 77; a tuner on catalog 78
+  // (schema or statistics drifted) must start cold, not stale.
+  optimizer::WhatIfCache restored(16);
+  Result<bool> adopted = restored.LoadFrom(snapshot, 78);
+  ASSERT_TRUE(adopted.ok());
+  EXPECT_FALSE(adopted.ValueOrDie());
+  EXPECT_EQ(restored.size(), 0u);
+}
+
+TEST(WhatIfCachePersistenceTest, CorruptOrTruncatedSnapshotStaysCold) {
+  optimizer::WhatIfCache cache(16);
+  ASSERT_TRUE(
+      cache.GetOrCompute({1, 1}, [] { return Result<double>(1.0); }).ok());
+  ASSERT_TRUE(
+      cache.GetOrCompute({2, 2}, [] { return Result<double>(2.0); }).ok());
+  std::stringstream snapshot;
+  ASSERT_TRUE(cache.SaveTo(snapshot, 7).ok());
+  const std::string bytes = snapshot.str();
+
+  {
+    // Garbage magic.
+    std::stringstream garbage("definitely not a snapshot");
+    optimizer::WhatIfCache restored(16);
+    Result<bool> adopted = restored.LoadFrom(garbage, 7);
+    ASSERT_TRUE(adopted.ok());
+    EXPECT_FALSE(adopted.ValueOrDie());
+    EXPECT_EQ(restored.size(), 0u);
+  }
+  {
+    // Truncated mid-entry: the whole snapshot is rejected, and entries
+    // already present in the target cache survive untouched.
+    std::stringstream truncated(bytes.substr(0, bytes.size() - 4));
+    optimizer::WhatIfCache restored(16);
+    ASSERT_TRUE(restored
+                    .GetOrCompute({9, 9},
+                                  [] { return Result<double>(9.0); })
+                    .ok());
+    Result<bool> adopted = restored.LoadFrom(truncated, 7);
+    ASSERT_TRUE(adopted.ok());
+    EXPECT_FALSE(adopted.ValueOrDie());
+    EXPECT_EQ(restored.size(), 1u);
+    EXPECT_EQ(restored.Peek({9, 9}).value(), 9.0);
+  }
+  {
+    // Empty stream (missing snapshot file): cold start, no error.
+    std::stringstream empty;
+    optimizer::WhatIfCache restored(16);
+    Result<bool> adopted = restored.LoadFrom(empty, 7);
+    ASSERT_TRUE(adopted.ok());
+    EXPECT_FALSE(adopted.ValueOrDie());
+  }
+}
+
+TEST(WhatIfCachePersistenceTest, LoadFaultPointInjectsFailure) {
+  optimizer::WhatIfCache cache(16);
+  ASSERT_TRUE(
+      cache.GetOrCompute({1, 1}, [] { return Result<double>(1.0); }).ok());
+  std::stringstream snapshot;
+  ASSERT_TRUE(cache.SaveTo(snapshot, 7).ok());
+
+  FaultRegistry::Instance().DisarmAll();
+  FaultSpec spec;
+  spec.code = Status::Code::kUnavailable;
+  ScopedFault fault("whatif.cache.load", spec);
+  optimizer::WhatIfCache restored(16);
+  Result<bool> adopted = restored.LoadFrom(snapshot, 7);
+  ASSERT_FALSE(adopted.ok());
+  EXPECT_EQ(adopted.status().code(), Status::Code::kUnavailable);
+  EXPECT_EQ(restored.size(), 0u);  // failed load leaves the cache cold
+}
+
+TEST(WhatIfCachePersistenceTest, SmallerCapacityKeepsMostRecentEntries) {
+  optimizer::WhatIfCache cache(8);
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(cache
+                    .GetOrCompute({i, 0},
+                                  [i] {
+                                    return Result<double>(
+                                        static_cast<double>(i));
+                                  })
+                    .ok());
+  }
+  std::stringstream snapshot;
+  ASSERT_TRUE(cache.SaveTo(snapshot, 7).ok());
+
+  // Entries are serialized MRU-first, so a smaller restored cache keeps
+  // the hottest ones: {5,0} (most recent) survives, {0,0} does not.
+  optimizer::WhatIfCache restored(3);
+  Result<bool> adopted = restored.LoadFrom(snapshot, 7);
+  ASSERT_TRUE(adopted.ok());
+  EXPECT_TRUE(adopted.ValueOrDie());
+  EXPECT_EQ(restored.size(), 3u);
+  EXPECT_TRUE(restored.Peek({5, 0}).has_value());
+  EXPECT_TRUE(restored.Peek({4, 0}).has_value());
+  EXPECT_TRUE(restored.Peek({3, 0}).has_value());
+  EXPECT_FALSE(restored.Peek({0, 0}).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Logical configuration fingerprint: the cross-interval reuse enabler
+
+TEST(ConfigFingerprintTest, OrderIndependentAndHypotheticalBlind) {
+  storage::Database db = MakeUsersDb(300, /*seed=*/7);
+  catalog::IndexDef a;
+  a.table = db.catalog().FindTable("users").ValueOrDie();
+  a.columns = {*db.catalog().table(a.table).FindColumn("org_id")};
+  catalog::IndexDef b;
+  b.table = a.table;
+  b.columns = {*db.catalog().table(b.table).FindColumn("status"),
+               *db.catalog().table(b.table).FindColumn("score")};
+
+  // Same set, different staging order: same fingerprint.
+  optimizer::WhatIfOptimizer ab(db.catalog(), optimizer::CostModel());
+  ASSERT_TRUE(ab.SetConfiguration({a, b}).ok());
+  optimizer::WhatIfOptimizer ba(db.catalog(), optimizer::CostModel());
+  ASSERT_TRUE(ba.SetConfiguration({b, a}).ok());
+  EXPECT_EQ(ab.config_fingerprint(), ba.config_fingerprint());
+
+  // The same indexes created *for real* fingerprint identically to the
+  // hypothetical staging — this is what lets a continuous tuner's carried
+  // cache keep hitting after interval 1's recommendations materialize.
+  storage::Database real_db = MakeUsersDb(300, /*seed=*/7);
+  ASSERT_TRUE(real_db.CreateIndex(a).ok());
+  ASSERT_TRUE(real_db.CreateIndex(b).ok());
+  optimizer::WhatIfOptimizer real(real_db.catalog(),
+                                  optimizer::CostModel());
+  EXPECT_EQ(real.config_fingerprint(), ab.config_fingerprint());
+
+  // And it still distinguishes genuinely different configurations.
+  optimizer::WhatIfOptimizer only_a(db.catalog(), optimizer::CostModel());
+  ASSERT_TRUE(only_a.SetConfiguration({a}).ok());
+  EXPECT_NE(only_a.config_fingerprint(), ab.config_fingerprint());
+}
+
+// ---------------------------------------------------------------------------
 // Cached WhatIfOptimizer
 
 TEST(WhatIfParallelTest, StatementFingerprintKeepsLiterals) {

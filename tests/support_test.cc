@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
 #include "support/myshadow.h"
 #include "support/regression_detector.h"
 #include "support/stats_exporter.h"
@@ -31,7 +32,9 @@ TEST(StatsExporterTest, AggregatesAcrossReplicas) {
     ++messages;
     EXPECT_EQ(msg.interval, 0);
   });
-  EXPECT_EQ(exporter.ExportInterval(), 3u);
+  Result<size_t> published = exporter.ExportInterval();
+  ASSERT_TRUE(published.ok());
+  EXPECT_EQ(published.ValueOrDie(), 3u);
   EXPECT_EQ(messages, 3);
 
   // Warehouse view: query 1 has 3 executions across replicas.
@@ -50,11 +53,51 @@ TEST(StatsExporterTest, SecondIntervalAccumulates) {
   executor::ExecutionMetrics m;
   m.cpu_seconds = 1.0;
   replica.RecordKeyed(7, "q", m);
-  exporter.ExportInterval();
+  ASSERT_TRUE(exporter.ExportInterval().ok());
   replica.RecordKeyed(7, "q", m);
-  exporter.ExportInterval();
+  ASSERT_TRUE(exporter.ExportInterval().ok());
   EXPECT_EQ(exporter.aggregate().Find(7)->executions, 2u);
   EXPECT_EQ(exporter.intervals_exported(), 2);
+}
+
+TEST(StatsExporterTest, FailedExportDoesNotAdvanceInterval) {
+  workload::WorkloadMonitor replica;
+  StatsExporter exporter;
+  exporter.RegisterReplica("r", &replica);
+  executor::ExecutionMetrics m;
+  m.cpu_seconds = 1.0;
+  replica.RecordKeyed(7, "q", m);
+
+  std::vector<int> seen_intervals;
+  exporter.Subscribe([&](const StatsMessage& msg) {
+    seen_intervals.push_back(msg.interval);
+  });
+
+  // Publish fails mid-export: the interval must not commit — monitors
+  // keep their deltas, the aggregate is untouched, interval_ unchanged.
+  {
+    FaultSpec spec;
+    spec.code = Status::Code::kUnavailable;
+    ScopedFault fault("support.stats.export", spec);
+    Result<size_t> r = exporter.ExportInterval();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), Status::Code::kUnavailable);
+  }
+  EXPECT_EQ(exporter.intervals_exported(), 0);
+  EXPECT_EQ(exporter.aggregate().Find(7), nullptr);
+  EXPECT_EQ(replica.Find(7)->executions, 1u);
+
+  // Retry re-exports the SAME interval number with the same deltas —
+  // at-least-once delivery, deduplicable by (replica, interval).
+  Result<size_t> retry = exporter.ExportInterval();
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry.ValueOrDie(), 1u);
+  ASSERT_EQ(seen_intervals.size(), 1u);
+  EXPECT_EQ(seen_intervals[0], 0);
+  EXPECT_EQ(exporter.intervals_exported(), 1);
+  ASSERT_NE(exporter.aggregate().Find(7), nullptr);
+  EXPECT_EQ(exporter.aggregate().Find(7)->executions, 1u);
+  EXPECT_EQ(replica.distinct_queries(), 0u);  // reset only after success
 }
 
 TEST(MyShadowTest, FullCloneReplays) {
