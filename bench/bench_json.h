@@ -14,7 +14,19 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace aim::bench {
+
+/// Raw JSON dump of the global metrics registry, for embedding as a
+/// nested section: `.AddRaw("obs_metrics", MetricsJson())`. This is the
+/// same registry the pipeline's PhaseTimers and counters feed, so bench
+/// output and runtime observability report from one system.
+inline std::string MetricsJson() {
+  std::ostringstream out;
+  obs::MetricsRegistry::Global()->WriteJson(out);
+  return out.str();
+}
 
 /// Streams one JSON object with insertion-ordered keys. Values are
 /// numbers, booleans, strings, or raw nested JSON.

@@ -4,10 +4,18 @@
 //   unused-index GC (Sec. VI-D) -> regression detection (Sec. VII-C).
 //
 //   $ ./continuous_tuning
+//
+// Set AIM_TRACE=/path/to/trace.json to record a Chrome trace_event file
+// of every interval (open it in about:tracing or ui.perfetto.dev), and
+// AIM_METRICS=/path/to/metrics.json to dump the final metrics registry.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "core/continuous.h"
 #include "executor/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/regression_detector.h"
 #include "support/stats_exporter.h"
 #include "workload/demo.h"
@@ -35,6 +43,10 @@ workload::Workload PhaseWorkload(int phase) {
 }  // namespace
 
 int main() {
+  const char* trace_path = std::getenv("AIM_TRACE");
+  obs::Tracer tracer;
+  if (trace_path != nullptr) obs::Tracer::Install(&tracer);
+
   storage::Database db = workload::MakeUsersDemoDb(10000);
 
   // Two replicas feed the export pipeline; AIM consumes the aggregate.
@@ -113,6 +125,26 @@ int main() {
   for (const auto* idx : db.catalog().AllIndexes(false, false)) {
     std::printf("  %s%s\n", db.catalog().DescribeIndex(*idx).c_str(),
                 idx->created_by_automation ? "  [automation]" : "");
+  }
+
+  if (trace_path != nullptr) {
+    obs::Tracer::Install(nullptr);
+    std::ofstream out(trace_path, std::ios::trunc);
+    Status st = out ? tracer.WriteChromeTrace(out)
+                    : Status::Internal("cannot open trace file");
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote Chrome trace (%zu events) to %s\n",
+                tracer.event_count(), trace_path);
+  }
+  if (const char* metrics_path = std::getenv("AIM_METRICS")) {
+    std::ofstream out(metrics_path, std::ios::trunc);
+    obs::MetricsRegistry::Global()->WriteJson(out);
+    out << "\n";
+    std::printf("wrote metrics to %s\n", metrics_path);
   }
   return 0;
 }

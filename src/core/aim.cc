@@ -6,6 +6,7 @@
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/retry.h"
+#include "obs/trace.h"
 #include "optimizer/predicate.h"
 #include "storage/index_transaction.h"
 
@@ -60,20 +61,18 @@ common::ThreadPool* AutomaticIndexManager::EnsurePool() {
 Result<AimReport> AutomaticIndexManager::Recommend(
     const workload::Workload& workload,
     const workload::WorkloadMonitor* monitor) {
+  obs::Span run_span(obs::Tracer::Get(), "aim.recommend");
   const auto t0 = std::chrono::steady_clock::now();
-  auto lap = [last = t0]() mutable {
-    const auto now = std::chrono::steady_clock::now();
-    const double d = std::chrono::duration<double>(now - last).count();
-    last = now;
-    return d;
-  };
   AimReport report;
   common::ThreadPool* pool = EnsurePool();
 
   // Line 1: representative workload selection.
-  report.selected_workload = SelectQueries(workload, monitor);
-  report.stats.queries_selected = report.selected_workload.size();
-  report.stats.selection_seconds = lap();
+  {
+    obs::PhaseTimer timer("aim.selection", &report.stats.selection_seconds);
+    report.selected_workload = SelectQueries(workload, monitor);
+    report.stats.queries_selected = report.selected_workload.size();
+    timer.span()->SetAttr("queries_selected", report.stats.queries_selected);
+  }
   if (report.selected_workload.empty()) return report;
 
   optimizer::WhatIfOptimizer what_if(db_->catalog(), cm_);
@@ -130,54 +129,73 @@ Result<AimReport> AutomaticIndexManager::Recommend(
   };
 
   // Phase 1: narrow (non-covering) candidates for every selected query.
-  AIM_RETURN_NOT_OK(generate_pass(/*covering_enabled=*/false));
+  {
+    obs::PhaseTimer timer("aim.candgen", &report.stats.candgen_seconds);
+    AIM_RETURN_NOT_OK(generate_pass(/*covering_enabled=*/false));
 
-  if (options_.two_phase && options_.candidates.enable_covering) {
-    // Stage all phase-1 candidates as hypothetical indexes so the
-    // covering check (Sec. III-D) can ask "given the best selectivity an
-    // index could already provide, is the PK seek volume still high?".
-    std::vector<PartialOrder> merged1 =
-        MergePartialOrders(orders, options_.merge);
-    CandidateGenerator tmp_gen(what_if.catalog(), &what_if,
-                               options_.candidates);
-    std::vector<catalog::IndexDef> phase1 =
-        tmp_gen.GenerateCandidateIndexPerPO(merged1);
-    AIM_RETURN_NOT_OK(what_if.SetConfiguration(phase1));
-    AIM_RETURN_NOT_OK(generate_pass(/*covering_enabled=*/true));
-    what_if.ClearConfiguration();
+    if (options_.two_phase && options_.candidates.enable_covering) {
+      // Stage all phase-1 candidates as hypothetical indexes so the
+      // covering check (Sec. III-D) can ask "given the best selectivity
+      // an index could already provide, is the PK seek volume still
+      // high?".
+      std::vector<PartialOrder> merged1 =
+          MergePartialOrders(orders, options_.merge);
+      CandidateGenerator tmp_gen(what_if.catalog(), &what_if,
+                                 options_.candidates);
+      std::vector<catalog::IndexDef> phase1 =
+          tmp_gen.GenerateCandidateIndexPerPO(merged1);
+      AIM_RETURN_NOT_OK(what_if.SetConfiguration(phase1));
+      AIM_RETURN_NOT_OK(generate_pass(/*covering_enabled=*/true));
+      what_if.ClearConfiguration();
+    }
+    report.stats.partial_orders_generated = orders.size();
+    timer.span()->SetAttr("partial_orders",
+                          report.stats.partial_orders_generated);
   }
-  report.stats.partial_orders_generated = orders.size();
-  report.stats.candgen_seconds = lap();
 
-  // Merge partial orders to a fixpoint (line 6 of Algorithm 2).
-  std::vector<PartialOrder> merged =
-      MergePartialOrders(std::move(orders), options_.merge);
-  report.stats.partial_orders_after_merge = merged.size();
+  {
+    obs::PhaseTimer timer("aim.ranking", &report.stats.ranking_seconds);
 
-  // One concrete index per final partial order (line 7), minus indexes
-  // that already exist for real.
-  std::vector<catalog::IndexDef> candidates =
-      generator.GenerateCandidateIndexPerPO(merged);
-  candidates.erase(
-      std::remove_if(candidates.begin(), candidates.end(),
-                     [&](const catalog::IndexDef& def) {
-                       return db_->catalog().FindIndex(def.table,
-                                                       def.columns) !=
-                              nullptr;
-                     }),
-      candidates.end());
-  report.stats.candidates_evaluated = candidates.size();
+    // Merge partial orders to a fixpoint (line 6 of Algorithm 2).
+    std::vector<PartialOrder> merged;
+    {
+      obs::Span merge_span(obs::Tracer::Get(), "aim.merge");
+      merged = MergePartialOrders(std::move(orders), options_.merge);
+      report.stats.partial_orders_after_merge = merged.size();
+      merge_span.SetAttr("partial_orders_after_merge", merged.size());
+    }
 
-  // Line 4: rank by utility and select under the storage budget.
-  RankingResult ranking = RankAndSelect(candidates,
-                                        report.selected_workload, &what_if,
-                                        options_.ranking, pool);
-  report.recommended = std::move(ranking.selected);
-  report.stats.indexes_recommended = report.recommended.size();
-  report.explanations = ExplainAll(report.recommended,
-                                   report.selected_workload,
-                                   db_->catalog());
-  report.stats.ranking_seconds = lap();
+    // One concrete index per final partial order (line 7), minus indexes
+    // that already exist for real.
+    std::vector<catalog::IndexDef> candidates =
+        generator.GenerateCandidateIndexPerPO(merged);
+    candidates.erase(
+        std::remove_if(candidates.begin(), candidates.end(),
+                       [&](const catalog::IndexDef& def) {
+                         return db_->catalog().FindIndex(def.table,
+                                                         def.columns) !=
+                                nullptr;
+                       }),
+        candidates.end());
+    report.stats.candidates_evaluated = candidates.size();
+
+    // Line 4: rank by utility and select under the storage budget
+    // (greedy knapsack).
+    {
+      obs::Span knapsack_span(obs::Tracer::Get(), "aim.knapsack");
+      RankingResult ranking =
+          RankAndSelect(candidates, report.selected_workload, &what_if,
+                        options_.ranking, pool);
+      report.recommended = std::move(ranking.selected);
+      knapsack_span.SetAttr("candidates",
+                            report.stats.candidates_evaluated);
+      knapsack_span.SetAttr("selected", report.recommended.size());
+    }
+    report.stats.indexes_recommended = report.recommended.size();
+    report.explanations = ExplainAll(report.recommended,
+                                     report.selected_workload,
+                                     db_->catalog());
+  }
 
   report.stats.what_if_calls = what_if.call_count();
   const optimizer::WhatIfCacheStats cache_stats = cache->stats();
@@ -188,63 +206,74 @@ Result<AimReport> AutomaticIndexManager::Recommend(
   report.stats.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  run_span.SetAttr("what_if_calls", report.stats.what_if_calls);
+  run_span.SetAttr("cache_hits", report.stats.cache_hits);
+  run_span.SetAttr("cache_misses", report.stats.cache_misses);
+  run_span.SetAttr("recommended", report.recommended.size());
   return report;
 }
 
 Result<AimReport> AutomaticIndexManager::RunOnce(
     const workload::Workload& workload,
     const workload::WorkloadMonitor* monitor) {
+  obs::Span run_span(obs::Tracer::Get(), "aim.run_once");
   AIM_ASSIGN_OR_RETURN(AimReport report, Recommend(workload, monitor));
   const auto t0 = std::chrono::steady_clock::now();
 
-  if (options_.validate_on_clone && !report.recommended.empty()) {
-    // Line 3: materialize on a clone and keep only validated indexes.
-    // Replay dedup rides the same switch as the plan-cost cache: with
-    // memoization off the engine behaves exactly like the pre-cache one.
-    CloneValidationOptions validation_opts = options_.validation;
-    validation_opts.dedup_replay =
-        validation_opts.dedup_replay || options_.what_if_cache_entries > 0;
-    AIM_ASSIGN_OR_RETURN(
-        report.validation,
-        ValidateOnClone(*db_, report.recommended,
-                        report.selected_workload, cm_,
-                        validation_opts, EnsurePool()));
-    report.stats.indexes_rejected_by_validation =
-        report.recommended.size() - report.validation.accepted.size();
-    report.recommended = report.validation.accepted;
-    report.explanations = ExplainAll(report.recommended,
-                                     report.selected_workload,
-                                     db_->catalog());
-  }
-  report.stats.validation_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  const auto t_apply = std::chrono::steady_clock::now();
-
-  // Materialize the production indexes atomically: a failure on the k-th
-  // build rolls back the k-1 already-installed indexes, so production is
-  // only ever the original configuration or the fully-validated new one.
-  AIM_FAULT_POINT("core.apply");
-  storage::IndexSetTransaction txn(db_);
-  RetryPolicy retry(options_.validation.retry);
-  for (const CandidateIndex& c : report.recommended) {
-    catalog::IndexDef def = c.def;
-    def.hypothetical = false;
-    def.id = catalog::kInvalidIndex;
-    def.created_by_automation = true;
-    Result<catalog::IndexId> id =
-        retry.Run([&] { return txn.CreateIndex(def); });
-    if (!id.ok() &&
-        id.status().code() != Status::Code::kAlreadyExists) {
-      return id.status();  // txn destructor rolls back prior creates
+  {
+    obs::PhaseTimer timer("aim.validation",
+                          &report.stats.validation_seconds);
+    if (options_.validate_on_clone && !report.recommended.empty()) {
+      // Line 3: materialize on a clone and keep only validated indexes.
+      // Replay dedup rides the same switch as the plan-cost cache: with
+      // memoization off the engine behaves exactly like the pre-cache
+      // one.
+      CloneValidationOptions validation_opts = options_.validation;
+      validation_opts.dedup_replay =
+          validation_opts.dedup_replay ||
+          options_.what_if_cache_entries > 0;
+      AIM_ASSIGN_OR_RETURN(
+          report.validation,
+          ValidateOnClone(*db_, report.recommended,
+                          report.selected_workload, cm_,
+                          validation_opts, EnsurePool()));
+      report.stats.indexes_rejected_by_validation =
+          report.recommended.size() - report.validation.accepted.size();
+      report.recommended = report.validation.accepted;
+      report.explanations = ExplainAll(report.recommended,
+                                       report.selected_workload,
+                                       db_->catalog());
+      timer.span()->SetAttr("executed", report.validation.executed);
+      timer.span()->SetAttr(
+          "rejected", report.stats.indexes_rejected_by_validation);
     }
   }
-  txn.Commit();
-  report.stats.indexes_recommended = report.recommended.size();
-  report.stats.apply_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    t_apply)
-          .count();
+
+  {
+    obs::PhaseTimer timer("aim.apply", &report.stats.apply_seconds);
+    // Materialize the production indexes atomically: a failure on the
+    // k-th build rolls back the k-1 already-installed indexes, so
+    // production is only ever the original configuration or the
+    // fully-validated new one.
+    AIM_FAULT_POINT("core.apply");
+    storage::IndexSetTransaction txn(db_);
+    RetryPolicy retry(options_.validation.retry);
+    for (const CandidateIndex& c : report.recommended) {
+      catalog::IndexDef def = c.def;
+      def.hypothetical = false;
+      def.id = catalog::kInvalidIndex;
+      def.created_by_automation = true;
+      Result<catalog::IndexId> id =
+          retry.Run([&] { return txn.CreateIndex(def); });
+      if (!id.ok() &&
+          id.status().code() != Status::Code::kAlreadyExists) {
+        return id.status();  // txn destructor rolls back prior creates
+      }
+    }
+    txn.Commit();
+    report.stats.indexes_recommended = report.recommended.size();
+    timer.span()->SetAttr("indexes_applied", report.recommended.size());
+  }
   report.stats.runtime_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -6,6 +6,8 @@
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/retry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace aim::core {
 
@@ -119,12 +121,19 @@ void ContinuousTuner::SaveCacheSnapshot() {
 Result<IntervalReport> ContinuousTuner::Tick(
     const workload::Workload& workload,
     const workload::WorkloadMonitor* monitor) {
+  static obs::Counter* const ticks =
+      obs::MetricsRegistry::Global()->counter("tuner.ticks");
+  static obs::Counter* const degraded_ticks =
+      obs::MetricsRegistry::Global()->counter("tuner.degraded_ticks");
+  ticks->Add();
+  obs::Span tick_span(obs::Tracer::Get(), "tuner.tick");
   IntervalReport report;
   PrepareCache(&report);
   // The cache bookkeeping must survive a degraded-interval report reset.
   const size_t cache_entries_carried = report.cache_entries_carried;
   const bool cache_loaded = report.cache_loaded_from_snapshot;
   const bool cache_invalidated = report.cache_invalidated;
+  tick_span.SetAttr("cache_entries_carried", cache_entries_carried);
   storage::IndexSetTransaction txn(db_);
   Status st = TickInternal(workload, monitor, &txn, &report);
   if (st.ok()) {
@@ -145,9 +154,14 @@ Result<IntervalReport> ContinuousTuner::Tick(
     report.cache_entries_carried = cache_entries_carried;
     report.cache_loaded_from_snapshot = cache_loaded;
     report.cache_invalidated = cache_invalidated;
+    degraded_ticks->Add();
     AIM_LOG(Warn) << "tuning interval degraded: " << st.ToString();
   }
   PruneUsage();
+  tick_span.SetAttr("degraded", report.degraded);
+  tick_span.SetAttr("dropped", report.dropped.size());
+  tick_span.SetAttr("shrunk", report.shrunk.size());
+  if (!st.ok()) tick_span.SetAttr("error", st.ToString());
   return report;
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "storage/index_transaction.h"
 
 namespace aim::core {
@@ -18,12 +19,6 @@ std::string Key(const catalog::IndexDef& def) {
   std::string k = std::to_string(def.table);
   for (catalog::ColumnId c : def.columns) k += "," + std::to_string(c);
   return k;
-}
-
-double SecondsSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       t0)
-      .count();
 }
 }  // namespace
 
@@ -75,6 +70,8 @@ Result<ShardedReport> ShardedIndexManager::Recommend(
 Result<ShardedReport> ShardedIndexManager::RunOnce(
     const workload::Workload& workload, const std::vector<Shard>& shards,
     optimizer::CostModel cm) {
+  obs::Span run_span(obs::Tracer::Get(), "sharded.run_once");
+  run_span.SetAttr("shards", shards.size());
   AIM_ASSIGN_OR_RETURN(ShardedReport report,
                        Recommend(workload, shards, cm));
   if (report.aim.recommended.empty()) return report;
@@ -100,14 +97,24 @@ Result<ShardedReport> ShardedIndexManager::RunOnce(
   // pool can deadlock: every worker would block on futures only an
   // occupied worker could run). With a single validated shard the pool
   // is spent inside that one validation instead.
-  const auto t_validate = std::chrono::steady_clock::now();
+  obs::PhaseTimer validate_timer(
+      "sharded.validation",
+      &report.aim.stats.shard_validation_seconds);
+  // Workers attach their per-shard spans under the validation phase by
+  // explicit parent id: the thread-local span stack is empty on pool
+  // threads, so auto-parenting would make them roots.
+  const uint64_t validate_parent = validate_timer.span()->id();
   const bool shard_fan_out = pool != nullptr && shards_to_validate > 1;
   std::vector<Result<CloneValidationResult>> outcomes(
       shards_to_validate,
       Result<CloneValidationResult>(Status::Internal("unresolved")));
   common::ParallelFor(pool, shards_to_validate, [&](size_t si) {
+    obs::Span shard_span(obs::Tracer::Get(), "shard.validate",
+                         validate_parent);
+    shard_span.SetAttr("shard", si);
     const Status lost = AIM_FAULT_POINT_STATUS("shard.validate");
     if (!lost.ok()) {
+      shard_span.SetAttr("lost", true);
       outcomes[si] = lost;
       return;
     }
@@ -115,6 +122,7 @@ Result<ShardedReport> ShardedIndexManager::RunOnce(
         *shards[si].db, report.aim.recommended,
         report.aim.selected_workload, cm, validation_opts,
         shard_fan_out ? nullptr : pool);
+    shard_span.SetAttr("ok", outcomes[si].ok());
   });
 
   // Serial fold in shard order: the used-set, the regression veto, and
@@ -142,7 +150,8 @@ Result<ShardedReport> ShardedIndexManager::RunOnce(
     }
     report.validations.push_back(std::move(sv));
   }
-  report.aim.stats.shard_validation_seconds = SecondsSince(t_validate);
+  validate_timer.span()->SetAttr("shards_lost", report.shards_lost);
+  validate_timer.Stop();
 
   std::vector<CandidateIndex> accepted;
   for (const CandidateIndex& c : report.aim.recommended) {
@@ -161,11 +170,15 @@ Result<ShardedReport> ShardedIndexManager::RunOnce(
   // database) but commit together, serially, after every build has been
   // checked in shard order — a failure anywhere rolls back every shard,
   // so the fleet never diverges into a mixed configuration.
-  const auto t_apply = std::chrono::steady_clock::now();
+  obs::PhaseTimer apply_timer("sharded.apply",
+                              &report.aim.stats.shard_apply_seconds);
+  const uint64_t apply_parent = apply_timer.span()->id();
   std::vector<std::unique_ptr<storage::IndexSetTransaction>> txns(
       shards.size());
   std::vector<Status> apply_status(shards.size());
   common::ParallelFor(pool, shards.size(), [&](size_t si) {
+    obs::Span shard_span(obs::Tracer::Get(), "shard.apply", apply_parent);
+    shard_span.SetAttr("shard", si);
     txns[si] =
         std::make_unique<storage::IndexSetTransaction>(shards[si].db);
     for (const CandidateIndex& c : report.aim.recommended) {
@@ -185,7 +198,7 @@ Result<ShardedReport> ShardedIndexManager::RunOnce(
     if (!st.ok()) return st;  // txn destructors roll back every shard
   }
   for (auto& txn : txns) txn->Commit();
-  report.aim.stats.shard_apply_seconds = SecondsSince(t_apply);
+  apply_timer.Stop();
   return report;
 }
 

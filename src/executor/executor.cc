@@ -8,6 +8,8 @@
 
 #include "common/fault_injection.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/predicate.h"
 
 namespace aim::executor {
@@ -227,7 +229,25 @@ std::vector<Value> LiteralOptionsFor(const AnalyzedQuery& query,
     if (p.kind == optimizer::PredKind::kIsNull) {
       return {Value::Null()};
     }
-    if (!p.values.empty()) return p.values;
+    if (!p.values.empty()) {
+      // IN lists may carry duplicate literals ("IN (9, 3, 9)"). Each
+      // option becomes one index probe, so a duplicate would emit its
+      // rows twice — the heap path evaluates each row once, and the two
+      // plans would disagree on answers, not just cost.
+      std::vector<Value> unique;
+      unique.reserve(p.values.size());
+      for (const Value& v : p.values) {
+        bool seen = false;
+        for (const Value& u : unique) {
+          if (u == v) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) unique.push_back(v);
+      }
+      return unique;
+    }
   }
   return {};
 }
@@ -614,10 +634,24 @@ Result<ExecuteResult> Executor::Execute(const sql::Statement& stmt) {
 Result<ExecuteResult> Executor::ExecutePlanned(
     const sql::Statement& stmt, const optimizer::AnalyzedQuery& query,
     const optimizer::Plan& plan) {
-  if (stmt.kind == sql::Statement::Kind::kSelect) {
-    return ExecuteSelect(stmt, query, plan);
+  static obs::Counter* const statements =
+      obs::MetricsRegistry::Global()->counter("executor.statements");
+  statements->Add();
+  obs::Span span(obs::Tracer::Get(), "executor.execute");
+  Result<ExecuteResult> result =
+      stmt.kind == sql::Statement::Kind::kSelect
+          ? ExecuteSelect(stmt, query, plan)
+          : ExecuteDml(stmt, query, plan);
+  if (span.enabled() && result.ok()) {
+    const ExecutionMetrics& m = result.ValueOrDie().metrics;
+    span.SetAttr("rows_examined", m.rows_examined);
+    span.SetAttr("index_entries_read", m.index_entries_read);
+    span.SetAttr("heap_rows_read", m.heap_rows_read);
+    span.SetAttr("pk_lookups", m.pk_lookups);
+    span.SetAttr("rows_sent", m.rows_sent);
+    span.SetAttr("cpu_seconds", m.cpu_seconds);
   }
-  return ExecuteDml(stmt, query, plan);
+  return result;
 }
 
 Result<ExecuteResult> Executor::ExecuteSelect(

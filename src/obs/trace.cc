@@ -1,0 +1,333 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace aim::obs {
+namespace {
+
+/// Per-thread stack of open spans. Frames carry the owning tracer so
+/// nested spans parent correctly even if tests interleave two tracers on
+/// one thread.
+struct Frame {
+  const Tracer* tracer;
+  uint64_t id;
+};
+thread_local std::vector<Frame> t_frames;
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string AttrsJson(const std::vector<TraceAttr>& attrs) {
+  std::string out = "{";
+  bool first = true;
+  for (const TraceAttr& a : attrs) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    AppendJsonEscaped(&out, a.key);
+    out += "\": ";
+    if (a.numeric) {
+      out += a.value;
+    } else {
+      out += '"';
+      AppendJsonEscaped(&out, a.value);
+      out += '"';
+    }
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+Tracer::Tracer(Clock clock)
+    : enabled_(true), clock_(clock), epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer* Tracer::Disabled() {
+  struct DisabledTracer : Tracer {
+    DisabledTracer() : Tracer(DisabledTag{}) {}
+  };
+  static DisabledTracer* const tracer = new DisabledTracer();
+  return tracer;
+}
+
+namespace {
+std::atomic<Tracer*> g_tracer{nullptr};
+}  // namespace
+
+Tracer* Tracer::Get() {
+  Tracer* t = g_tracer.load(std::memory_order_acquire);
+  return t != nullptr ? t : Disabled();
+}
+
+Tracer* Tracer::Install(Tracer* tracer) {
+  Tracer* prev = g_tracer.exchange(tracer, std::memory_order_acq_rel);
+  return prev != nullptr ? prev : Disabled();
+}
+
+uint64_t Tracer::Now() {
+  if (clock_ == Clock::kVirtual) {
+    return virtual_ticks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+uint32_t Tracer::ThreadIdLocked() {
+  const std::thread::id self = std::this_thread::get_id();
+  auto it = thread_ids_.find(self);
+  if (it == thread_ids_.end()) {
+    it = thread_ids_
+             .emplace(self, static_cast<uint32_t>(thread_ids_.size() + 1))
+             .first;
+  }
+  return it->second;
+}
+
+uint64_t Tracer::BeginSpan(const char* name, uint64_t parent) {
+  if (!enabled_) return 0;
+  if (parent == 0) {
+    for (auto it = t_frames.rbegin(); it != t_frames.rend(); ++it) {
+      if (it->tracer == this) {
+        parent = it->id;
+        break;
+      }
+    }
+  }
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  t_frames.push_back(Frame{this, id});
+  const uint64_t ts = Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+  }
+  Event e;
+  e.kind = Event::Kind::kBegin;
+  e.id = id;
+  e.parent = parent;
+  e.name = name;
+  e.tid = ThreadIdLocked();
+  e.ts_us = ts;
+  events_.push_back(std::move(e));
+  return id;
+}
+
+void Tracer::EndSpan(uint64_t id, std::vector<TraceAttr> attrs) {
+  if (!enabled_ || id == 0) return;
+  for (auto it = t_frames.rbegin(); it != t_frames.rend(); ++it) {
+    if (it->tracer == this && it->id == id) {
+      t_frames.erase(std::next(it).base());
+      break;
+    }
+  }
+  const uint64_t ts = Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Event e;
+  e.kind = Event::Kind::kEnd;
+  e.id = id;
+  e.tid = ThreadIdLocked();
+  e.ts_us = ts;
+  e.attrs = std::move(attrs);
+  events_.push_back(std::move(e));
+}
+
+std::vector<Tracer::SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> records;
+  std::map<uint64_t, size_t> open;  // span id -> index into records
+  for (const Event& e : events_) {
+    if (e.kind == Event::Kind::kBegin) {
+      SpanRecord r;
+      r.name = e.name;
+      r.id = e.id;
+      r.parent = e.parent;
+      r.tid = e.tid;
+      r.begin_us = e.ts_us;
+      open[e.id] = records.size();
+      records.push_back(std::move(r));
+    } else {
+      auto it = open.find(e.id);
+      if (it == open.end()) continue;
+      records[it->second].end_us = e.ts_us;
+      records[it->second].attrs = e.attrs;
+      open.erase(it);
+    }
+  }
+  // Drop spans still open (no end event yet).
+  std::vector<SpanRecord> completed;
+  completed.reserve(records.size());
+  for (SpanRecord& r : records) {
+    if (r.end_us != 0 || open.find(r.id) == open.end()) {
+      completed.push_back(std::move(r));
+    }
+  }
+  return completed;
+}
+
+Status Tracer::CheckBalanced() const {
+  if (dropped_.load(std::memory_order_relaxed) > 0) {
+    return Status::Internal("trace truncated: event cap exceeded");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<uint32_t, std::vector<uint64_t>> stacks;  // tid -> open span ids
+  std::map<uint32_t, uint64_t> last_ts;
+  for (const Event& e : events_) {
+    uint64_t& last = last_ts[e.tid];
+    if (e.ts_us < last) {
+      return Status::Internal("trace timestamps not monotone on tid " +
+                              std::to_string(e.tid));
+    }
+    last = e.ts_us;
+    std::vector<uint64_t>& stack = stacks[e.tid];
+    if (e.kind == Event::Kind::kBegin) {
+      stack.push_back(e.id);
+    } else {
+      if (stack.empty() || stack.back() != e.id) {
+        return Status::Internal("unbalanced end event for span " +
+                                std::to_string(e.id) + " on tid " +
+                                std::to_string(e.tid));
+      }
+      stack.pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    if (!stack.empty()) {
+      return Status::Internal(std::to_string(stack.size()) +
+                              " span(s) still open on tid " +
+                              std::to_string(tid));
+    }
+  }
+  return Status::OK();
+}
+
+Status Tracer::WriteChromeTrace(std::ostream& out) const {
+  Status balanced = CheckBalanced();
+  if (!balanced.ok()) return balanced;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<uint64_t, const char*> names;
+  out << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out << ",\n";
+    first = false;
+    if (e.kind == Event::Kind::kBegin) {
+      names[e.id] = e.name;
+      std::string name;
+      AppendJsonEscaped(&name, e.name);
+      out << "{\"name\": \"" << name << "\", \"ph\": \"B\", \"pid\": 1, "
+          << "\"tid\": " << e.tid << ", \"ts\": " << e.ts_us
+          << ", \"args\": {\"span_id\": " << e.id
+          << ", \"parent\": " << e.parent << "}}";
+    } else {
+      std::string name;
+      auto it = names.find(e.id);
+      AppendJsonEscaped(&name, it != names.end() ? it->second : "?");
+      out << "{\"name\": \"" << name << "\", \"ph\": \"E\", \"pid\": 1, "
+          << "\"tid\": " << e.tid << ", \"ts\": " << e.ts_us
+          << ", \"args\": " << AttrsJson(e.attrs) << "}";
+    }
+  }
+  out << "\n]}\n";
+  if (!out.good()) return Status::Internal("trace write failed");
+  return Status::OK();
+}
+
+Status Tracer::WriteJsonLines(std::ostream& out) const {
+  const std::vector<SpanRecord> records = Snapshot();
+  for (const SpanRecord& r : records) {
+    std::string name;
+    AppendJsonEscaped(&name, r.name);
+    out << "{\"name\": \"" << name << "\", \"tid\": " << r.tid
+        << ", \"ts_us\": " << r.begin_us
+        << ", \"dur_us\": " << (r.end_us - r.begin_us)
+        << ", \"id\": " << r.id << ", \"parent\": " << r.parent
+        << ", \"args\": " << AttrsJson(r.attrs) << "}\n";
+  }
+  if (!out.good()) return Status::Internal("trace write failed");
+  return Status::OK();
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  thread_ids_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void Span::SetAttr(std::string key, double value) {
+  if (tracer_ == nullptr) return;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  attrs_.push_back({std::move(key), buf, true});
+}
+
+void Span::AttrSigned(std::string key, int64_t value) {
+  if (tracer_ == nullptr) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  attrs_.push_back({std::move(key), buf, true});
+}
+
+void Span::AttrUnsigned(std::string key, uint64_t value) {
+  if (tracer_ == nullptr) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  attrs_.push_back({std::move(key), buf, true});
+}
+
+double PhaseTimer::Stop() {
+  if (stopped_) return seconds_;
+  stopped_ = true;
+  seconds_ = elapsed_seconds();
+  if (out_seconds_ != nullptr) *out_seconds_ = seconds_;
+  MetricsRegistry::Global()
+      ->histogram(std::string(name_) + ".seconds")
+      ->Observe(seconds_);
+  span_.SetAttr("seconds", seconds_);
+  span_.End();
+  return seconds_;
+}
+
+}  // namespace aim::obs

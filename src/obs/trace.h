@@ -1,0 +1,248 @@
+#ifndef AIM_OBS_TRACE_H_
+#define AIM_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace aim::obs {
+
+/// One span attribute. Numeric attributes export unquoted so Perfetto can
+/// aggregate them; everything else exports as a JSON string.
+struct TraceAttr {
+  std::string key;
+  std::string value;
+  bool numeric = false;
+};
+
+/// \brief Low-overhead structured tracer: nestable RAII spans, per-thread
+/// attribution, exporters to JSON-lines and Chrome `trace_event` format
+/// (loadable in about:tracing / Perfetto).
+///
+/// The disabled-mode contract the pipeline is instrumented against: a
+/// span on `Tracer::Disabled()` (or any tracer that is not enabled) costs
+/// exactly one predictable branch in the Span constructor and one in the
+/// destructor — no lock, no allocation, no clock read. Tracing therefore
+/// never changes pipeline decisions; `ctest -L equivalence` pins
+/// selections bit-identical with tracing on and off.
+///
+/// Timestamps come from a per-tracer clock. `Clock::kSteady` reads the
+/// monotonic wall clock (microseconds since tracer construction);
+/// `Clock::kVirtual` is a deterministic event counter — every Begin/End
+/// advances it by one, so tests get reproducible traces with no
+/// wall-clock reads at all (the same virtual-time idiom as RetryPolicy).
+///
+/// Thread model: Begin/End append to a mutex-guarded event log. Each
+/// thread carries its own span stack, so spans opened on a worker thread
+/// nest under that worker's enclosing span; fan-out code passes an
+/// explicit parent id to attach a worker's root span (e.g. a per-shard
+/// validation) under the orchestrator's span.
+class Tracer {
+ public:
+  enum class Clock { kSteady, kVirtual };
+
+  explicit Tracer(Clock clock = Clock::kSteady);
+
+  /// The canonical no-op tracer: `enabled()` is false, spans on it record
+  /// nothing. This is the default installed tracer.
+  static Tracer* Disabled();
+
+  /// The currently installed process-wide tracer (never null).
+  static Tracer* Get();
+
+  /// Installs `tracer` (null restores Disabled()); returns the previous
+  /// one. The caller keeps ownership and must keep the tracer alive until
+  /// it is uninstalled.
+  static Tracer* Install(Tracer* tracer);
+
+  bool enabled() const { return enabled_; }
+
+  /// Starts a span; returns its id. `parent` 0 means "the innermost open
+  /// span on this thread" (1-based ids; 0 doubles as "no parent"). Called
+  /// via Span, not directly.
+  uint64_t BeginSpan(const char* name, uint64_t parent = 0);
+  /// Ends span `id`, attaching `attrs` to its end event.
+  void EndSpan(uint64_t id, std::vector<TraceAttr> attrs);
+
+  /// A completed span, reassembled from its begin/end events.
+  struct SpanRecord {
+    std::string name;
+    uint64_t id = 0;
+    uint64_t parent = 0;
+    uint32_t tid = 0;
+    uint64_t begin_us = 0;
+    uint64_t end_us = 0;
+    std::vector<TraceAttr> attrs;
+  };
+
+  /// Every completed span, in begin order. Open spans are excluded.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Structural self-check: every begin has a matching end, per-thread
+  /// events are properly nested (LIFO), timestamps are monotone per
+  /// thread, and no event was dropped by the event cap. The exporters
+  /// serialize the event log directly, so a tracer that passes this check
+  /// exports balanced B/E Chrome traces by construction.
+  Status CheckBalanced() const;
+
+  /// Chrome trace_event JSON: {"traceEvents": [...]} with one "B" and one
+  /// "E" event per span, in recorded order. Load in about:tracing or
+  /// https://ui.perfetto.dev.
+  Status WriteChromeTrace(std::ostream& out) const;
+
+  /// One JSON object per line per completed span:
+  /// {"name": ..., "tid": ..., "ts_us": ..., "dur_us": ..., "id": ...,
+  ///  "parent": ..., "args": {...}}
+  Status WriteJsonLines(std::ostream& out) const;
+
+  size_t event_count() const;
+  uint64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void Clear();
+
+ protected:
+  struct DisabledTag {};
+  explicit Tracer(DisabledTag)
+      : enabled_(false),
+        clock_(Clock::kSteady),
+        epoch_(std::chrono::steady_clock::now()) {}
+
+ private:
+  struct Event {
+    enum class Kind { kBegin, kEnd };
+    Kind kind = Kind::kBegin;
+    uint64_t id = 0;
+    uint64_t parent = 0;  // begin only
+    const char* name = nullptr;  // begin only; static-storage span names
+    uint32_t tid = 0;
+    uint64_t ts_us = 0;
+    std::vector<TraceAttr> attrs;  // end only
+  };
+
+  uint64_t Now();
+  uint32_t ThreadIdLocked();
+
+  const bool enabled_;
+  const Clock clock_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> virtual_ticks_{0};
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> dropped_{0};
+  /// Truncation guard: traces past this size stop recording (and
+  /// CheckBalanced reports the loss) rather than exhausting memory.
+  static constexpr size_t kMaxEvents = 4u << 20;
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<std::thread::id, uint32_t> thread_ids_;
+};
+
+/// \brief RAII span. On a disabled tracer, construction and destruction
+/// are each a single branch.
+class Span {
+ public:
+  Span(Tracer* tracer, const char* name, uint64_t parent = 0)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr) {
+    if (tracer_ != nullptr) id_ = tracer_->BeginSpan(name, parent);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { End(); }
+
+  /// Ends the span early (idempotent); later SetAttr calls are no-ops.
+  void End() {
+    if (tracer_ == nullptr) return;
+    tracer_->EndSpan(id_, std::move(attrs_));
+    tracer_ = nullptr;
+  }
+
+  bool enabled() const { return tracer_ != nullptr; }
+  /// This span's id, for parenting cross-thread children. 0 when
+  /// disabled — which BeginSpan interprets as "no explicit parent", so
+  /// passing a disabled span's id through fan-out code is harmless.
+  uint64_t id() const { return id_; }
+
+  void SetAttr(std::string key, std::string value) {
+    if (tracer_ == nullptr) return;
+    attrs_.push_back({std::move(key), std::move(value), false});
+  }
+  void SetAttr(std::string key, const char* value) {
+    SetAttr(std::move(key), std::string(value));
+  }
+  void SetAttr(std::string key, double value);
+  void SetAttr(std::string key, bool value) {
+    AttrUnsigned(std::move(key), value ? 1 : 0);
+  }
+  template <typename T>
+    requires std::is_integral_v<T>
+  void SetAttr(std::string key, T value) {
+    if constexpr (std::is_signed_v<T>) {
+      AttrSigned(std::move(key), static_cast<int64_t>(value));
+    } else {
+      AttrUnsigned(std::move(key), static_cast<uint64_t>(value));
+    }
+  }
+
+ private:
+  void AttrSigned(std::string key, int64_t value);
+  void AttrUnsigned(std::string key, uint64_t value);
+
+  Tracer* tracer_;
+  uint64_t id_ = 0;
+  std::vector<TraceAttr> attrs_;
+};
+
+/// \brief Phase stopwatch: the one timing system the whole pipeline
+/// reports through. Always measures wall time (the phases it wraps are
+/// coarse — a handful per advisor run), records the duration into the
+/// global MetricsRegistry histogram `<name>.seconds`, optionally writes
+/// it to `*out_seconds` (how AimRunStats fields are sourced), and opens a
+/// span of the same name on the installed tracer.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(const char* name, double* out_seconds = nullptr,
+                      uint64_t parent_span = 0)
+      : span_(Tracer::Get(), name, parent_span),
+        name_(name),
+        out_seconds_(out_seconds),
+        start_(std::chrono::steady_clock::now()) {}
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+  ~PhaseTimer() { Stop(); }
+
+  /// Ends the measurement early (idempotent); returns elapsed seconds.
+  double Stop();
+
+  /// Elapsed seconds so far without stopping.
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  Span* span() { return &span_; }
+
+ private:
+  Span span_;
+  const char* name_;
+  double* out_seconds_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+  double seconds_ = 0.0;
+};
+
+}  // namespace aim::obs
+
+#endif  // AIM_OBS_TRACE_H_

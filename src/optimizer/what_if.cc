@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/printer.h"
 
 namespace aim::optimizer {
@@ -85,7 +87,15 @@ uint64_t WhatIfOptimizer::ComputeConfigFingerprint() const {
 
 Result<Plan> WhatIfOptimizer::PlanQuery(const sql::Statement& stmt,
                                         const OptimizeOptions& options) {
+  static obs::Counter* const plan_calls =
+      obs::MetricsRegistry::Global()->counter("whatif.plan_calls");
   call_count_.fetch_add(1, std::memory_order_relaxed);
+  plan_calls->Add();
+  obs::Span span(obs::Tracer::Get(), "whatif.plan");
+  if (span.enabled()) {  // fingerprints cost a ToSql; skip when disabled
+    span.SetAttr("statement_fp", FingerprintStatement(stmt));
+    span.SetAttr("config_fp", config_fingerprint_);
+  }
   Optimizer opt(catalog_, cm_);
   return opt.Optimize(stmt, options);
 }

@@ -9,10 +9,29 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "obs/metrics.h"
 
 namespace aim::optimizer {
 
 namespace {
+
+/// Fleet-wide cache counters, aggregated across every WhatIfCache
+/// instance (pointers cached once; Add is one relaxed atomic op).
+obs::Counter* GlobalHits() {
+  static obs::Counter* const c =
+      obs::MetricsRegistry::Global()->counter("whatif.cache.hits");
+  return c;
+}
+obs::Counter* GlobalMisses() {
+  static obs::Counter* const c =
+      obs::MetricsRegistry::Global()->counter("whatif.cache.misses");
+  return c;
+}
+obs::Counter* GlobalEvictions() {
+  static obs::Counter* const c =
+      obs::MetricsRegistry::Global()->counter("whatif.cache.evictions");
+  return c;
+}
 
 // Snapshot layout, all fixed-width little-endian-as-stored:
 //   magic u64 | version u32 | catalog_fingerprint u64 | count u64 |
@@ -47,7 +66,8 @@ Result<double> WhatIfCache::GetOrCompute(
     auto it = entries_.find(key);
     if (it == entries_.end()) break;  // this thread computes
     if (it->second.ready) {
-      ++stats_.hits;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      GlobalHits()->Add();
       lru_.splice(lru_.begin(), lru_, it->second.lru);
       return it->second.cost;
     }
@@ -57,7 +77,8 @@ Result<double> WhatIfCache::GetOrCompute(
     ready_cv_.wait(lock);
   }
   entries_.emplace(key, Entry{});  // computing marker, not on the LRU
-  ++stats_.misses;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  GlobalMisses()->Add();
   lock.unlock();
 
   Result<double> result = compute();
@@ -166,15 +187,19 @@ size_t WhatIfCache::size() const {
 }
 
 WhatIfCacheStats WhatIfCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  WhatIfCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void WhatIfCache::EvictLocked() {
   while (lru_.size() > capacity_) {
     entries_.erase(lru_.back());
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    GlobalEvictions()->Add();
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef AIM_OPTIMIZER_WHAT_IF_CACHE_H_
 #define AIM_OPTIMIZER_WHAT_IF_CACHE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -95,6 +96,15 @@ class WhatIfCache {
   void Clear();
   size_t size() const;
   size_t capacity() const { return capacity_; }
+
+  /// Lock-free snapshot of the hit/miss/eviction counters. Each counter
+  /// is an atomic read (never torn, monotone between calls), so pollers
+  /// can sample stats concurrently with GetOrCompute without ever
+  /// blocking the single-flight hot path. The three counters are read
+  /// independently: a snapshot taken mid-operation may be ahead on one
+  /// counter relative to another by the in-flight delta, which is the
+  /// standard monitoring contract; quiescent-point snapshots (how
+  /// AimRunStats computes per-run deltas) are exact.
   WhatIfCacheStats stats() const;
 
  private:
@@ -123,7 +133,11 @@ class WhatIfCache {
   size_t capacity_;
   std::unordered_map<Key, Entry, KeyHash> entries_;
   std::list<Key> lru_;  // most recently used at front
-  WhatIfCacheStats stats_;
+  // Atomic so stats() never takes mu_: a monitoring poller must not
+  // contend with (or wait behind) an in-flight single-flight compute.
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace aim::optimizer

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/lexer.h"
 
 namespace aim::sql {
@@ -419,9 +421,26 @@ class Parser {
 }  // namespace
 
 Result<Statement> Parse(std::string_view sql) {
-  AIM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
-  Parser parser(std::move(tokens));
-  return parser.ParseStatement();
+  static obs::Counter* const parse_calls =
+      obs::MetricsRegistry::Global()->counter("sql.parse_calls");
+  static obs::Counter* const parse_errors =
+      obs::MetricsRegistry::Global()->counter("sql.parse_errors");
+  parse_calls->Add();
+  obs::Span span(obs::Tracer::Get(), "sql.parse");
+  span.SetAttr("bytes", sql.size());
+  Result<std::vector<Token>> tokens = Lex(sql);
+  if (!tokens.ok()) {
+    parse_errors->Add();
+    span.SetAttr("error", true);
+    return tokens.status();
+  }
+  Parser parser(std::move(tokens.ValueOrDie()));
+  Result<Statement> stmt = parser.ParseStatement();
+  if (!stmt.ok()) {
+    parse_errors->Add();
+    span.SetAttr("error", true);
+  }
+  return stmt;
 }
 
 Result<SelectStatement> ParseSelect(std::string_view sql) {

@@ -1,6 +1,8 @@
 #include "support/stats_exporter.h"
 
 #include "common/fault_injection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace aim::support {
 
@@ -14,6 +16,14 @@ void StatsExporter::Subscribe(Subscriber subscriber) {
 }
 
 Result<size_t> StatsExporter::ExportInterval() {
+  static obs::Counter* const exports =
+      obs::MetricsRegistry::Global()->counter("stats_exporter.exports");
+  static obs::Counter* const export_failures =
+      obs::MetricsRegistry::Global()->counter(
+          "stats_exporter.export_failures");
+  obs::Span span(obs::Tracer::Get(), "stats_exporter.export_interval");
+  span.SetAttr("interval", interval_);
+  span.SetAttr("replicas", replicas_.size());
   // Phase 1 — snapshot. Nothing is mutated yet: a failure anywhere below
   // must leave every monitor still holding this interval's deltas.
   std::vector<StatsMessage> messages;
@@ -29,9 +39,15 @@ Result<size_t> StatsExporter::ExportInterval() {
   // with monitors unreset and `interval_` unchanged, so the next call
   // re-exports the same interval (at-least-once delivery).
   for (const StatsMessage& msg : messages) {
-    AIM_FAULT_POINT("support.stats.export");
+    const Status fault = AIM_FAULT_POINT_STATUS("support.stats.export");
+    if (!fault.ok()) {
+      export_failures->Add();
+      span.SetAttr("error", fault.ToString());
+      return fault;
+    }
     for (const Subscriber& s : subscribers_) s(msg);
   }
+  exports->Add();
   // Phase 3 — commit: fold into the warehouse aggregate, reset the
   // monitors to start the next delta window, advance the interval.
   for (auto& [name, monitor] : replicas_) {

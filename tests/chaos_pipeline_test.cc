@@ -20,7 +20,10 @@
 #include "common/rng.h"
 #include "core/continuous.h"
 #include "core/sharding.h"
+#include "executor/metrics.h"
+#include "support/stats_exporter.h"
 #include "tests/test_util.h"
+#include "workload/monitor.h"
 #include "workload/replay.h"
 
 namespace aim::core {
@@ -467,6 +470,95 @@ TEST(ShardedChaosTest, RandomShardFaultSchedulesNeverSplitTheFleet) {
   // The schedules must exercise both outcomes.
   EXPECT_GT(degraded_runs, 5u);
   EXPECT_GT(applied_runs, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Stats export pipeline: at-least-once, never effectively-twice
+
+/// A transport fault in the middle of an interval's publish loop (first
+/// replica's message out, second replica's lost) must leave the exporter
+/// re-exporting the *same* interval on retry. Delivery is at-least-once —
+/// the raw subscriber log legitimately shows the first replica's message
+/// twice — but messages carry (replica, interval), so a deduplicating
+/// consumer folds each interval exactly once, and after the commit no
+/// later export ever re-publishes it.
+TEST(ChaosStatsExporterTest, MidPublishFaultNeverDoublePublishesInterval) {
+  FaultRegistry::Instance().DisarmAll();
+  workload::WorkloadMonitor replica_a;
+  workload::WorkloadMonitor replica_b;
+  support::StatsExporter exporter;
+  exporter.RegisterReplica("replica-a", &replica_a);
+  exporter.RegisterReplica("replica-b", &replica_b);
+
+  std::vector<std::pair<std::string, int>> raw_log;
+  // Consumer-side dedup by (replica, interval): folded executions per key.
+  std::map<std::pair<std::string, int>, uint64_t> folded;
+  exporter.Subscribe([&](const support::StatsMessage& msg) {
+    raw_log.emplace_back(msg.replica, msg.interval);
+    uint64_t executions = 0;
+    for (const workload::QueryStats& s : msg.stats) {
+      executions += s.executions;
+    }
+    folded[{msg.replica, msg.interval}] = executions;
+  });
+
+  executor::ExecutionMetrics m;
+  m.rows_examined = 10;
+  m.rows_sent = 2;
+  m.cpu_seconds = 0.5;
+  replica_a.RecordKeyed(0xA1, "SELECT 1", m);
+  replica_a.RecordKeyed(0xA1, "SELECT 1", m);
+  replica_b.RecordKeyed(0xB2, "SELECT 2", m);
+
+  // Fault the transport mid-publish: the first message of interval 0 goes
+  // out, the second hits the wire fault.
+  {
+    FaultSpec spec;
+    spec.skip = 1;
+    spec.fail_times = 1;
+    ScopedFault fault("support.stats.export", spec);
+    Result<size_t> r = exporter.ExportInterval();
+    ASSERT_FALSE(r.ok());
+    // Half-published: one replica's message delivered, then the export
+    // aborted with nothing committed.
+    ASSERT_EQ(raw_log.size(), 1u);
+    EXPECT_EQ(raw_log[0].second, 0);
+    EXPECT_EQ(exporter.intervals_exported(), 0);
+  }
+
+  // Retry re-exports interval 0 in full: the survivor's message is
+  // delivered again with the SAME interval number (at-least-once), and
+  // the monitors still held their deltas so nothing was lost.
+  Result<size_t> retry = exporter.ExportInterval();
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry.ValueOrDie(), 2u);
+  ASSERT_EQ(raw_log.size(), 3u);
+  EXPECT_EQ(raw_log[1].second, 0);
+  EXPECT_EQ(raw_log[2].second, 0);
+  EXPECT_EQ(raw_log[0], raw_log[1]) << "retry must re-send the duplicate "
+                                       "with an unchanged interval tag";
+  EXPECT_EQ(exporter.intervals_exported(), 1);
+
+  // Dedup folds exactly one record per (replica, interval), with the full
+  // pre-fault executions — the duplicate overwrote, never accumulated.
+  ASSERT_EQ(folded.size(), 2u);
+  EXPECT_EQ((folded[{"replica-a", 0}]), 2u);
+  EXPECT_EQ((folded[{"replica-b", 0}]), 1u);
+
+  // After the commit the interval is sealed: new traffic exports as
+  // interval 1, and interval 0 is never published again.
+  replica_a.RecordKeyed(0xA1, "SELECT 1", m);
+  Result<size_t> next = exporter.ExportInterval();
+  ASSERT_TRUE(next.ok());
+  for (size_t i = 3; i < raw_log.size(); ++i) {
+    EXPECT_EQ(raw_log[i].second, 1);
+  }
+  EXPECT_EQ(exporter.intervals_exported(), 2);
+  // The aggregate folded each interval exactly once despite the retry:
+  // 3 executions of A1 total (2 in interval 0 + 1 in interval 1).
+  const workload::QueryStats* agg = exporter.aggregate().Find(0xA1);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->executions, 3u);
 }
 
 }  // namespace

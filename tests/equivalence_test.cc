@@ -22,6 +22,7 @@
 #include "core/aim.h"
 #include "core/continuous.h"
 #include "core/sharding.h"
+#include "obs/trace.h"
 #include "optimizer/what_if_cache.h"
 #include "tests/test_util.h"
 
@@ -297,6 +298,38 @@ TEST(EquivalenceTest, TunerCacheCarryDoesNotChangeDecisions) {
   const std::string cold = run_intervals(false, 1);
   EXPECT_EQ(cold, run_intervals(true, 1));
   EXPECT_EQ(cold, run_intervals(true, 8));
+}
+
+// ---------------------------------------------------------------------------
+// Tracing is observation only
+
+/// The obs layer's core contract: spans and counters never change a
+/// decision. The same runs with a recording tracer installed and without
+/// one must produce byte-identical signatures — including the optimizer
+/// call and cache counters, which a sloppy instrumentation layer (e.g.
+/// one that plans a statement to fingerprint it) would perturb first.
+TEST(EquivalenceTest, TracingOnOffBitIdentical) {
+  FaultRegistry::Instance().DisarmAll();
+  const storage::Database base = MakeUsersDb(500, /*seed=*/7);
+  const workload::Workload w = EquivalenceWorkload();
+
+  const std::string off_aim = RunAim(base, w, 2, 4096);
+  const std::string off_sharded = RunSharded(2, 4096, w, 3);
+
+  // Virtual clock: even the tracer's own timestamps are deterministic, so
+  // a flaky wall clock can never mask a decision difference.
+  obs::Tracer tracer(obs::Tracer::Clock::kVirtual);
+  obs::Tracer::Install(&tracer);
+  const std::string on_aim = RunAim(base, w, 2, 4096);
+  const std::string on_sharded = RunSharded(2, 4096, w, 3);
+  obs::Tracer::Install(nullptr);
+
+  EXPECT_EQ(off_aim, on_aim);
+  EXPECT_EQ(off_sharded, on_sharded);
+  // And the recording side actually recorded, and cleanly.
+  EXPECT_GT(tracer.event_count(), 0u);
+  EXPECT_TRUE(tracer.CheckBalanced().ok())
+      << tracer.CheckBalanced().ToString();
 }
 
 }  // namespace

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event file produced by aim::obs::Tracer.
+
+Checks, in order:
+  1. the file is well-formed JSON with a top-level {"traceEvents": [...]};
+  2. every event carries the required fields with sane types;
+  3. B/E events are balanced per (pid, tid): strict LIFO nesting, matched
+     names, monotone non-decreasing timestamps, nothing left open;
+  4. (optional) --require NAME: the trace contains at least one complete
+     span named NAME (repeatable).
+
+Exit status 0 = valid, 1 = invalid (details on stderr). This is the
+tier-1 gate behind `ctest -L tracing`: the C++ side writes
+<build>/obs_trace.json from a full tuning interval plus a sharded run,
+and this script is the independent, non-C++ reader proving the export is
+consumable outside the process that wrote it.
+
+Usage:
+  trace_check.py TRACE.json [--require aim.recommend ...] [--quiet]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"trace_check: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require at least one complete span with this name "
+        "(repeatable)",
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        return fail(f"cannot read {args.trace}: {e}")
+    except json.JSONDecodeError as e:
+        return fail(f"{args.trace} is not valid JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail("top level must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail("'traceEvents' must be an array")
+
+    # Per-(pid, tid) open-span stacks of (name, ts).
+    stacks = {}
+    completed = []  # span names, from matched B/E pairs
+    last_ts = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("B", "E"):
+            return fail(f"event {i}: unexpected phase {ph!r}")
+        for field, kinds in (
+            ("name", str),
+            ("pid", int),
+            ("tid", int),
+            ("ts", (int, float)),
+        ):
+            if not isinstance(ev.get(field), kinds):
+                return fail(f"event {i}: missing/mistyped {field!r}: {ev}")
+        key = (ev["pid"], ev["tid"])
+        ts = ev["ts"]
+        if ts < last_ts.get(key, 0):
+            return fail(
+                f"event {i}: timestamp {ts} goes backwards on "
+                f"pid/tid {key}"
+            )
+        last_ts[key] = ts
+        stack = stacks.setdefault(key, [])
+        if ph == "B":
+            stack.append((ev["name"], ts))
+        else:
+            if not stack:
+                return fail(
+                    f"event {i}: E for {ev['name']!r} with no open span "
+                    f"on pid/tid {key}"
+                )
+            name, begin_ts = stack.pop()
+            if name != ev["name"]:
+                return fail(
+                    f"event {i}: E name {ev['name']!r} does not match "
+                    f"innermost open span {name!r} (non-LIFO nesting)"
+                )
+            if ts < begin_ts:
+                return fail(f"event {i}: span {name!r} ends before it begins")
+            completed.append(name)
+
+    for key, stack in stacks.items():
+        if stack:
+            names = ", ".join(name for name, _ in stack)
+            return fail(f"pid/tid {key}: unclosed spans: {names}")
+
+    have = set(completed)
+    missing = [name for name in args.require if name not in have]
+    if missing:
+        return fail(
+            f"required spans absent: {', '.join(missing)} "
+            f"(trace has: {', '.join(sorted(have))})"
+        )
+
+    if not args.quiet:
+        print(
+            f"trace_check: OK — {len(events)} events, "
+            f"{len(completed)} spans, {len(have)} distinct names, "
+            f"{len(stacks)} threads"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
