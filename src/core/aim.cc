@@ -1,5 +1,6 @@
 #include "core/aim.h"
 
+#include <algorithm>
 #include <chrono>
 #include <unordered_set>
 
@@ -254,15 +255,37 @@ Result<AimReport> AutomaticIndexManager::RunOnce(
     // Materialize the production indexes atomically: a failure on the
     // k-th build rolls back the k-1 already-installed indexes, so
     // production is only ever the original configuration or the
-    // fully-validated new one.
+    // fully-validated new one. With an online-apply target, the target
+    // (not the tuning database) receives the indexes via side-build +
+    // delta catch-up + bounded-stall swap, and the rollback is
+    // latch-aware so it is safe under live traffic.
     AIM_FAULT_POINT("core.apply");
-    storage::IndexSetTransaction txn(db_);
+    const bool online = options_.online_apply_db != nullptr;
+    storage::Database* target = online ? options_.online_apply_db : db_;
+    storage::IndexSetTransaction txn(target,
+                                     online ? &target->latch() : nullptr);
     RetryPolicy retry(options_.validation.retry);
+    storage::OnlineIndexBuilder builder(target, options_.online);
     for (const CandidateIndex& c : report.recommended) {
       catalog::IndexDef def = c.def;
       def.hypothetical = false;
       def.id = catalog::kInvalidIndex;
       def.created_by_automation = true;
+      if (online) {
+        Result<storage::OnlineBuildReport> built =
+            builder.Build(std::move(def), &txn);
+        if (built.ok()) {
+          const storage::OnlineBuildReport& r = built.ValueOrDie();
+          ++report.stats.online_builds;
+          report.stats.online_delta_applied +=
+              r.delta_applied + r.swap_tail_applied;
+          report.stats.online_max_stall_seconds = std::max(
+              report.stats.online_max_stall_seconds, r.stall_seconds);
+        } else if (built.status().code() != Status::Code::kAlreadyExists) {
+          return built.status();  // txn dtor rolls back prior installs
+        }
+        continue;
+      }
       Result<catalog::IndexId> id =
           retry.Run([&] { return txn.CreateIndex(def); });
       if (!id.ok() &&

@@ -13,6 +13,7 @@
 #include "core/ranking.h"
 #include "core/workload_selection.h"
 #include "storage/database.h"
+#include "storage/online_index_builder.h"
 
 namespace aim::core {
 
@@ -43,6 +44,16 @@ struct AimOptions {
   /// snapshot on disk) across intervals; the advisor never clears it —
   /// lifetime and invalidation are the owner's job. Null = per-run cache.
   optimizer::WhatIfCache* shared_cache = nullptr;
+  /// Online-apply target. When set, RunOnce's apply phase installs the
+  /// accepted indexes on *this* database through OnlineIndexBuilder
+  /// (side-build + delta catch-up + bounded-stall swap under its latch())
+  /// instead of blocking CreateIndex on `db`. This is how the continuous
+  /// tuner plans on a quiesced snapshot while installing on the live,
+  /// traffic-bearing database. Null = classic blocking apply on `db`.
+  storage::Database* online_apply_db = nullptr;
+  /// Build knobs for the online apply path (ignored when
+  /// `online_apply_db` is null).
+  storage::OnlineBuildOptions online;
 };
 
 /// Run statistics, for the runtime comparisons of Fig. 4.
@@ -78,6 +89,12 @@ struct AimRunStats {
   /// the per-shard validation fan-out and of the all-shard apply.
   double shard_validation_seconds = 0.0;
   double shard_apply_seconds = 0.0;
+  /// Online-apply extras (zero on the blocking path): indexes installed
+  /// through OnlineIndexBuilder, delta entries applied across those
+  /// builds, and the worst exclusive swap stall.
+  size_t online_builds = 0;
+  uint64_t online_delta_applied = 0;
+  double online_max_stall_seconds = 0.0;
 
   double cache_hit_rate() const {
     const double total = static_cast<double>(cache_hits + cache_misses);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <fstream>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
@@ -11,15 +13,16 @@
 
 namespace aim::core {
 
-void ContinuousTuner::ObserveUsage(const workload::Workload& workload) {
+void ContinuousTuner::ObserveUsage(const workload::Workload& workload,
+                                   const storage::Database& db) {
   // Fresh usage snapshot for this interval.
   std::map<catalog::IndexId, size_t> used_prefix;
-  optimizer::Optimizer opt(db_->catalog(), cm_);
+  optimizer::Optimizer opt(db.catalog(), cm_);
   optimizer::OptimizeOptions options;
   options.include_hypothetical = false;
   for (const workload::Query& q : workload.queries) {
     Result<optimizer::AnalyzedQuery> aq =
-        optimizer::Analyze(q.stmt, db_->catalog());
+        optimizer::Analyze(q.stmt, db.catalog());
     if (!aq.ok()) continue;
     optimizer::Plan plan = opt.OptimizeAnalyzed(aq.ValueOrDie(), options);
     for (const optimizer::JoinStep& step : plan.steps) {
@@ -45,8 +48,7 @@ void ContinuousTuner::ObserveUsage(const workload::Workload& workload) {
     }
   }
 
-  for (const catalog::IndexDef* idx :
-       db_->catalog().AllIndexes(false, false)) {
+  for (const catalog::IndexDef* idx : db.catalog().AllIndexes(false, false)) {
     if (!idx->created_by_automation) continue;
     UsageState& state = usage_[idx->id];
     auto it = used_prefix.find(idx->id);
@@ -77,7 +79,15 @@ void ContinuousTuner::PrepareCache(IntervalReport* report) {
     cache_ = std::make_unique<optimizer::WhatIfCache>(
         options_.aim.what_if_cache_entries);
   }
-  const uint64_t fp = db_->catalog().SchemaStatsFingerprint();
+  const uint64_t fp = [&] {
+    if (options_.online_apply) {
+      // Live writers mutate row counts (part of the fingerprint); read it
+      // under the shared latch they respect.
+      std::shared_lock<std::shared_mutex> lock(db_->latch());
+      return db_->catalog().SchemaStatsFingerprint();
+    }
+    return db_->catalog().SchemaStatsFingerprint();
+  }();
   if (!snapshot_load_attempted_ && !options_.cache_snapshot_path.empty()) {
     // One load per tuner lifetime: after the first Tick the in-memory
     // cache is always at least as fresh as the snapshot.
@@ -134,7 +144,8 @@ Result<IntervalReport> ContinuousTuner::Tick(
   const bool cache_loaded = report.cache_loaded_from_snapshot;
   const bool cache_invalidated = report.cache_invalidated;
   tick_span.SetAttr("cache_entries_carried", cache_entries_carried);
-  storage::IndexSetTransaction txn(db_);
+  storage::IndexSetTransaction txn(
+      db_, options_.online_apply ? &db_->latch() : nullptr);
   Status st = TickInternal(workload, monitor, &txn, &report);
   if (st.ok()) {
     txn.Commit();
@@ -170,14 +181,27 @@ Status ContinuousTuner::TickInternal(
     const workload::WorkloadMonitor* monitor,
     storage::IndexSetTransaction* txn, IntervalReport* report) {
   AIM_FAULT_POINT("core.tick");
-  ObserveUsage(workload);
+  // Online mode plans against a point-in-time copy taken under a brief
+  // exclusive latch: Recommend stages hypothetical indexes in the catalog
+  // and validation replays on clones, none of which may touch the live,
+  // traffic-bearing database. Index ids are shared between the snapshot
+  // and the live catalog (only the tuner performs DDL), so GC decisions
+  // made on the snapshot apply to the live database by id.
+  storage::Database snapshot;
+  if (options_.online_apply) {
+    std::unique_lock<std::shared_mutex> lock(db_->latch());
+    snapshot = *db_;
+  }
+  storage::Database* tuning_db = options_.online_apply ? &snapshot : db_;
+  ObserveUsage(workload, *tuning_db);
   RetryPolicy retry(options_.aim.validation.retry);
 
   // Garbage-collect automation indexes the workload stopped using.
   // Snapshot definitions by value: CreateIndex below can reallocate the
   // catalog's index storage and invalidate pointers.
   std::vector<catalog::IndexDef> automation;
-  for (const catalog::IndexDef* p : db_->catalog().AllIndexes(false, false)) {
+  for (const catalog::IndexDef* p :
+       tuning_db->catalog().AllIndexes(false, false)) {
     automation.push_back(*p);
   }
   for (const catalog::IndexDef& def : automation) {
@@ -201,7 +225,7 @@ Status ContinuousTuner::TickInternal(
       narrower.columns.resize(state.max_used_prefix);
       narrower.id = catalog::kInvalidIndex;
       narrower.name.clear();
-      if (db_->catalog().FindIndex(narrower.table, narrower.columns) !=
+      if (tuning_db->catalog().FindIndex(narrower.table, narrower.columns) !=
           nullptr) {
         continue;  // the prefix already exists as its own index
       }
@@ -226,7 +250,12 @@ Status ContinuousTuner::TickInternal(
   // schema or statistics drifted since the cached costs were computed).
   AimOptions aim_options = options_.aim;
   if (cache_ != nullptr) aim_options.shared_cache = cache_.get();
-  AutomaticIndexManager aim(db_, cm_, aim_options);
+  if (options_.online_apply) {
+    // Plan on the snapshot; install on the live database online.
+    aim_options.online_apply_db = db_;
+    aim_options.online = options_.online;
+  }
+  AutomaticIndexManager aim(tuning_db, cm_, aim_options);
   AIM_ASSIGN_OR_RETURN(report->aim, aim.RunOnce(workload, monitor));
   return Status::OK();
 }

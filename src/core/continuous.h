@@ -36,6 +36,16 @@ struct ContinuousTunerOptions {
   /// tuner) and rewritten after every successful interval. A missing,
   /// stale, or corrupt snapshot simply cold-starts the cache.
   std::string cache_snapshot_path;
+  /// Tune a live, traffic-bearing database. Each Tick then plans and
+  /// validates against a snapshot copied under a brief exclusive
+  /// acquisition of the database latch(), while accepted indexes install
+  /// on the live database through OnlineIndexBuilder (side-build + delta
+  /// catch-up + bounded-stall swap) and GC drops go through a latch-aware
+  /// transaction. Requires every concurrent writer/reader to follow the
+  /// Database latch() protocol.
+  bool online_apply = false;
+  /// Build knobs for online installs (ignored unless `online_apply`).
+  storage::OnlineBuildOptions online;
 };
 
 /// What one tuning interval did.
@@ -93,9 +103,12 @@ class ContinuousTuner {
     int prefix_idle_intervals = 0;
   };
 
-  /// Plans every workload query against the real configuration and
+  /// Plans every workload query against `db`'s real configuration and
   /// records which indexes (and how many leading key parts) are used.
-  void ObserveUsage(const workload::Workload& workload);
+  /// `db` is the tuning view: the live database in classic mode, the
+  /// interval's snapshot in online mode.
+  void ObserveUsage(const workload::Workload& workload,
+                    const storage::Database& db);
 
   /// The fallible interval body; all index changes go through `txn` so
   /// Tick can roll them back on failure.

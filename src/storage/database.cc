@@ -16,9 +16,27 @@ Database& Database::operator=(const Database& other) {
 }
 
 void Database::CopyFrom(const Database& other) {
+  // Deliberately leaves latch_, dml_hooks_, and next_hook_token_ alone:
+  // a clone is new storage with its own gate and no observers (a shadow
+  // copy must not feed the source's online-build delta logs).
   catalog_ = other.catalog_;
   heaps_ = other.heaps_;
   btrees_ = other.btrees_;
+}
+
+int Database::RegisterDmlHook(DmlHook hook) {
+  const int token = next_hook_token_++;
+  dml_hooks_.emplace_back(token, std::move(hook));
+  return token;
+}
+
+void Database::UnregisterDmlHook(int token) {
+  for (auto it = dml_hooks_.begin(); it != dml_hooks_.end(); ++it) {
+    if (it->first == token) {
+      dml_hooks_.erase(it);
+      return;
+    }
+  }
 }
 
 catalog::TableId Database::CreateTable(catalog::TableDef def) {
@@ -134,6 +152,16 @@ std::vector<Result<catalog::IndexId>> Database::CreateIndexes(
   return results;
 }
 
+Result<catalog::IndexId> Database::AdoptIndex(catalog::IndexDef def,
+                                              BTreeIndex built) {
+  def.hypothetical = false;
+  AIM_ASSIGN_OR_RETURN(catalog::IndexId id, catalog_.AddIndex(std::move(def)));
+  // No fault point between registration and adoption: the two-step is
+  // atomic by construction, which is what the online swap relies on.
+  btrees_[id] = std::move(built);
+  return id;
+}
+
 Status Database::DropIndex(catalog::IndexId id) {
   AIM_FAULT_POINT("storage.drop_index");
   AIM_RETURN_NOT_OK(catalog_.DropIndex(id));
@@ -174,6 +202,7 @@ Result<RowId> Database::InsertRow(catalog::TableId table, Row row,
       ++cost->indexes_touched;
     }
   }
+  NotifyDml(DmlOp::kInsert, table, rid);
   return rid;
 }
 
@@ -201,7 +230,9 @@ Status Database::UpdateRow(catalog::TableId table, RowId rid, Row row,
       ++cost->indexes_touched;
     }
   }
-  return heap.Update(rid, std::move(row));
+  AIM_RETURN_NOT_OK(heap.Update(rid, std::move(row)));
+  NotifyDml(DmlOp::kUpdate, table, rid);
+  return Status::OK();
 }
 
 Status Database::DeleteRow(catalog::TableId table, RowId rid,
@@ -225,6 +256,7 @@ Status Database::DeleteRow(catalog::TableId table, RowId rid,
   }
   AIM_RETURN_NOT_OK(heap.Delete(rid));
   catalog_.mutable_table(table)->stats.row_count = heap.live_count();
+  NotifyDml(DmlOp::kDelete, table, rid);
   return Status::OK();
 }
 

@@ -1,9 +1,12 @@
 #ifndef AIM_STORAGE_DATABASE_H_
 #define AIM_STORAGE_DATABASE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -22,6 +25,16 @@ struct MaintenanceCost {
   uint64_t index_entries_written = 0;  // inserts + deletes across indexes
   uint64_t indexes_touched = 0;
 };
+
+/// Kind of row mutation reported to DML hooks.
+enum class DmlOp : uint8_t { kInsert, kUpdate, kDelete };
+
+/// Observer of successful row mutations. Invoked after the heap and every
+/// maintained index reflect the change, from the mutating thread (which,
+/// under concurrent traffic, holds the database latch exclusively). This
+/// is how the online index builder's delta log captures DML that races
+/// its snapshot scan.
+using DmlHook = std::function<void(DmlOp op, catalog::TableId table, RowId rid)>;
 
 /// \brief A database: catalog + heap tables + materialized secondary
 /// indexes, with index maintenance on every DML.
@@ -65,6 +78,16 @@ class Database {
   std::vector<Result<catalog::IndexId>> CreateIndexes(
       std::vector<catalog::IndexDef> defs, common::ThreadPool* pool = nullptr);
 
+  /// Installs an index whose B+Tree was built elsewhere (the online
+  /// builder's side tree): registers the definition and adopts the tree
+  /// without any heap scan. There is no failure point between catalog
+  /// registration and tree adoption, so the index is either fully present
+  /// (catalog entry + materialized B+Tree) or entirely absent. The caller
+  /// owns synchronization (the online builder swaps under an exclusive
+  /// latch() acquisition).
+  Result<catalog::IndexId> AdoptIndex(catalog::IndexDef def,
+                                      BTreeIndex built);
+
   Status DropIndex(catalog::IndexId id);
 
   /// The materialized B+Tree for a real index; nullptr for hypothetical or
@@ -89,12 +112,44 @@ class Database {
   /// order).
   Row MakeIndexKey(const catalog::IndexDef& def, const Row& row) const;
 
+  /// \name Concurrent-traffic protocol
+  /// Single-threaded embedders never touch these. Under concurrent OLTP
+  /// traffic every mutation (DML, DDL, AnalyzeTable, copies) runs under a
+  /// unique_lock of latch() and every read (executor scans, snapshot
+  /// copies) under a shared_lock; the online index builder interleaves
+  /// with writers by acquiring the latch in short chunks. The latch and
+  /// registered hooks are identity, not state: neither is copied by the
+  /// copy constructor (a clone starts unlatched with no observers).
+  /// @{
+
+  /// The traffic gate. Unusable (like any member) after a move-from.
+  std::shared_mutex& latch() const { return *latch_; }
+
+  /// Registers a DML observer; returns a token for UnregisterDmlHook.
+  /// Registration and removal mutate the hook list and must hold latch()
+  /// exclusively when writers are live.
+  int RegisterDmlHook(DmlHook hook);
+  void UnregisterDmlHook(int token);
+  size_t dml_hook_count() const { return dml_hooks_.size(); }
+  /// @}
+
  private:
   void CopyFrom(const Database& other);
+
+  void NotifyDml(DmlOp op, catalog::TableId table, RowId rid) {
+    if (dml_hooks_.empty()) return;
+    for (const auto& [token, hook] : dml_hooks_) hook(op, table, rid);
+  }
 
   catalog::Catalog catalog_;
   std::vector<HeapTable> heaps_;                       // by TableId
   std::map<catalog::IndexId, BTreeIndex> btrees_;      // real indexes only
+  // Behind unique_ptr so the default move constructor keeps working
+  // (std::shared_mutex is neither movable nor copyable).
+  std::unique_ptr<std::shared_mutex> latch_ =
+      std::make_unique<std::shared_mutex>();
+  std::vector<std::pair<int, DmlHook>> dml_hooks_;
+  int next_hook_token_ = 1;
 };
 
 }  // namespace aim::storage

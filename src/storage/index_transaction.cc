@@ -1,12 +1,31 @@
 #include "storage/index_transaction.h"
 
+#include <mutex>
+
 #include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace aim::storage {
 
+namespace {
+
+/// unique_lock over an optional latch: no-op when the transaction was
+/// constructed without one (single-threaded embedders pay nothing).
+class MaybeLock {
+ public:
+  explicit MaybeLock(std::shared_mutex* latch) {
+    if (latch != nullptr) lock_ = std::unique_lock<std::shared_mutex>(*latch);
+  }
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+}  // namespace
+
 Result<catalog::IndexId> IndexSetTransaction::CreateIndex(
     catalog::IndexDef def) {
+  MaybeLock lock(latch_);
   Result<catalog::IndexId> id = db_->CreateIndex(std::move(def));
   if (id.ok()) {
     Op op;
@@ -17,7 +36,15 @@ Result<catalog::IndexId> IndexSetTransaction::CreateIndex(
   return id;
 }
 
+void IndexSetTransaction::RecordCreated(catalog::IndexId id) {
+  Op op;
+  op.was_create = true;
+  op.created_id = id;
+  ops_.push_back(std::move(op));
+}
+
 Status IndexSetTransaction::DropIndex(catalog::IndexId id) {
+  MaybeLock lock(latch_);
   const catalog::IndexDef* def = db_->catalog().index(id);
   if (def == nullptr) {
     return Status::NotFound("index transaction: unknown index id");
@@ -31,6 +58,7 @@ Status IndexSetTransaction::DropIndex(catalog::IndexId id) {
 
 Status IndexSetTransaction::Rollback() {
   if (committed_) return Status::OK();
+  MaybeLock lock(latch_);
   // Recovery must not itself be failable, or atomicity is unprovable:
   // suppress injected faults for the duration.
   FaultRegistry::ScopedFaultSuppression suppress;

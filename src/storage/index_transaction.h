@@ -1,6 +1,7 @@
 #ifndef AIM_STORAGE_INDEX_TRANSACTION_H_
 #define AIM_STORAGE_INDEX_TRANSACTION_H_
 
+#include <shared_mutex>
 #include <vector>
 
 #include "storage/database.h"
@@ -21,9 +22,18 @@ namespace aim::storage {
 /// a half-rolled-back catalog; after a rolled-back drop the index is
 /// rebuilt from the heap and keeps its definition but receives a fresh
 /// IndexId.
+///
+/// Under concurrent traffic, construct with the database's latch():
+/// CreateIndex, DropIndex, and Rollback then acquire it exclusively
+/// around each DDL operation, so a transaction abandoned mid-apply rolls
+/// back safely while OLTP clients keep running. RecordCreated never
+/// locks — its caller (the online builder's swap) already holds the
+/// latch exclusively.
 class IndexSetTransaction {
  public:
-  explicit IndexSetTransaction(Database* db) : db_(db) {}
+  explicit IndexSetTransaction(Database* db,
+                               std::shared_mutex* latch = nullptr)
+      : db_(db), latch_(latch) {}
   ~IndexSetTransaction() {
     if (!committed_) (void)Rollback();
   }
@@ -37,6 +47,12 @@ class IndexSetTransaction {
   /// Drops an index through the transaction; on later rollback it is
   /// re-created (re-materialized) from its saved definition.
   Status DropIndex(catalog::IndexId id);
+
+  /// Enrolls an index someone else just installed (the online builder's
+  /// AdoptIndex swap) so a later Rollback drops it with the rest of the
+  /// transaction. Bookkeeping only — takes no locks, performs no DDL; the
+  /// caller holds the latch exclusively at the call site.
+  void RecordCreated(catalog::IndexId id);
 
   /// Keeps all changes; the destructor becomes a no-op.
   void Commit() { committed_ = true; }
@@ -55,6 +71,7 @@ class IndexSetTransaction {
   };
 
   Database* db_;
+  std::shared_mutex* latch_;  // null = single-threaded embedder, no locking
   std::vector<Op> ops_;
   bool committed_ = false;
 };

@@ -1,0 +1,186 @@
+#ifndef AIM_WORKLOAD_TPCC_OLTP_H_
+#define AIM_WORKLOAD_TPCC_OLTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "storage/database.h"
+#include "workload/workload.h"
+
+namespace aim::workload {
+
+/// Scale knobs for the TPC-C-shaped OLTP database. The defaults are
+/// simulator-scale (thousands of rows, not millions) so hundreds of chaos
+/// schedules stay fast.
+struct TpccConfig {
+  int warehouses = 2;
+  int districts_per_warehouse = 4;
+  int customers_per_district = 30;
+  int items = 100;
+  /// Orders pre-loaded per district (each with order lines and an open
+  /// new_orders entry, so Delivery has work from the start).
+  int initial_orders_per_district = 5;
+  uint64_t seed = 7;
+};
+
+/// \brief A TPC-C-shaped transactional database: warehouse / district /
+/// customer / orders / new_orders / order_line / stock / item / history
+/// with composite clustered primary keys, plus NewOrder / Payment /
+/// Delivery transaction templates.
+///
+/// Deliberately simplified for the reproduction: every column is an
+/// integer (c_last is an id, dates are ticks), there is no wait-time
+/// model, and each transaction commits atomically under one exclusive
+/// acquisition of the database latch(). What matters here is the *shape*:
+/// multi-row read-modify-write transactions against composite-key tables,
+/// producing the sustained mixed DML stream the online index builder must
+/// survive. Read probes and the analytical workload run under a shared
+/// latch through the real executor.
+///
+/// Thread model: Load() is single-threaded setup; the transaction methods
+/// and ReadQuery are safe to call concurrently from many clients (each
+/// self-acquires the latch). A caller-provided Rng drives each call so
+/// every client thread owns its own generator.
+class TpccDatabase {
+ public:
+  explicit TpccDatabase(TpccConfig config = {});
+
+  /// Creates the schema, loads seed rows, and runs ANALYZE.
+  Status Load();
+
+  storage::Database& db() { return db_; }
+  const storage::Database& db() const { return db_; }
+  const TpccConfig& config() const { return config_; }
+
+  /// \name Transaction templates (exclusive latch for the duration).
+  /// @{
+  /// Places an order: bump the district's next-order id, insert the
+  /// order + new_orders rows, and 5–15 order lines each decrementing
+  /// stock.
+  Status NewOrder(Rng* rng);
+  /// Pays: bump customer balance/payment count, warehouse and district
+  /// YTD, and insert a history row.
+  Status Payment(Rng* rng);
+  /// Delivers the oldest open order of every district of one warehouse:
+  /// delete each order's new_orders row, stamp its carrier, stamp each
+  /// order line's delivery tick. Districts with no open order are
+  /// skipped (a fully drained warehouse makes the call an OK no-op).
+  Status Delivery(Rng* rng);
+  /// @}
+
+  /// One analytical probe through the executor under a shared latch.
+  Status ReadQuery(Rng* rng);
+
+  /// The SELECT-only workload the tuner sees: order/customer/stock
+  /// lookups that benefit from secondary indexes none of the clustered
+  /// PKs cover.
+  Result<Workload> AnalyticalWorkload() const;
+
+  /// \name Table ids (for tests building index definitions).
+  /// @{
+  catalog::TableId warehouse_table() const { return warehouse_; }
+  catalog::TableId district_table() const { return district_; }
+  catalog::TableId customer_table() const { return customer_; }
+  catalog::TableId orders_table() const { return orders_; }
+  catalog::TableId new_orders_table() const { return new_orders_; }
+  catalog::TableId order_line_table() const { return order_line_; }
+  catalog::TableId stock_table() const { return stock_; }
+  catalog::TableId item_table() const { return item_; }
+  catalog::TableId history_table() const { return history_; }
+  /// @}
+
+ private:
+  /// Appends one order (+ lines, optionally an open new_orders entry) for
+  /// (w, d). Caller holds the exclusive latch (or is single-threaded
+  /// Load()).
+  Status InsertOrderLocked(int w, int d, int o_id, Rng* rng, bool open);
+
+  TpccConfig config_;
+  storage::Database db_;
+  catalog::TableId warehouse_ = 0, district_ = 0, customer_ = 0, orders_ = 0,
+                   new_orders_ = 0, order_line_ = 0, stock_ = 0, item_ = 0,
+                   history_ = 0;
+  /// Clustered PK index ids used for point/prefix lookups inside
+  /// transactions.
+  catalog::IndexId orders_pk_ = catalog::kInvalidIndex;
+  catalog::IndexId new_orders_pk_ = catalog::kInvalidIndex;
+  catalog::IndexId order_line_pk_ = catalog::kInvalidIndex;
+  /// RowId bookkeeping for the fixed-population tables (RowIds are stable
+  /// for the database's lifetime).
+  std::vector<storage::RowId> warehouse_rid_;           // [w]
+  std::vector<storage::RowId> district_rid_;            // [w*D + d]
+  std::vector<storage::RowId> customer_rid_;            // [(w*D + d)*C + c]
+  std::vector<storage::RowId> stock_rid_;               // [w*I + i]
+  std::vector<storage::RowId> item_rid_;                // [i]
+  /// Next order id per district and a global history sequence; guarded by
+  /// the latch the transactions already hold.
+  std::vector<int64_t> next_o_id_;                      // [w*D + d]
+  int64_t next_h_id_ = 0;
+  int64_t clock_ticks_ = 0;  // logical "date" source
+};
+
+/// Transaction mix weights (normalized internally).
+struct OltpMix {
+  double new_order = 0.45;
+  double payment = 0.43;
+  double delivery = 0.04;
+  double read = 0.08;
+};
+
+/// Commit counts and latency from one driver run.
+struct OltpStats {
+  uint64_t new_orders = 0;
+  uint64_t payments = 0;
+  uint64_t deliveries = 0;
+  uint64_t reads = 0;
+  uint64_t errors = 0;
+  /// Worst single-transaction wall latency observed by any client —
+  /// the write-stall measurement bench_online_build reports.
+  double max_txn_seconds = 0.0;
+
+  uint64_t total_commits() const {
+    return new_orders + payments + deliveries + reads;
+  }
+};
+
+/// \brief Multi-client traffic generator: `clients` concurrent loops on a
+/// ThreadPool, each running the weighted transaction mix until Stop().
+///
+/// The pool must have at least one real worker (a ≤1-worker pool runs
+/// Submit inline, which would spin the until-stop loop on the calling
+/// thread forever); Start() rejects such pools. Each client owns an Rng
+/// seeded from `seed` + client id, so runs are reproducible per client
+/// count.
+class OltpDriver {
+ public:
+  OltpDriver(TpccDatabase* tpcc, common::ThreadPool* pool, int clients = 4,
+             uint64_t seed = 99, OltpMix mix = {});
+
+  /// Launches the client loops. Fails InvalidArgument on an inline pool.
+  Status Start();
+  /// Signals stop, joins the clients, and returns merged stats.
+  OltpStats Stop();
+
+  bool running() const { return running_; }
+
+ private:
+  void ClientLoop(int client, OltpStats* stats);
+
+  TpccDatabase* tpcc_;
+  common::ThreadPool* pool_;
+  int clients_;
+  uint64_t seed_;
+  OltpMix mix_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  std::vector<std::future<void>> futures_;
+  std::vector<OltpStats> per_client_;
+};
+
+}  // namespace aim::workload
+
+#endif  // AIM_WORKLOAD_TPCC_OLTP_H_

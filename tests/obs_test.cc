@@ -28,6 +28,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optimizer/what_if_cache.h"
+#include "storage/online_index_builder.h"
 #include "tests/test_util.h"
 
 namespace aim::obs {
@@ -283,6 +284,20 @@ TEST(TraceExportTest, FullPipelineChromeTraceValidates) {
     ASSERT_TRUE(r.ok()) << r.status().ToString();
   }
 
+  // …and one (quiesced) online index build, so the trace carries the
+  // online.build/online.catchup/online.swap spans the trace gate's
+  // --require-if rules enforce.
+  {
+    storage::Database db = MakeUsersDb(300, /*seed=*/21);
+    catalog::IndexDef def;
+    def.table = 0;
+    def.columns = {1};
+    storage::OnlineIndexBuilder builder(&db);
+    Result<storage::OnlineBuildReport> r = builder.Build(def);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.ValueOrDie().snapshot_rows, 300u);
+  }
+
   Tracer::Install(nullptr);
   ASSERT_TRUE(tracer.CheckBalanced().ok())
       << tracer.CheckBalanced().ToString();
@@ -300,7 +315,8 @@ TEST(TraceExportTest, FullPipelineChromeTraceValidates) {
         "aim.candgen", "aim.merge", "aim.knapsack", "aim.ranking",
         "aim.validation", "aim.apply", "whatif.plan", "sql.parse",
         "executor.execute", "sharded.run_once", "sharded.validation",
-        "shard.validate", "sharded.apply", "shard.apply"}) {
+        "shard.validate", "sharded.apply", "shard.apply", "online.build",
+        "online.snapshot", "online.catchup", "online.swap"}) {
     EXPECT_EQ(names.count(phase), 1u) << "missing span: " << phase;
   }
   // Per-shard children hang off the sharded validation/apply phases.

@@ -7,7 +7,13 @@ Checks, in order:
   3. B/E events are balanced per (pid, tid): strict LIFO nesting, matched
      names, monotone non-decreasing timestamps, nothing left open;
   4. (optional) --require NAME: the trace contains at least one complete
-     span named NAME (repeatable).
+     span named NAME (repeatable);
+  5. (optional) --require-if TRIGGER:NAME: if the trace contains at least
+     one complete span named TRIGGER, it must also contain one named NAME
+     (repeatable). This is how online-build spans are enforced: a trace
+     from a run that never built an index online owes nothing, but any
+     trace containing `online.build` must also show `online.catchup` and
+     `online.swap`.
 
 Exit status 0 = valid, 1 = invalid (details on stderr). This is the
 tier-1 gate behind `ctest -L tracing`: the C++ side writes
@@ -16,7 +22,8 @@ and this script is the independent, non-C++ reader proving the export is
 consumable outside the process that wrote it.
 
 Usage:
-  trace_check.py TRACE.json [--require aim.recommend ...] [--quiet]
+  trace_check.py TRACE.json [--require aim.recommend ...]
+      [--require-if online.build:online.swap ...] [--quiet]
 """
 
 import argparse
@@ -40,8 +47,23 @@ def main():
         help="require at least one complete span with this name "
         "(repeatable)",
     )
+    parser.add_argument(
+        "--require-if",
+        action="append",
+        default=[],
+        metavar="TRIGGER:NAME",
+        help="if any complete span named TRIGGER exists, require one "
+        "named NAME too (repeatable)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args()
+
+    conditional = []
+    for spec in args.require_if:
+        trigger, sep, name = spec.partition(":")
+        if not sep or not trigger or not name:
+            return fail(f"--require-if needs TRIGGER:NAME, got {spec!r}")
+        conditional.append((trigger, name))
 
     try:
         with open(args.trace, "r", encoding="utf-8") as f:
@@ -109,6 +131,11 @@ def main():
 
     have = set(completed)
     missing = [name for name in args.require if name not in have]
+    missing += [
+        name
+        for trigger, name in conditional
+        if trigger in have and name not in have
+    ]
     if missing:
         return fail(
             f"required spans absent: {', '.join(missing)} "
