@@ -63,8 +63,10 @@ Result<CloneValidationResult> ValidateOnClone(
     created.push_back(id.ValueOrDie());
   }
 
-  executor::Executor control_exec(&control, cm);
-  executor::Executor test_exec(&test, cm);
+  executor::ExecutorOptions exec_options;
+  exec_options.engine = options.replay_engine;
+  executor::Executor control_exec(&control, cm, exec_options);
+  executor::Executor test_exec(&test, cm, exec_options);
 
   // Replay both clones. Runs of consecutive SELECTs are read-only on both
   // databases and fan out over the pool; each DML statement is a barrier

@@ -6,6 +6,7 @@
 #include "common/retry.h"
 #include "common/thread_pool.h"
 #include "core/ranking.h"
+#include "executor/metrics.h"
 #include "storage/database.h"
 
 namespace aim::core {
@@ -34,6 +35,11 @@ struct CloneValidationOptions {
   /// contributes its own per-query validation record. Enabled by the
   /// advisor alongside the what-if plan-cost cache.
   bool dedup_replay = false;
+  /// SELECT engine used for the before/after replay. The vectorized batch
+  /// engine (default) and the row interpreter produce bit-identical rows
+  /// and metrics; the knob exists so the equivalence suite can pin whole
+  /// validation pipelines against each other.
+  executor::EngineKind replay_engine = executor::EngineKind::kBatch;
 };
 
 /// Per-query before/after record from the clone replay.

@@ -1,0 +1,105 @@
+#ifndef AIM_EXECUTOR_AGGREGATE_H_
+#define AIM_EXECUTOR_AGGREGATE_H_
+
+// The SELECT output sink: projection, grouping/aggregation, ordering and
+// LIMIT. Both engines emit surviving join combinations into the same sink
+// (lane binding arrays in, final result rows out), which is what makes
+// the row-vs-batch bit-identity argument local to the join pipeline:
+// everything downstream of Emit() is shared code.
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "executor/filter.h"
+#include "optimizer/plan.h"
+
+namespace aim::executor {
+
+/// Aggregate accumulator.
+struct AggState {
+  double sum = 0.0;
+  uint64_t count = 0;
+  bool has_minmax = false;
+  sql::Value min;
+  sql::Value max;
+
+  void Add(const sql::Value& v) {
+    if (v.is_null()) return;
+    ++count;
+    if (v.kind() == sql::Value::Kind::kInt64 ||
+        v.kind() == sql::Value::Kind::kDouble) {
+      sum += v.AsDouble();
+    }
+    if (!has_minmax) {
+      min = max = v;
+      has_minmax = true;
+    } else {
+      if (v.Compare(min) < 0) min = v;
+      if (v.Compare(max) > 0) max = v;
+    }
+  }
+
+  sql::Value Final(sql::AggFunc func) const;
+};
+
+/// \brief Output sink for SELECT execution.
+///
+/// Emit() consumes one join combination (a binding array indexed by
+/// instance) and returns false when the whole execution can stop (LIMIT
+/// reached with no sort/grouping pending). Finalize() produces the result
+/// rows and accounts sort work into the context's tail cost slot.
+class SelectSink {
+ public:
+  SelectSink(const sql::SelectStatement& select,
+             const optimizer::AnalyzedQuery& query,
+             const optimizer::Plan& plan, ExecContext* ctx);
+
+  bool can_stop_early() const { return can_stop_early_; }
+  int64_t limit() const { return limit_; }
+  uint64_t rows_emitted() const { return rows_emitted_; }
+
+  /// Feeds one combination; false = stop execution (early LIMIT).
+  bool Emit(const storage::Row* const* bound);
+
+  /// Grouping/sort/limit finalization; appends output rows to `out`.
+  void Finalize(std::vector<storage::Row>* out);
+
+ private:
+  struct Item {
+    enum class Kind { kStar, kAggregate, kValue };
+    Kind kind = Kind::kValue;
+    sql::AggFunc agg = sql::AggFunc::kNone;
+    bool count_star = false;  // COUNT(*) / argless aggregate
+    CompiledValue value;      // kValue projection or aggregate argument
+  };
+
+  storage::Row Project(const storage::Row* const* bound) const;
+
+  ExecContext* ctx_;
+  const sql::SelectStatement& select_;
+  size_t num_instances_;
+  bool grouped_ = false;
+  bool needs_sort_ = false;
+  int64_t limit_ = -1;
+  bool can_stop_early_ = false;
+
+  std::vector<Item> items_;
+  std::vector<CompiledValue> order_exprs_;
+  std::vector<bool> order_asc_;
+  std::vector<CompiledValue> group_exprs_;
+
+  // Group state: key -> aggregate states (one per select item).
+  std::map<storage::Row, std::vector<AggState>, storage::RowLess> groups_;
+  std::map<storage::Row, storage::Row, storage::RowLess>
+      group_first_values_;
+  std::vector<std::pair<storage::Row, storage::Row>>
+      ungrouped_;  // (sort key, output row)
+  int64_t emitted_ = 0;
+  uint64_t rows_emitted_ = 0;
+};
+
+}  // namespace aim::executor
+
+#endif  // AIM_EXECUTOR_AGGREGATE_H_

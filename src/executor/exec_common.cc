@@ -1,0 +1,290 @@
+#include "executor/exec_common.h"
+
+#include "common/strings.h"
+
+namespace aim::executor {
+
+using optimizer::AnalyzedQuery;
+using sql::Expr;
+using sql::Value;
+using storage::Row;
+
+bool LikeMatch(const std::string& text, const std::string& pattern,
+               size_t ti, size_t pi) {
+  while (pi < pattern.size()) {
+    const char pc = pattern[pi];
+    if (pc == '%') {
+      // Collapse consecutive '%'.
+      while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+      if (pi == pattern.size()) return true;
+      for (size_t t = ti; t <= text.size(); ++t) {
+        if (LikeMatch(text, pattern, t, pi)) return true;
+      }
+      return false;
+    }
+    if (ti >= text.size()) return false;
+    if (pc != '_' && text[ti] != pc) return false;
+    ++ti;
+    ++pi;
+  }
+  return ti == text.size();
+}
+
+std::string PrefixSuccessor(std::string prefix) {
+  while (!prefix.empty()) {
+    if (static_cast<unsigned char>(prefix.back()) < 0xFF) {
+      prefix.back() = static_cast<char>(prefix.back() + 1);
+      return prefix;
+    }
+    prefix.pop_back();
+  }
+  return prefix;  // empty: unbounded
+}
+
+std::optional<optimizer::BoundColumn> ExecContext::Resolve(
+    const Expr& col) const {
+  for (int i = 0; i < static_cast<int>(query_->instances.size()); ++i) {
+    const auto& inst = query_->instances[i];
+    if (!col.table.empty() && !EqualsIgnoreCase(inst.alias, col.table)) {
+      continue;
+    }
+    auto c = db_->catalog().table(inst.table).FindColumn(col.column);
+    if (c.has_value()) return optimizer::BoundColumn{i, *c};
+  }
+  return std::nullopt;
+}
+
+std::optional<Value> ExecContext::Eval(const Expr& e) const {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return e.value;
+    case Expr::Kind::kParam:
+      return std::nullopt;  // executor requires literal statements
+    case Expr::Kind::kColumn: {
+      auto bc = Resolve(e);
+      if (!bc.has_value()) return std::nullopt;
+      const Row* row = bound_[bc->instance];
+      if (row == nullptr) return std::nullopt;
+      return (*row)[bc->column];
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<bool> ExecContext::EvalPred(const Expr& e) const {
+  switch (e.kind) {
+    case Expr::Kind::kAnd: {
+      bool unknown = false;
+      for (const auto& c : e.children) {
+        auto v = EvalPred(*c);
+        if (!v.has_value()) {
+          unknown = true;
+        } else if (!*v) {
+          return false;
+        }
+      }
+      if (unknown) return std::nullopt;
+      return true;
+    }
+    case Expr::Kind::kOr: {
+      bool unknown = false;
+      for (const auto& c : e.children) {
+        auto v = EvalPred(*c);
+        if (!v.has_value()) {
+          unknown = true;
+        } else if (*v) {
+          return true;
+        }
+      }
+      if (unknown) return std::nullopt;
+      return false;
+    }
+    case Expr::Kind::kNot: {
+      auto v = EvalPred(*e.children[0]);
+      if (!v.has_value()) return std::nullopt;
+      return !*v;
+    }
+    case Expr::Kind::kComparison: {
+      auto lhs = Eval(*e.children[0]);
+      auto rhs = Eval(*e.children[1]);
+      if (!lhs.has_value() || !rhs.has_value()) return std::nullopt;
+      if (e.op == sql::CompareOp::kNullSafeEq) {
+        return lhs->Compare(*rhs) == 0;
+      }
+      if (lhs->is_null() || rhs->is_null()) return false;
+      if (e.op == sql::CompareOp::kLike) {
+        if (lhs->kind() != Value::Kind::kString ||
+            rhs->kind() != Value::Kind::kString) {
+          return false;
+        }
+        return LikeMatch(lhs->AsString(), rhs->AsString());
+      }
+      const int c = lhs->Compare(*rhs);
+      switch (e.op) {
+        case sql::CompareOp::kEq:
+          return c == 0;
+        case sql::CompareOp::kNe:
+          return c != 0;
+        case sql::CompareOp::kLt:
+          return c < 0;
+        case sql::CompareOp::kLe:
+          return c <= 0;
+        case sql::CompareOp::kGt:
+          return c > 0;
+        case sql::CompareOp::kGe:
+          return c >= 0;
+        default:
+          return false;
+      }
+    }
+    case Expr::Kind::kInList: {
+      auto lhs = Eval(*e.children[0]);
+      if (!lhs.has_value()) return std::nullopt;
+      if (lhs->is_null()) return false;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        auto v = Eval(*e.children[i]);
+        if (!v.has_value()) return std::nullopt;
+        if (!v->is_null() && lhs->Compare(*v) == 0) return true;
+      }
+      return false;
+    }
+    case Expr::Kind::kBetween: {
+      auto lhs = Eval(*e.children[0]);
+      auto lo = Eval(*e.children[1]);
+      auto hi = Eval(*e.children[2]);
+      if (!lhs.has_value() || !lo.has_value() || !hi.has_value()) {
+        return std::nullopt;
+      }
+      if (lhs->is_null() || lo->is_null() || hi->is_null()) return false;
+      return lhs->Compare(*lo) >= 0 && lhs->Compare(*hi) <= 0;
+    }
+    case Expr::Kind::kIsNull: {
+      auto lhs = Eval(*e.children[0]);
+      if (!lhs.has_value()) return std::nullopt;
+      return e.negated ? !lhs->is_null() : lhs->is_null();
+    }
+    default:
+      return true;  // opaque leaves pass (conservative)
+  }
+}
+
+void ExecContext::FinalizeCost() {
+  // The fold order is the bit-identity contract: step slots in plan order,
+  // then the tail. See the header comment.
+  double acc = 0.0;
+  for (const double s : step_cost_) acc += s;
+  acc += tail_cost_;
+  metrics.cost_units = acc;
+  metrics.cpu_seconds = cm_->ToCpuSeconds(metrics.cost_units);
+  for (const auto& used : step_used_) {
+    metrics.used_indexes.insert(metrics.used_indexes.end(), used.begin(),
+                                used.end());
+  }
+}
+
+std::vector<Value> LiteralOptionsFor(const AnalyzedQuery& query,
+                                     int instance,
+                                     catalog::ColumnId column) {
+  for (const auto& p : query.ConjunctsForInstance(instance)) {
+    if (p.column.column != column || !p.is_index_prefix()) continue;
+    if (p.kind == optimizer::PredKind::kIsNull) {
+      return {Value::Null()};
+    }
+    if (!p.values.empty()) {
+      // IN lists may carry duplicate literals ("IN (9, 3, 9)"). Each
+      // option becomes one index probe, so a duplicate would emit its
+      // rows twice — the heap path evaluates each row once, and the two
+      // plans would disagree on answers, not just cost.
+      std::vector<Value> unique;
+      unique.reserve(p.values.size());
+      for (const Value& v : p.values) {
+        bool seen = false;
+        for (const Value& u : unique) {
+          if (u == v) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) unique.push_back(v);
+      }
+      return unique;
+    }
+  }
+  return {};
+}
+
+std::optional<Value> JoinBoundValue(const ExecContext& ctx, int instance,
+                                    catalog::ColumnId column) {
+  for (const auto& e : ctx.query().joins) {
+    if (e.left.instance == instance && e.left.column == column) {
+      const Row* other = ctx.bound(e.right.instance);
+      if (other != nullptr) return (*other)[e.right.column];
+    }
+    if (e.right.instance == instance && e.right.column == column) {
+      const Row* other = ctx.bound(e.left.instance);
+      if (other != nullptr) return (*other)[e.left.column];
+    }
+  }
+  return std::nullopt;
+}
+
+bool StaticJoinSource(const AnalyzedQuery& query,
+                      const std::vector<int>& step_of_instance,
+                      int instance, catalog::ColumnId column, int this_step,
+                      int* src_instance, catalog::ColumnId* src_column) {
+  // During step s of the nested loop, exactly the instances of steps
+  // 0..s-1 are bound, so "partner bound" is a static property. Edge scan
+  // order (joins order, left side checked before right) mirrors
+  // JoinBoundValue so both engines pick the same source.
+  auto bound_before = [&](int other) {
+    const int s = step_of_instance[other];
+    return s >= 0 && s < this_step;
+  };
+  for (const auto& e : query.joins) {
+    if (e.left.instance == instance && e.left.column == column &&
+        bound_before(e.right.instance)) {
+      *src_instance = e.right.instance;
+      *src_column = e.right.column;
+      return true;
+    }
+    if (e.right.instance == instance && e.right.column == column &&
+        bound_before(e.left.instance)) {
+      *src_instance = e.left.instance;
+      *src_column = e.left.column;
+      return true;
+    }
+  }
+  return false;
+}
+
+void RangeBoundsFor(const AnalyzedQuery& query, int instance,
+                    catalog::ColumnId column,
+                    std::optional<storage::KeyBound>* lower,
+                    std::optional<storage::KeyBound>* upper) {
+  for (const auto& p : query.ConjunctsForInstance(instance)) {
+    if (p.column.column != column) continue;
+    if (p.kind == optimizer::PredKind::kRange) {
+      if (p.has_lower) {
+        *lower = storage::KeyBound{Value::Int(p.lower), p.lower_inclusive};
+      }
+      if (p.has_upper) {
+        *upper = storage::KeyBound{Value::Int(p.upper), p.upper_inclusive};
+      }
+    } else if (p.kind == optimizer::PredKind::kLikePrefix &&
+               !p.values.empty()) {
+      std::string pat = p.values[0].AsString();
+      const size_t cut = pat.find_first_of("%_");
+      const std::string prefix =
+          cut == std::string::npos ? pat : pat.substr(0, cut);
+      if (prefix.empty()) continue;
+      *lower = storage::KeyBound{Value::Str(prefix), true};
+      const std::string succ = PrefixSuccessor(prefix);
+      if (!succ.empty()) {
+        *upper = storage::KeyBound{Value::Str(succ), false};
+      }
+    }
+  }
+}
+
+}  // namespace aim::executor

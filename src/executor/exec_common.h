@@ -1,0 +1,132 @@
+#ifndef AIM_EXECUTOR_EXEC_COMMON_H_
+#define AIM_EXECUTOR_EXEC_COMMON_H_
+
+// Shared execution machinery of both SELECT engines (the row-at-a-time
+// interpreter and the vectorized batch engine) and the DML path: the
+// binding/evaluation context, the key-part helpers that turn predicates
+// into index probes, and the per-step cost accumulators.
+//
+// The per-step accumulators exist for bit-identity: both engines add the
+// same per-entry cost constants in the same per-step order, but the batch
+// engine's pipeline interleaves *across* steps differently than the
+// depth-first interpreter. Folding one double accumulator per plan step
+// (plus a tail slot for sort/maintenance) in fixed step order at finalize
+// makes the floating-point addition sequence — and therefore cost_units
+// and cpu_seconds down to the last bit — independent of the engine.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "executor/metrics.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/predicate.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace aim::executor {
+
+/// SQL LIKE matcher ('%' = any run, '_' = any one char).
+bool LikeMatch(const std::string& text, const std::string& pattern,
+               size_t ti = 0, size_t pi = 0);
+
+/// Successor of a string prefix for LIKE 'p%' range scans.
+std::string PrefixSuccessor(std::string prefix);
+
+/// Execution context: bound rows per instance + accounting.
+class ExecContext {
+ public:
+  /// `num_steps` sizes the per-step cost/used-index slots (pass
+  /// max(1, plan.steps.size()); DML uses slot 0 + the tail).
+  ExecContext(storage::Database* db, const optimizer::AnalyzedQuery* query,
+              const optimizer::CostModel* cm, size_t num_steps)
+      : db_(db),
+        query_(query),
+        cm_(cm),
+        bound_(query->instances.size(), nullptr),
+        step_cost_(num_steps, 0.0),
+        step_used_(num_steps) {}
+
+  storage::Database* db() const { return db_; }
+  const optimizer::AnalyzedQuery& query() const { return *query_; }
+  const optimizer::CostModel& cm() const { return *cm_; }
+
+  void Bind(int instance, const storage::Row* row) {
+    bound_[instance] = row;
+  }
+  const storage::Row* bound(int instance) const { return bound_[instance]; }
+  /// Raw binding array (indexed by instance), for the shared emission
+  /// sink: the batch engine passes per-lane arrays of the same shape.
+  const storage::Row* const* bound_data() const { return bound_.data(); }
+  size_t num_instances() const { return bound_.size(); }
+
+  /// Resolves a column expression to (instance, column).
+  std::optional<optimizer::BoundColumn> Resolve(const sql::Expr& col) const;
+
+  /// Evaluates an expression; returns nullopt when it references an
+  /// unbound instance (three-valued partial evaluation).
+  std::optional<sql::Value> Eval(const sql::Expr& e) const;
+
+  /// Three-valued predicate evaluation: true / false / unknown (nullopt).
+  /// Unknown arises only from unbound instances; SQL NULL comparisons
+  /// evaluate to false (two-valued simplification adequate for the
+  /// generated workloads).
+  std::optional<bool> EvalPred(const sql::Expr& e) const;
+
+  /// \name Cost / used-index accumulation (see file comment).
+  /// @{
+  void AddStepCost(size_t step, double c) { step_cost_[step] += c; }
+  void AddTailCost(double c) { tail_cost_ += c; }
+  void UseIndex(size_t step, catalog::IndexId id) {
+    step_used_[step].push_back(id);
+  }
+  /// Folds the slots into metrics.cost_units / metrics.used_indexes in
+  /// plan-step order (tail last) and derives cpu_seconds. Call once, at
+  /// the end of execution.
+  void FinalizeCost();
+  /// @}
+
+  ExecutionMetrics metrics;
+
+ private:
+  storage::Database* db_;
+  const optimizer::AnalyzedQuery* query_;
+  const optimizer::CostModel* cm_;
+  std::vector<const storage::Row*> bound_;
+  std::vector<double> step_cost_;
+  double tail_cost_ = 0.0;
+  std::vector<std::vector<catalog::IndexId>> step_used_;
+};
+
+/// Finds the literal values available for an eq-prefix key part, or an
+/// empty vector when the part is only join-bound / unavailable.
+std::vector<sql::Value> LiteralOptionsFor(
+    const optimizer::AnalyzedQuery& query, int instance,
+    catalog::ColumnId column);
+
+/// Join-bound value for a key part: the value from an already-bound
+/// partner instance, if any.
+std::optional<sql::Value> JoinBoundValue(const ExecContext& ctx,
+                                         int instance,
+                                         catalog::ColumnId column);
+
+/// The join edge a key part would be bound through, resolved statically:
+/// the first edge (in query.joins order) matching (instance, column)
+/// whose partner instance is produced by an earlier plan step. Mirrors
+/// JoinBoundValue's runtime search, which the batch engine compiles away.
+/// Returns false when no such edge exists.
+bool StaticJoinSource(const optimizer::AnalyzedQuery& query,
+                      const std::vector<int>& step_of_instance,
+                      int instance, catalog::ColumnId column, int this_step,
+                      int* src_instance, catalog::ColumnId* src_column);
+
+/// Range bound for the key part after the prefix, from literal range /
+/// LIKE-prefix predicates.
+void RangeBoundsFor(const optimizer::AnalyzedQuery& query, int instance,
+                    catalog::ColumnId column,
+                    std::optional<storage::KeyBound>* lower,
+                    std::optional<storage::KeyBound>* upper);
+
+}  // namespace aim::executor
+
+#endif  // AIM_EXECUTOR_EXEC_COMMON_H_

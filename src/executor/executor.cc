@@ -1,13 +1,16 @@
 #include "executor/executor.h"
 
 #include <algorithm>
-#include <cmath>
-#include <map>
+#include <functional>
 #include <optional>
 #include <set>
+#include <vector>
 
 #include "common/fault_injection.h"
-#include "common/strings.h"
+#include "executor/aggregate.h"
+#include "executor/exec_common.h"
+#include "executor/filter.h"
+#include "executor/join.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optimizer/predicate.h"
@@ -23,284 +26,12 @@ using sql::Value;
 using storage::Row;
 using storage::RowId;
 
-/// SQL LIKE matcher ('%' = any run, '_' = any one char).
-bool LikeMatch(const std::string& text, const std::string& pattern,
-               size_t ti = 0, size_t pi = 0) {
-  while (pi < pattern.size()) {
-    const char pc = pattern[pi];
-    if (pc == '%') {
-      // Collapse consecutive '%'.
-      while (pi < pattern.size() && pattern[pi] == '%') ++pi;
-      if (pi == pattern.size()) return true;
-      for (size_t t = ti; t <= text.size(); ++t) {
-        if (LikeMatch(text, pattern, t, pi)) return true;
-      }
-      return false;
-    }
-    if (ti >= text.size()) return false;
-    if (pc != '_' && text[ti] != pc) return false;
-    ++ti;
-    ++pi;
-  }
-  return ti == text.size();
-}
-
-/// Successor of a string prefix for LIKE 'p%' range scans.
-std::string PrefixSuccessor(std::string prefix) {
-  while (!prefix.empty()) {
-    if (static_cast<unsigned char>(prefix.back()) < 0xFF) {
-      prefix.back() = static_cast<char>(prefix.back() + 1);
-      return prefix;
-    }
-    prefix.pop_back();
-  }
-  return prefix;  // empty: unbounded
-}
-
-/// Execution context: bound rows per instance + accounting.
-class ExecContext {
- public:
-  ExecContext(storage::Database* db, const AnalyzedQuery* query,
-              const optimizer::CostModel* cm)
-      : db_(db), query_(query), cm_(cm),
-        bound_(query->instances.size(), nullptr) {}
-
-  storage::Database* db() { return db_; }
-  const AnalyzedQuery& query() const { return *query_; }
-  const optimizer::CostModel& cm() const { return *cm_; }
-
-  void Bind(int instance, const Row* row) { bound_[instance] = row; }
-  const Row* bound(int instance) const { return bound_[instance]; }
-
-  /// Resolves a column expression to (instance, column).
-  std::optional<optimizer::BoundColumn> Resolve(const Expr& col) const {
-    for (int i = 0; i < static_cast<int>(query_->instances.size()); ++i) {
-      const auto& inst = query_->instances[i];
-      if (!col.table.empty() && !EqualsAlias(inst.alias, col.table)) {
-        continue;
-      }
-      auto c = db_->catalog().table(inst.table).FindColumn(col.column);
-      if (c.has_value()) return optimizer::BoundColumn{i, *c};
-    }
-    return std::nullopt;
-  }
-
-  /// Evaluates an expression; returns nullopt when it references an
-  /// unbound instance (three-valued partial evaluation).
-  std::optional<Value> Eval(const Expr& e) const {
-    switch (e.kind) {
-      case Expr::Kind::kLiteral:
-        return e.value;
-      case Expr::Kind::kParam:
-        return std::nullopt;  // executor requires literal statements
-      case Expr::Kind::kColumn: {
-        auto bc = Resolve(e);
-        if (!bc.has_value()) return std::nullopt;
-        const Row* row = bound_[bc->instance];
-        if (row == nullptr) return std::nullopt;
-        return (*row)[bc->column];
-      }
-      default:
-        return std::nullopt;
-    }
-  }
-
-  /// Three-valued predicate evaluation: true / false / unknown (nullopt).
-  /// Unknown arises only from unbound instances; SQL NULL comparisons
-  /// evaluate to false (two-valued simplification adequate for the
-  /// generated workloads).
-  std::optional<bool> EvalPred(const Expr& e) const {
-    switch (e.kind) {
-      case Expr::Kind::kAnd: {
-        bool unknown = false;
-        for (const auto& c : e.children) {
-          auto v = EvalPred(*c);
-          if (!v.has_value()) {
-            unknown = true;
-          } else if (!*v) {
-            return false;
-          }
-        }
-        if (unknown) return std::nullopt;
-        return true;
-      }
-      case Expr::Kind::kOr: {
-        bool unknown = false;
-        for (const auto& c : e.children) {
-          auto v = EvalPred(*c);
-          if (!v.has_value()) {
-            unknown = true;
-          } else if (*v) {
-            return true;
-          }
-        }
-        if (unknown) return std::nullopt;
-        return false;
-      }
-      case Expr::Kind::kNot: {
-        auto v = EvalPred(*e.children[0]);
-        if (!v.has_value()) return std::nullopt;
-        return !*v;
-      }
-      case Expr::Kind::kComparison: {
-        auto lhs = Eval(*e.children[0]);
-        auto rhs = Eval(*e.children[1]);
-        if (!lhs.has_value() || !rhs.has_value()) return std::nullopt;
-        if (e.op == sql::CompareOp::kNullSafeEq) {
-          return lhs->Compare(*rhs) == 0;
-        }
-        if (lhs->is_null() || rhs->is_null()) return false;
-        if (e.op == sql::CompareOp::kLike) {
-          if (lhs->kind() != Value::Kind::kString ||
-              rhs->kind() != Value::Kind::kString) {
-            return false;
-          }
-          return LikeMatch(lhs->AsString(), rhs->AsString());
-        }
-        const int c = lhs->Compare(*rhs);
-        switch (e.op) {
-          case sql::CompareOp::kEq:
-            return c == 0;
-          case sql::CompareOp::kNe:
-            return c != 0;
-          case sql::CompareOp::kLt:
-            return c < 0;
-          case sql::CompareOp::kLe:
-            return c <= 0;
-          case sql::CompareOp::kGt:
-            return c > 0;
-          case sql::CompareOp::kGe:
-            return c >= 0;
-          default:
-            return false;
-        }
-      }
-      case Expr::Kind::kInList: {
-        auto lhs = Eval(*e.children[0]);
-        if (!lhs.has_value()) return std::nullopt;
-        if (lhs->is_null()) return false;
-        for (size_t i = 1; i < e.children.size(); ++i) {
-          auto v = Eval(*e.children[i]);
-          if (!v.has_value()) return std::nullopt;
-          if (!v->is_null() && lhs->Compare(*v) == 0) return true;
-        }
-        return false;
-      }
-      case Expr::Kind::kBetween: {
-        auto lhs = Eval(*e.children[0]);
-        auto lo = Eval(*e.children[1]);
-        auto hi = Eval(*e.children[2]);
-        if (!lhs.has_value() || !lo.has_value() || !hi.has_value()) {
-          return std::nullopt;
-        }
-        if (lhs->is_null() || lo->is_null() || hi->is_null()) return false;
-        return lhs->Compare(*lo) >= 0 && lhs->Compare(*hi) <= 0;
-      }
-      case Expr::Kind::kIsNull: {
-        auto lhs = Eval(*e.children[0]);
-        if (!lhs.has_value()) return std::nullopt;
-        return e.negated ? !lhs->is_null() : lhs->is_null();
-      }
-      default:
-        return true;  // opaque leaves pass (conservative)
-    }
-  }
-
-  ExecutionMetrics metrics;
-
- private:
-  static bool EqualsAlias(const std::string& a, const std::string& b) {
-    return aim::EqualsIgnoreCase(a, b);
-  }
-
-  storage::Database* db_;
-  const AnalyzedQuery* query_;
-  const optimizer::CostModel* cm_;
-  std::vector<const Row*> bound_;
-};
-
-/// Finds the literal values available for an eq-prefix key part, or an
-/// empty vector when the part is only join-bound / unavailable.
-std::vector<Value> LiteralOptionsFor(const AnalyzedQuery& query,
-                                     int instance,
-                                     catalog::ColumnId column) {
-  for (const auto& p : query.ConjunctsForInstance(instance)) {
-    if (p.column.column != column || !p.is_index_prefix()) continue;
-    if (p.kind == optimizer::PredKind::kIsNull) {
-      return {Value::Null()};
-    }
-    if (!p.values.empty()) {
-      // IN lists may carry duplicate literals ("IN (9, 3, 9)"). Each
-      // option becomes one index probe, so a duplicate would emit its
-      // rows twice — the heap path evaluates each row once, and the two
-      // plans would disagree on answers, not just cost.
-      std::vector<Value> unique;
-      unique.reserve(p.values.size());
-      for (const Value& v : p.values) {
-        bool seen = false;
-        for (const Value& u : unique) {
-          if (u == v) {
-            seen = true;
-            break;
-          }
-        }
-        if (!seen) unique.push_back(v);
-      }
-      return unique;
-    }
-  }
-  return {};
-}
-
-/// Join-bound value for a key part: the value from an already-bound
-/// partner instance, if any.
-std::optional<Value> JoinBoundValue(const ExecContext& ctx, int instance,
-                                    catalog::ColumnId column) {
-  for (const auto& e : ctx.query().joins) {
-    if (e.left.instance == instance && e.left.column == column) {
-      const Row* other = ctx.bound(e.right.instance);
-      if (other != nullptr) return (*other)[e.right.column];
-    }
-    if (e.right.instance == instance && e.right.column == column) {
-      const Row* other = ctx.bound(e.left.instance);
-      if (other != nullptr) return (*other)[e.left.column];
-    }
-  }
-  return std::nullopt;
-}
-
-/// Range bound for the key part after the prefix, from literal range /
-/// LIKE-prefix predicates.
-void RangeBoundsFor(const AnalyzedQuery& query, int instance,
-                    catalog::ColumnId column,
-                    std::optional<storage::KeyBound>* lower,
-                    std::optional<storage::KeyBound>* upper) {
-  for (const auto& p : query.ConjunctsForInstance(instance)) {
-    if (p.column.column != column) continue;
-    if (p.kind == optimizer::PredKind::kRange) {
-      if (p.has_lower) {
-        *lower = storage::KeyBound{Value::Int(p.lower), p.lower_inclusive};
-      }
-      if (p.has_upper) {
-        *upper = storage::KeyBound{Value::Int(p.upper), p.upper_inclusive};
-      }
-    } else if (p.kind == optimizer::PredKind::kLikePrefix &&
-               !p.values.empty()) {
-      std::string pat = p.values[0].AsString();
-      const size_t cut = pat.find_first_of("%_");
-      const std::string prefix =
-          cut == std::string::npos ? pat : pat.substr(0, cut);
-      if (prefix.empty()) continue;
-      *lower = storage::KeyBound{Value::Str(prefix), true};
-      const std::string succ = PrefixSuccessor(prefix);
-      if (!succ.empty()) {
-        *upper = storage::KeyBound{Value::Str(succ), false};
-      }
-    }
-  }
-}
-
-/// \brief Drives the nested-loop join over plan steps.
+/// \brief Drives the row-at-a-time nested-loop join over plan steps.
+///
+/// This is the original interpreter, kept verbatim in structure as the
+/// differential oracle for the batch engine; only the accounting sinks
+/// changed (per-step cost slots instead of a running total — see
+/// exec_common.h for why that preserves bit-identity).
 class NestedLoopDriver {
  public:
   NestedLoopDriver(ExecContext* ctx, const Plan* plan,
@@ -308,6 +39,8 @@ class NestedLoopDriver {
       : ctx_(ctx), plan_(plan), emit_(std::move(emit)) {}
 
   void Run() { RunStep(0); }
+
+  void set_where(const Expr* where) { where_ = where; }
 
  private:
   /// Returns false to stop the whole execution (limit reached).
@@ -324,17 +57,18 @@ class NestedLoopDriver {
       ctx_->metrics.heap_rows_read += (via_index && covering) ? 0 : 1;
       if (via_index) {
         const auto& pp = ctx_->cm().params();
-        ctx_->metrics.cost_units += pp.cpu_index_entry_cost;
+        ctx_->AddStepCost(step_idx, pp.cpu_index_entry_cost);
         if (!covering) {
           ++ctx_->metrics.pk_lookups;
-          ctx_->metrics.cost_units += pp.random_page_cost + pp.cpu_row_cost;
+          ctx_->AddStepCost(step_idx,
+                            pp.random_page_cost + pp.cpu_row_cost);
         }
       }
       ctx_->Bind(instance, &row);
       // Prune on everything decidable so far (filters + join edges).
       bool pass = true;
-      if (const Expr* where = Where()) {
-        auto v = ctx_->EvalPred(*where);
+      if (where_ != nullptr) {
+        auto v = ctx_->EvalPred(*where_);
         pass = !v.has_value() || *v;
       }
       if (pass) {
@@ -412,8 +146,8 @@ class NestedLoopDriver {
                 });
             ctx_->metrics.index_entries_read += visited;
             ctx_->metrics.rows_examined += visited;
-            ctx_->metrics.cost_units +=
-                ctx_->cm().params().btree_descent_cost;
+            ctx_->AddStepCost(step_idx,
+                              ctx_->cm().params().btree_descent_cost);
             return;
           }
           for (const Value& v : options[pos]) {
@@ -422,7 +156,7 @@ class NestedLoopDriver {
           }
         };
         enumerate(0);
-        ctx_->metrics.used_indexes.push_back(index.id);
+        ctx_->UseIndex(step_idx, index.id);
       }
       for (RowId rid : rids) {
         if (!consider(rid, /*via_index=*/true, step.path.covering)) {
@@ -442,9 +176,11 @@ class NestedLoopDriver {
       const double pages =
           std::max(1.0, cat.TableSizeBytes(inst.table) /
                             ctx_->cm().params().page_size);
-      ctx_->metrics.cost_units +=
+      ctx_->AddStepCost(
+          step_idx,
           pages * ctx_->cm().params().seq_page_cost +
-          static_cast<double>(visited) * ctx_->cm().params().cpu_row_cost;
+              static_cast<double>(visited) *
+                  ctx_->cm().params().cpu_row_cost);
       return keep_going;
     }
 
@@ -490,10 +226,11 @@ class NestedLoopDriver {
       ctx_->metrics.index_entries_read += visited;
       ctx_->metrics.rows_examined += visited;
       const auto& pp = ctx_->cm().params();
-      ctx_->metrics.cost_units +=
-          static_cast<double>(std::max<uint64_t>(1, groups)) *
-          pp.btree_descent_cost * pp.random_page_cost / 4.0;
-      ctx_->metrics.used_indexes.push_back(index.id);
+      ctx_->AddStepCost(step_idx,
+                        static_cast<double>(std::max<uint64_t>(1, groups)) *
+                            pp.btree_descent_cost * pp.random_page_cost /
+                            4.0);
+      ctx_->UseIndex(step_idx, index.id);
       return keep_going;
     }
 
@@ -520,10 +257,14 @@ class NestedLoopDriver {
 
     const bool covering = step.path.covering;
     // Enumerate the cartesian product of prefix options (IN expansion).
+    // The probe counter is a local: a member here would be clobbered by
+    // recursion into deeper index steps mid-enumeration, corrupting this
+    // step's descent-cost multiplier.
+    uint64_t ranges_probed = 0;
     Row prefix(options.size());
     std::function<bool(size_t)> enumerate = [&](size_t part) -> bool {
       if (part == options.size()) {
-        ++ranges_probed_;
+        ++ranges_probed;
         const uint64_t visited = btree->ScanPrefix(
             prefix, lower, upper, [&](const Row&, RowId rid) {
               return consider(rid, /*via_index=*/true, covering);
@@ -538,14 +279,14 @@ class NestedLoopDriver {
       }
       return true;
     };
-    ranges_probed_ = 0;
     enumerate(0);
     // Index access cost: descents + entry CPU + fetches.
     const auto& p = ctx_->cm().params();
-    ctx_->metrics.cost_units +=
-        static_cast<double>(std::max<uint64_t>(1, ranges_probed_)) *
-        p.btree_descent_cost * p.random_page_cost / 4.0;
-    ctx_->metrics.used_indexes.push_back(index.id);
+    ctx_->AddStepCost(step_idx,
+                      static_cast<double>(
+                          std::max<uint64_t>(1, ranges_probed)) *
+                          p.btree_descent_cost * p.random_page_cost / 4.0);
+    ctx_->UseIndex(step_idx, index.id);
     return keep_going;
   }
 
@@ -559,64 +300,32 @@ class NestedLoopDriver {
     return emit_();
   }
 
-  const Expr* Where() const {
-    return where_;
-  }
-
- public:
-  void set_where(const Expr* where) { where_ = where; }
-
- private:
   ExecContext* ctx_;
   const Plan* plan_;
   std::function<bool()> emit_;
   const Expr* where_ = nullptr;
-  uint64_t ranges_probed_ = 0;
 };
 
-/// Aggregate accumulator.
-struct AggState {
-  double sum = 0.0;
-  uint64_t count = 0;
-  bool has_minmax = false;
-  Value min;
-  Value max;
-
-  void Add(const Value& v) {
-    if (v.is_null()) return;
-    ++count;
-    if (v.kind() == Value::Kind::kInt64 ||
-        v.kind() == Value::Kind::kDouble) {
-      sum += v.AsDouble();
-    }
-    if (!has_minmax) {
-      min = max = v;
-      has_minmax = true;
-    } else {
-      if (v.Compare(min) < 0) min = v;
-      if (v.Compare(max) > 0) max = v;
+void EmitOperatorSpans(const ExecutionMetrics& m) {
+  struct Entry {
+    const char* name;
+    const OperatorStats* stats;
+  };
+  const Entry entries[] = {
+      {"executor.op.scan", &m.op_scan},
+      {"executor.op.filter", &m.op_filter},
+      {"executor.op.join", &m.op_join},
+      {"executor.op.aggregate", &m.op_aggregate},
+  };
+  for (const Entry& e : entries) {
+    obs::Span span(obs::Tracer::Get(), e.name);
+    if (span.enabled()) {
+      span.SetAttr("batches", e.stats->batches);
+      span.SetAttr("rows_in", e.stats->rows_in);
+      span.SetAttr("rows_out", e.stats->rows_out);
     }
   }
-
-  Value Final(sql::AggFunc func) const {
-    switch (func) {
-      case sql::AggFunc::kCount:
-        return Value::Int(static_cast<int64_t>(count));
-      case sql::AggFunc::kSum:
-        return count == 0 ? Value::Null() : Value::Real(sum);
-      case sql::AggFunc::kAvg:
-        return count == 0 ? Value::Null()
-                          : Value::Real(sum / static_cast<double>(count));
-      case sql::AggFunc::kMin:
-        return has_minmax ? min : Value::Null();
-      case sql::AggFunc::kMax:
-        return has_minmax ? max : Value::Null();
-      case sql::AggFunc::kNone:
-        break;
-    }
-    return Value::Null();
-  }
-};
+}
 
 }  // namespace
 
@@ -658,137 +367,43 @@ Result<ExecuteResult> Executor::ExecuteSelect(
     const sql::Statement& stmt, const optimizer::AnalyzedQuery& query,
     const optimizer::Plan& plan) {
   const sql::SelectStatement& select = *stmt.select;
-  ExecContext ctx(db_, &query, &cm_);
+  const size_t num_steps = std::max<size_t>(plan.steps.size(), 1);
+  ExecContext ctx(db_, &query, &cm_, num_steps);
   ExecuteResult result;
 
-  const bool grouped = query.has_group_by || query.has_aggregate;
-  const int64_t limit = select.limit >= 0 ? select.limit : -1;
-  const bool can_stop_early = !grouped && !plan.needs_sort && limit >= 0;
-
-  // Group state: key -> aggregate states (one per aggregate select item).
-  std::map<Row, std::vector<AggState>, storage::RowLess> groups;
-  std::map<Row, Row, storage::RowLess> group_first_values;
-  std::vector<std::pair<Row, Row>> ungrouped;  // (sort key, output row)
-  int64_t emitted = 0;
-
-  auto project = [&]() -> Row {
-    Row out;
-    for (const auto& item : select.select_list) {
-      switch (item->kind) {
-        case Expr::Kind::kStar: {
-          for (int i = 0; i < static_cast<int>(query.instances.size());
-               ++i) {
-            const Row* row = ctx.bound(i);
-            if (row != nullptr) {
-              out.insert(out.end(), row->begin(), row->end());
-            }
-          }
-          break;
-        }
-        case Expr::Kind::kAggregate:
-          out.push_back(Value::Null());  // filled during finalization
-          break;
-        default: {
-          auto v = ctx.Eval(*item);
-          out.push_back(v.value_or(Value::Null()));
-          break;
-        }
-      }
-    }
-    return out;
-  };
-
-  auto sort_key = [&]() -> Row {
-    Row key;
-    for (const auto& o : select.order_by) {
-      auto v = ctx.Eval(*o.expr);
-      key.push_back(v.value_or(Value::Null()));
-    }
-    return key;
-  };
-
-  auto emit = [&]() -> bool {
-    if (grouped) {
-      Row key;
-      for (const auto& g : select.group_by) {
-        auto v = ctx.Eval(*g);
-        key.push_back(v.value_or(Value::Null()));
-      }
-      auto [it, inserted] = groups.try_emplace(
-          key, select.select_list.size());
-      if (inserted) group_first_values.emplace(key, project());
-      for (size_t i = 0; i < select.select_list.size(); ++i) {
-        const Expr& item = *select.select_list[i];
-        if (item.kind != Expr::Kind::kAggregate) continue;
-        if (item.children.empty() ||
-            item.children[0]->kind == Expr::Kind::kStar) {
-          it->second[i].Add(Value::Int(1));
-        } else {
-          auto v = ctx.Eval(*item.children[0]);
-          it->second[i].Add(v.value_or(Value::Null()));
-        }
-      }
-      return true;
-    }
-    ungrouped.emplace_back(sort_key(), project());
-    ++emitted;
-    if (can_stop_early && emitted >= limit) return false;
-    return true;
-  };
-
-  NestedLoopDriver driver(&ctx, &plan, emit);
-  driver.set_where(select.where.get());
-  driver.Run();
-
-  // Finalize output.
-  if (grouped) {
-    for (auto& [key, states] : groups) {
-      Row out = group_first_values[key];
-      for (size_t i = 0; i < select.select_list.size(); ++i) {
-        const Expr& item = *select.select_list[i];
-        if (item.kind == Expr::Kind::kAggregate) {
-          out[i] = states[i].Final(item.agg);
-        }
-      }
-      result.rows.push_back(std::move(out));
-    }
-    // Grouping via std::map is already in group-key order; an explicit
-    // ORDER BY on other columns is not supported for grouped queries.
-    if (plan.needs_sort) {
-      ctx.metrics.rows_sorted += result.rows.size();
-      ctx.metrics.cost_units +=
-          cm_.SortCost(static_cast<double>(result.rows.size()));
-    }
-    if (limit >= 0 && static_cast<int64_t>(result.rows.size()) > limit) {
-      result.rows.resize(limit);
-    }
-  } else {
-    if (plan.needs_sort && !select.order_by.empty()) {
-      std::vector<bool> asc;
-      for (const auto& o : select.order_by) asc.push_back(o.ascending);
-      std::stable_sort(ungrouped.begin(), ungrouped.end(),
-                       [&](const auto& a, const auto& b) {
-                         for (size_t i = 0; i < a.first.size(); ++i) {
-                           const int c = a.first[i].Compare(b.first[i]);
-                           if (c != 0) return asc[i] ? c < 0 : c > 0;
-                         }
-                         return false;
-                       });
-      ctx.metrics.rows_sorted += ungrouped.size();
-      ctx.metrics.cost_units +=
-          cm_.SortCost(static_cast<double>(ungrouped.size()));
-    }
-    for (auto& [key, row] : ungrouped) {
-      result.rows.push_back(std::move(row));
-      if (limit >= 0 &&
-          static_cast<int64_t>(result.rows.size()) >= limit) {
-        break;
-      }
-    }
+  std::vector<int> step_of_instance(query.instances.size(), -1);
+  for (size_t s = 0; s < plan.steps.size(); ++s) {
+    step_of_instance[plan.steps[s].instance] = static_cast<int>(s);
   }
 
+  SelectSink sink(select, query, plan, &ctx);
+
+  if (options_.engine == EngineKind::kRowAtATime) {
+    NestedLoopDriver driver(&ctx, &plan,
+                            [&]() { return sink.Emit(ctx.bound_data()); });
+    driver.set_where(select.where.get());
+    driver.Run();
+  } else {
+    static obs::Counter* const batch_count =
+        obs::MetricsRegistry::Global()->counter("executor.batch.count");
+    static obs::Counter* const batch_rows =
+        obs::MetricsRegistry::Global()->counter("executor.batch.rows");
+    FilterProgram filter(select.where.get(), ctx, step_of_instance,
+                         static_cast<int>(num_steps));
+    BatchEngine engine(&ctx, plan, &filter, &sink, step_of_instance);
+    engine.Run();
+    batch_count->Add();
+    batch_rows->Add(ctx.metrics.op_scan.rows_out +
+                    ctx.metrics.op_join.rows_out);
+  }
+
+  sink.Finalize(&result.rows);
   ctx.metrics.rows_sent = result.rows.size();
-  ctx.metrics.cpu_seconds = cm_.ToCpuSeconds(ctx.metrics.cost_units);
+  if (options_.engine == EngineKind::kBatch) {
+    ctx.metrics.op_aggregate.rows_out = result.rows.size();
+    EmitOperatorSpans(ctx.metrics);
+  }
+  ctx.FinalizeCost();
   result.metrics = ctx.metrics;
   return result;
 }
@@ -797,7 +412,7 @@ Result<ExecuteResult> Executor::ExecuteDml(
     const sql::Statement& stmt, const optimizer::AnalyzedQuery& query,
     const optimizer::Plan& plan) {
   ExecuteResult result;
-  ExecContext ctx(db_, &query, &cm_);
+  ExecContext ctx(db_, &query, &cm_, /*num_steps=*/1);
   const catalog::TableId table = query.instances[0].table;
   const auto& table_def = db_->catalog().table(table);
 
@@ -821,9 +436,9 @@ Result<ExecuteResult> Executor::ExecuteDml(
     // The clustered primary index (maintained like any other) accounts
     // for the base-table write.
     ctx.metrics.index_entries_written = mc.index_entries_written;
-    ctx.metrics.cost_units += cm_.IndexMaintenanceCost(
-        static_cast<double>(mc.index_entries_written));
-    ctx.metrics.cpu_seconds = cm_.ToCpuSeconds(ctx.metrics.cost_units);
+    ctx.AddTailCost(cm_.IndexMaintenanceCost(
+        static_cast<double>(mc.index_entries_written)));
+    ctx.FinalizeCost();
     result.metrics = ctx.metrics;
     return result;
   }
@@ -831,6 +446,10 @@ Result<ExecuteResult> Executor::ExecuteDml(
   // UPDATE / DELETE: locate matching rows first (via the plan), mutate
   // after (no mutation during scans).
   std::vector<RowId> matches;
+  if (plan.est_result_rows > 0) {
+    matches.reserve(std::min<size_t>(
+        static_cast<size_t>(plan.est_result_rows), 1u << 20));
+  }
   {
     const sql::Expr* where = stmt.kind == sql::Statement::Kind::kUpdate
                                  ? stmt.update->where.get()
@@ -884,8 +503,8 @@ Result<ExecuteResult> Executor::ExecuteDml(
         }
       };
       enumerate(0);
-      ctx.metrics.used_indexes.push_back(index.id);
-      ctx.metrics.cost_units += cm_.params().btree_descent_cost;
+      ctx.UseIndex(0, index.id);
+      ctx.AddStepCost(0, cm_.params().btree_descent_cost);
     } else {
       const uint64_t visited = heap.Scan([&](RowId rid, const Row& row) {
         ctx.Bind(0, &row);
@@ -903,9 +522,9 @@ Result<ExecuteResult> Executor::ExecuteDml(
       const double pages = std::max(
           1.0,
           db_->catalog().TableSizeBytes(table) / cm_.params().page_size);
-      ctx.metrics.cost_units +=
-          pages * cm_.params().seq_page_cost +
-          static_cast<double>(visited) * cm_.params().cpu_row_cost;
+      ctx.AddStepCost(
+          0, pages * cm_.params().seq_page_cost +
+                 static_cast<double>(visited) * cm_.params().cpu_row_cost);
     }
   }
 
@@ -931,10 +550,10 @@ Result<ExecuteResult> Executor::ExecuteDml(
   ctx.metrics.index_entries_written = mc.index_entries_written;
   // Index maintenance + the in-place base-row write (updates that do not
   // touch the primary key modify the clustered row without a key write).
-  ctx.metrics.cost_units += cm_.IndexMaintenanceCost(
+  ctx.AddTailCost(cm_.IndexMaintenanceCost(
       static_cast<double>(ctx.metrics.index_entries_written) +
-      static_cast<double>(matches.size()));
-  ctx.metrics.cpu_seconds = cm_.ToCpuSeconds(ctx.metrics.cost_units);
+      static_cast<double>(matches.size())));
+  ctx.FinalizeCost();
   result.metrics = ctx.metrics;
   return result;
 }

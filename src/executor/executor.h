@@ -16,19 +16,30 @@ struct ExecuteResult {
   ExecutionMetrics metrics;
 };
 
-/// \brief Interprets optimizer plans against the storage engine.
+/// Engine selection and tuning knobs.
+struct ExecutorOptions {
+  /// SELECT engine. The vectorized batch engine is the default; the
+  /// row-at-a-time interpreter remains as the differential oracle the
+  /// batch equivalence suite pins against.
+  EngineKind engine = EngineKind::kBatch;
+};
+
+/// \brief Executes optimizer plans against the storage engine.
 ///
-/// Execution is nested-loop join over the plan's join order, using real
-/// B+Tree index scans for index paths and heap scans otherwise, with
-/// grouping / ordering / limit applied at the end. Every row and index
-/// entry touched is counted; the cost model converts the counts into the
-/// "CPU seconds" currency the workload monitor reports.
+/// Two SELECT engines share one accounting/emission substrate (see
+/// executor/exec_common.h): the original row-at-a-time nested-loop
+/// interpreter, and a vectorized batch engine that scans heaps in column
+/// batches, evaluates compiled predicates over lane buffers, and probes
+/// B+Trees with sorted probe batches. Results and metrics are
+/// bit-identical between the two by construction; the batch engine exists
+/// because clone-validation replay is executor-bound.
 ///
 /// Statements must be literal (no '?' parameters).
 class Executor {
  public:
-  Executor(storage::Database* db, optimizer::CostModel cm)
-      : db_(db), cm_(cm) {}
+  Executor(storage::Database* db, optimizer::CostModel cm,
+           ExecutorOptions options = {})
+      : db_(db), cm_(cm), options_(options) {}
 
   /// Plans (using only real indexes) and executes.
   Result<ExecuteResult> Execute(const sql::Statement& stmt);
@@ -49,6 +60,7 @@ class Executor {
 
   storage::Database* db_;
   optimizer::CostModel cm_;
+  ExecutorOptions options_;
 };
 
 }  // namespace aim::executor

@@ -8,6 +8,30 @@
 
 namespace aim::executor {
 
+/// Which execution engine interprets SELECT plans. The two engines are
+/// bit-identical in results and metrics (pinned by `ctest -L batch`); the
+/// row interpreter is kept as the differential baseline.
+enum class EngineKind {
+  kBatch = 0,
+  kRowAtATime = 1,
+};
+
+/// Per-operator batch counters (64-bit so 10k-template replays cannot
+/// overflow). Filled by the batch engine only; purely observational —
+/// deliberately *excluded* from the row-vs-batch bit-identity surface,
+/// like tracing spans.
+struct OperatorStats {
+  uint64_t batches = 0;
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+
+  void MergeFrom(const OperatorStats& other) {
+    batches += other.batches;
+    rows_in += other.rows_in;
+    rows_out += other.rows_out;
+  }
+};
+
 /// \brief Observed (not estimated) metrics of one statement execution —
 /// the raw material of the paper's query execution statistics
 /// (Sec. III-C): rows read, rows sent, CPU cost.
@@ -35,6 +59,12 @@ struct ExecutionMetrics {
   /// Indexes actually used by the execution.
   std::vector<catalog::IndexId> used_indexes;
 
+  /// Per-operator aggregation (batch engine; zero on the row path).
+  OperatorStats op_scan;
+  OperatorStats op_filter;
+  OperatorStats op_join;
+  OperatorStats op_aggregate;
+
   /// Discarded-data ratio ingredient: data sent / data read for this
   /// execution (1.0 when nothing was read).
   double SentToReadRatio() const {
@@ -57,6 +87,10 @@ struct ExecutionMetrics {
     cpu_seconds += other.cpu_seconds;
     used_indexes.insert(used_indexes.end(), other.used_indexes.begin(),
                         other.used_indexes.end());
+    op_scan.MergeFrom(other.op_scan);
+    op_filter.MergeFrom(other.op_filter);
+    op_join.MergeFrom(other.op_join);
+    op_aggregate.MergeFrom(other.op_aggregate);
   }
 };
 

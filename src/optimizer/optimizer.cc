@@ -54,7 +54,15 @@ Plan Optimizer::OptimizeAnalyzed(const AnalyzedQuery& query,
   if (query.dml != AnalyzedQuery::DmlKind::kNone) {
     return PlanDml(query, options);
   }
-  return PlanSelect(query, options);
+  Plan plan = PlanSelect(query, options);
+  // Lane-buffer reservation hint for the batch executor: enough for the
+  // estimated intermediate cardinality, clamped so a bad estimate cannot
+  // trigger a pathological allocation.
+  const double est =
+      std::max(plan.est_rows_examined, plan.est_result_rows);
+  plan.batch_size_hint = static_cast<uint32_t>(
+      std::clamp(est, 64.0, 4096.0));
+  return plan;
 }
 
 Plan Optimizer::PlanSelect(const AnalyzedQuery& query,

@@ -42,6 +42,11 @@ struct Plan {
   /// Estimated rows examined across all steps (drives the ddr estimate).
   double est_rows_examined = 0.0;
 
+  /// Lane-buffer reservation hint for the batch executor, derived from
+  /// the cardinality estimates (0 = no hint). Never affects results or
+  /// metrics, only allocation behavior.
+  uint32_t batch_size_hint = 0;
+
   double total_cost() const {
     return read_cost + sort_cost + maintenance_cost;
   }

@@ -113,6 +113,119 @@ uint64_t BTreeIndex::ScanSkip(
   return visited;
 }
 
+uint64_t BTreeIndex::GatherPrefix(const Row& eq_prefix,
+                                  const std::optional<KeyBound>& lower,
+                                  const std::optional<KeyBound>& upper,
+                                  std::vector<IndexHit>* out) const {
+  Row start = eq_prefix;
+  if (lower.has_value()) start.push_back(lower->value);
+  auto it = map_.lower_bound(start);
+  uint64_t visited = 0;
+  const size_t p = eq_prefix.size();
+  for (; it != map_.end(); ++it) {
+    const Row& key = it->first;
+    if (key.size() < p) break;
+    bool prefix_match = true;
+    for (size_t i = 0; i < p; ++i) {
+      if (key[i].Compare(eq_prefix[i]) != 0) {
+        prefix_match = false;
+        break;
+      }
+    }
+    if (!prefix_match) break;
+    if (key.size() > p) {
+      const sql::Value& next = key[p];
+      if (lower.has_value() && !lower->inclusive &&
+          next.Compare(lower->value) == 0) {
+        ++visited;  // touched before being rejected, like ScanPrefix
+        continue;
+      }
+      if (upper.has_value()) {
+        const int c = next.Compare(upper->value);
+        if (c > 0 || (c == 0 && !upper->inclusive)) break;
+      }
+    }
+    ++visited;
+    out->push_back(IndexHit{it->second, visited});
+  }
+  return visited;
+}
+
+void BTreeIndex::GatherPrefixBatch(const std::vector<Row>& probes,
+                                   const std::vector<size_t>& order,
+                                   const std::optional<KeyBound>& lower,
+                                   const std::optional<KeyBound>& upper,
+                                   std::vector<IndexHit>* hits,
+                                   std::vector<ProbeSpan>* spans) const {
+  spans->resize(probes.size());
+  const Row* prev = nullptr;
+  ProbeSpan prev_span;
+  for (size_t k = 0; k < order.size(); ++k) {
+    const size_t i = order[k];
+    const Row& probe = probes[i];
+    if (prev != nullptr && probe == *prev) {
+      (*spans)[i] = prev_span;  // duplicate prefix: reuse the descent
+      continue;
+    }
+    ProbeSpan span;
+    span.begin = hits->size();
+    span.visited = GatherPrefix(probe, lower, upper, hits);
+    span.end = hits->size();
+    (*spans)[i] = span;
+    prev = &probe;
+    prev_span = span;
+  }
+}
+
+uint64_t BTreeIndex::GatherSkip(size_t skip_width,
+                                const std::optional<KeyBound>& lower,
+                                const std::optional<KeyBound>& upper,
+                                std::vector<IndexHit>* out,
+                                std::vector<uint64_t>* cum_groups,
+                                uint64_t* groups_total) const {
+  uint64_t visited = 0;
+  uint64_t groups = 0;
+  auto it = map_.begin();
+  while (it != map_.end()) {
+    if (it->first.size() < skip_width) {
+      ++it;
+      continue;
+    }
+    Row group(it->first.begin(), it->first.begin() + skip_width);
+    ++groups;
+    Row start = group;
+    if (lower.has_value()) start.push_back(lower->value);
+    for (auto jt = map_.lower_bound(start); jt != map_.end(); ++jt) {
+      const Row& key = jt->first;
+      bool in_group = key.size() >= skip_width;
+      for (size_t i = 0; in_group && i < skip_width; ++i) {
+        in_group = key[i].Compare(group[i]) == 0;
+      }
+      if (!in_group) break;
+      if (key.size() > skip_width) {
+        const sql::Value& next = key[skip_width];
+        if (lower.has_value() && !lower->inclusive &&
+            next.Compare(lower->value) == 0) {
+          ++visited;
+          continue;
+        }
+        if (upper.has_value()) {
+          const int c = next.Compare(upper->value);
+          if (c > 0 || (c == 0 && !upper->inclusive)) break;
+        }
+      }
+      ++visited;
+      out->push_back(IndexHit{jt->second, visited});
+      cum_groups->push_back(groups);
+    }
+    Row past = group;
+    past.push_back(sql::Value::Max());
+    it = map_.upper_bound(past);
+  }
+  *groups_total = groups;
+  return visited;
+}
+
 uint64_t BTreeIndex::ScanAll(
     const std::function<bool(const Row& key, RowId rid)>& visitor) const {
   uint64_t visited = 0;

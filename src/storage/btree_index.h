@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "storage/row.h"
 
@@ -14,6 +15,25 @@ namespace aim::storage {
 struct KeyBound {
   sql::Value value;
   bool inclusive = true;
+};
+
+/// One gathered index entry: the row id plus the cumulative "entries
+/// visited" count *at* this entry (inclusive; counts exclusive-lower-bound
+/// rejects too, exactly as ScanPrefix's return value would at that point).
+/// The cumulative counts let a consumer that stops at hit `h` account the
+/// same visited total the callback scan would have reported.
+struct IndexHit {
+  RowId rid = 0;
+  uint64_t visited = 0;
+};
+
+/// Per-probe result span of a batched gather: hits[begin, end) plus the
+/// probe's total visited count (including trailing rejected entries after
+/// the last hit).
+struct ProbeSpan {
+  size_t begin = 0;
+  size_t end = 0;
+  uint64_t visited = 0;
 };
 
 /// \brief An ordered secondary index (B+Tree semantics) mapping composite
@@ -55,6 +75,49 @@ class BTreeIndex {
       const std::optional<KeyBound>& upper,
       const std::function<bool(const Row& key, RowId rid)>& visitor,
       uint64_t* groups_probed = nullptr) const;
+
+  /// \name Batch-gather API (vectorized executor).
+  ///
+  /// The gather calls visit exactly the entries the callback scans above
+  /// would, in the same order (std::multimap preserves insertion order for
+  /// equal keys, so tie order matches entry-by-entry), but append hits to
+  /// plain vectors instead of invoking a std::function per entry. Metric
+  /// accounting is the caller's job, via the per-hit cumulative counts.
+  /// @{
+
+  /// Gathers every entry ScanPrefix(eq_prefix, lower, upper, ...) would
+  /// visit. Appends to `out`; returns the probe's total visited count.
+  uint64_t GatherPrefix(const Row& eq_prefix,
+                        const std::optional<KeyBound>& lower,
+                        const std::optional<KeyBound>& upper,
+                        std::vector<IndexHit>* out) const;
+
+  /// \brief Batched probe: one tree descent per *distinct* prefix.
+  ///
+  /// `order` indexes into `probes` and must be sorted so equal prefixes
+  /// are adjacent (the caller sorts once per input batch); consecutive
+  /// duplicates reuse the previous descent's hit span instead of
+  /// re-walking the tree. `spans` is written per *original* probe
+  /// position (spans[i] describes probes[i]), so callers can account
+  /// probes in their canonical enumeration order.
+  void GatherPrefixBatch(const std::vector<Row>& probes,
+                         const std::vector<size_t>& order,
+                         const std::optional<KeyBound>& lower,
+                         const std::optional<KeyBound>& upper,
+                         std::vector<IndexHit>* hits,
+                         std::vector<ProbeSpan>* spans) const;
+
+  /// Gathers everything ScanSkip would visit. `cum_groups[i]` is the
+  /// number of groups entered when hit i was visited (inclusive);
+  /// `groups_total` receives the full group count (trailing hitless
+  /// groups included, matching ScanSkip's groups_probed on a full scan).
+  uint64_t GatherSkip(size_t skip_width,
+                      const std::optional<KeyBound>& lower,
+                      const std::optional<KeyBound>& upper,
+                      std::vector<IndexHit>* out,
+                      std::vector<uint64_t>* cum_groups,
+                      uint64_t* groups_total) const;
+  /// @}
 
  private:
   std::multimap<Row, RowId, RowLess> map_;

@@ -37,4 +37,17 @@ uint64_t HeapTable::Scan(
   return visited;
 }
 
+size_t HeapTable::ScanChunk(RowId* cursor, size_t max_rows,
+                            std::vector<const Row*>* out) const {
+  size_t appended = 0;
+  RowId rid = *cursor;
+  for (; rid < rows_.size() && appended < max_rows; ++rid) {
+    if (deleted_[rid]) continue;
+    out->push_back(&rows_[rid]);
+    ++appended;
+  }
+  *cursor = rid;
+  return appended;
+}
+
 }  // namespace aim::storage

@@ -39,6 +39,17 @@ class HeapTable {
   uint64_t Scan(
       const std::function<bool(RowId, const Row&)>& visitor) const;
 
+  /// \brief Chunked scan cursor for the batch executor: appends up to
+  /// `max_rows` live rows (pointers remain valid while the table is not
+  /// mutated) starting at slot `*cursor`, advancing `*cursor` past the
+  /// last slot examined.
+  ///
+  /// Returns the number of rows appended — identical to the visited count
+  /// Scan would report for these rows. The scan is exhausted when it
+  /// returns less than `max_rows`.
+  size_t ScanChunk(RowId* cursor, size_t max_rows,
+                   std::vector<const Row*>* out) const;
+
  private:
   std::vector<Row> rows_;
   std::vector<bool> deleted_;

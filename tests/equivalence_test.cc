@@ -147,11 +147,14 @@ std::string ShardedSignature(const core::ShardedReport& report,
 
 std::string RunAim(const storage::Database& base,
                    const workload::Workload& w, int threads,
-                   size_t cache_entries) {
+                   size_t cache_entries,
+                   executor::EngineKind replay_engine =
+                       executor::EngineKind::kBatch) {
   storage::Database db = base;
   core::AimOptions options;
   options.num_threads = threads;
   options.what_if_cache_entries = cache_entries;
+  options.validation.replay_engine = replay_engine;
   core::AutomaticIndexManager aim(&db, optimizer::CostModel(), options);
   Result<core::AimReport> r = aim.RunOnce(w, nullptr);
   EXPECT_TRUE(r.ok()) << r.status().ToString();
@@ -169,6 +172,27 @@ TEST(EquivalenceTest, AimPipelineBitIdenticalAcrossThreads) {
         << "equivalence run recommended nothing:\n" << serial;
     EXPECT_EQ(serial, RunAim(base, w, 2, cache)) << "cache=" << cache;
     EXPECT_EQ(serial, RunAim(base, w, 8, cache)) << "cache=" << cache;
+  }
+}
+
+// The replay-engine knob is a third equivalence dimension next to thread
+// count and cache size: the vectorized batch executor and the row
+// interpreter must drive the validation replay to bit-identical
+// evidence. Deeper row-vs-batch coverage lives in `ctest -L batch`.
+TEST(EquivalenceTest, AimPipelineBitIdenticalAcrossReplayEngines) {
+  FaultRegistry::Instance().DisarmAll();
+  const storage::Database base = MakeUsersDb(500, /*seed=*/7);
+  const workload::Workload w = EquivalenceWorkload();
+  for (size_t cache : {size_t{4096}, size_t{0}}) {
+    const std::string row = RunAim(base, w, 1, cache,
+                                   executor::EngineKind::kRowAtATime);
+    ASSERT_NE(row.find("idx "), std::string::npos)
+        << "equivalence run recommended nothing:\n" << row;
+    for (int threads : {1, 2, 8}) {
+      EXPECT_EQ(row, RunAim(base, w, threads, cache,
+                            executor::EngineKind::kBatch))
+          << "threads=" << threads << " cache=" << cache;
+    }
   }
 }
 

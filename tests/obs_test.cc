@@ -25,6 +25,7 @@
 #include "core/aim.h"
 #include "core/continuous.h"
 #include "core/sharding.h"
+#include "executor/executor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optimizer/what_if_cache.h"
@@ -372,6 +373,34 @@ TEST(TraceExportTest, RunStatsSourcedFromRegistry) {
   EXPECT_EQ(apply->count(), apply_before + 1);
   EXPECT_GE(r.ValueOrDie().stats.selection_seconds, 0.0);
   EXPECT_GE(r.ValueOrDie().stats.apply_seconds, 0.0);
+}
+
+// The default (batch) engine feeds the executor.batch.* counters: one
+// SELECT bumps the batch count and accounts every row its scan/join
+// operators produced. The row interpreter must leave them untouched.
+TEST(TraceExportTest, BatchExecutorCountersTrackDefaultEngine) {
+  FaultRegistry::Instance().DisarmAll();
+  MetricsRegistry* reg = MetricsRegistry::Global();
+  Counter* count = reg->counter("executor.batch.count");
+  Counter* rows = reg->counter("executor.batch.rows");
+
+  storage::Database db = MakeUsersDb(500, /*seed=*/7);
+  const sql::Statement stmt =
+      aim::testing::MustParse("SELECT id FROM users WHERE org_id = 3");
+
+  executor::Executor batch_exec(&db, optimizer::CostModel());
+  const uint64_t count_before = count->value();
+  const uint64_t rows_before = rows->value();
+  ASSERT_TRUE(batch_exec.Execute(stmt).ok());
+  EXPECT_EQ(count->value(), count_before + 1);
+  EXPECT_GE(rows->value(), rows_before + 500);  // full scan feeds 500 rows
+
+  executor::ExecutorOptions row_options;
+  row_options.engine = executor::EngineKind::kRowAtATime;
+  executor::Executor row_exec(&db, optimizer::CostModel(), row_options);
+  const uint64_t count_mid = count->value();
+  ASSERT_TRUE(row_exec.Execute(stmt).ok());
+  EXPECT_EQ(count->value(), count_mid);
 }
 
 // ---------------------------------------------------------------------------
