@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <unordered_set>
 
 #include "common/fault_injection.h"
@@ -67,10 +68,36 @@ Result<AimReport> AutomaticIndexManager::Recommend(
   AimReport report;
   common::ThreadPool* pool = EnsurePool();
 
+  // Line 0 (extension): workload compression — fold the interval's raw
+  // statements into weighted cluster representatives, so every later
+  // phase scales with clusters, not statements.
+  const workload::Workload* effective = &workload;
+  if (options_.compression.enabled && !workload.empty()) {
+    obs::PhaseTimer timer("workload.compress",
+                          &report.stats.compression_seconds);
+    report.compressed = std::make_shared<const workload::CompressedWorkload>(
+        workload::WorkloadCompressor(options_.compression)
+            .Compress(workload, monitor, &db_->catalog()));
+    effective = &report.compressed->workload;
+    report.stats.compression_statements_in =
+        report.compressed->stats.statements_in;
+    report.stats.compression_clusters = report.compressed->stats.clusters;
+    report.stats.compression_ratio = report.compressed->stats.ratio();
+    timer.span()->SetAttr("statements_in",
+                          report.stats.compression_statements_in);
+    timer.span()->SetAttr("clusters", report.stats.compression_clusters);
+    timer.span()->SetAttr("ratio", report.stats.compression_ratio);
+  }
+
   // Line 1: representative workload selection.
   {
     obs::PhaseTimer timer("aim.selection", &report.stats.selection_seconds);
-    report.selected_workload = SelectQueries(workload, monitor);
+    if (report.compressed != nullptr && monitor != nullptr) {
+      report.selected_workload = SelectCompressedWorkload(
+          *report.compressed, *monitor, options_.selection);
+    } else {
+      report.selected_workload = SelectQueries(*effective, monitor);
+    }
     report.stats.queries_selected = report.selected_workload.size();
     timer.span()->SetAttr("queries_selected", report.stats.queries_selected);
   }
@@ -99,17 +126,46 @@ Result<AimReport> AutomaticIndexManager::Recommend(
   // order, making the result bit-identical to the serial fallback.
   std::vector<PartialOrder> orders;
   std::unordered_set<std::string> seen;
+  CandidateCache* const ccache = options_.candidate_cache;
   auto generate_pass = [&](bool covering_enabled) -> Status {
     CandidateGenOptions pass_opts = options_.candidates;
     pass_opts.enable_covering = covering_enabled;
     const size_t n = report.selected_workload.size();
     std::vector<std::vector<PartialOrder>> per_query(n);
+    // Incremental candidate generation: per-cluster results are served
+    // from the carried cache when this pass's full input fingerprint
+    // (statement × configuration × schema/stats × options) matches a
+    // previous interval's. The context must be fingerprinted on the
+    // master optimizer before the fan-out (phase 2 runs under the staged
+    // phase-1 configuration).
+    std::vector<uint8_t> cache_hit(n, 0);
+    const uint64_t context =
+        ccache != nullptr
+            ? CandidateCache::ContextFingerprint(
+                  db_->catalog().SchemaStatsFingerprint(),
+                  what_if.config_fingerprint(), pass_opts)
+            : 0;
     optimizer::ParallelWhatIf(
         pool, n, &what_if,
         [&](optimizer::WhatIfOptimizer* w, size_t qi) {
           const SelectedQuery& sq = report.selected_workload[qi];
           if (sq.query->stmt.kind == sql::Statement::Kind::kInsert) {
             return;
+          }
+          const workload::QueryStats* stats =
+              sq.stats.executions > 0 ? &sq.stats : nullptr;
+          uint64_t cluster_key = 0;
+          if (ccache != nullptr) {
+            // Only the covering pass reads stats (TryCoveringIndex's
+            // seek-volume check), so only it keys on the execution count.
+            const uint64_t covering_execs =
+                covering_enabled && stats != nullptr ? stats->executions : 0;
+            cluster_key =
+                CandidateCache::ClusterKey(sq.query->stmt, covering_execs);
+            if (ccache->Lookup(cluster_key, context, &per_query[qi])) {
+              cache_hit[qi] = 1;
+              return;
+            }
           }
           Result<optimizer::AnalyzedQuery> aq =
               optimizer::Analyze(sq.query->stmt, w->catalog());
@@ -118,11 +174,24 @@ Result<AimReport> AutomaticIndexManager::Recommend(
             return;
           }
           CandidateGenerator pass_gen(w->catalog(), w, pass_opts);
-          const workload::QueryStats* stats =
-              sq.stats.executions > 0 ? &sq.stats : nullptr;
           per_query[qi] =
               pass_gen.GenerateForQuery(*sq.query, aq.ValueOrDie(), stats);
+          if (ccache != nullptr) {
+            ccache->Insert(cluster_key, context, per_query[qi]);
+          }
         });
+    if (ccache != nullptr) {
+      for (size_t qi = 0; qi < n; ++qi) {
+        const SelectedQuery& sq = report.selected_workload[qi];
+        if (sq.query->stmt.kind == sql::Statement::Kind::kInsert) continue;
+        ++report.stats.candgen_clusters_total;
+        if (cache_hit[qi]) {
+          ++report.stats.candgen_clusters_reused;
+        } else {
+          ++report.stats.candgen_clusters_recomputed;
+        }
+      }
+    }
     for (std::vector<PartialOrder>& pos : per_query) {
       AppendUnique(&orders, &seen, std::move(pos));
     }
@@ -132,6 +201,11 @@ Result<AimReport> AutomaticIndexManager::Recommend(
   // Phase 1: narrow (non-covering) candidates for every selected query.
   {
     obs::PhaseTimer timer("aim.candgen", &report.stats.candgen_seconds);
+    // Spans both generate passes; attrs carry the reuse counters.
+    std::optional<obs::Span> incremental_span;
+    if (ccache != nullptr) {
+      incremental_span.emplace(obs::Tracer::Get(), "candgen.incremental");
+    }
     AIM_RETURN_NOT_OK(generate_pass(/*covering_enabled=*/false));
 
     if (options_.two_phase && options_.candidates.enable_covering) {
@@ -148,6 +222,27 @@ Result<AimReport> AutomaticIndexManager::Recommend(
       AIM_RETURN_NOT_OK(what_if.SetConfiguration(phase1));
       AIM_RETURN_NOT_OK(generate_pass(/*covering_enabled=*/true));
       what_if.ClearConfiguration();
+    }
+    if (incremental_span.has_value()) {
+      static obs::Counter* const clusters_total =
+          obs::MetricsRegistry::Global()->counter(
+              "candgen.clusters_total");
+      static obs::Counter* const clusters_reused =
+          obs::MetricsRegistry::Global()->counter(
+              "candgen.clusters_reused");
+      static obs::Counter* const clusters_recomputed =
+          obs::MetricsRegistry::Global()->counter(
+              "candgen.clusters_recomputed");
+      clusters_total->Add(report.stats.candgen_clusters_total);
+      clusters_reused->Add(report.stats.candgen_clusters_reused);
+      clusters_recomputed->Add(report.stats.candgen_clusters_recomputed);
+      incremental_span->SetAttr("clusters_total",
+                                report.stats.candgen_clusters_total);
+      incremental_span->SetAttr("clusters_reused",
+                                report.stats.candgen_clusters_reused);
+      incremental_span->SetAttr("clusters_recomputed",
+                                report.stats.candgen_clusters_recomputed);
+      incremental_span->End();
     }
     report.stats.partial_orders_generated = orders.size();
     timer.span()->SetAttr("partial_orders",

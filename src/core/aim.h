@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/candidate_cache.h"
 #include "core/candidate_generation.h"
 #include "core/clone_validation.h"
 #include "core/explain.h"
@@ -14,6 +15,7 @@
 #include "core/workload_selection.h"
 #include "storage/database.h"
 #include "storage/online_index_builder.h"
+#include "workload/compression.h"
 
 namespace aim::core {
 
@@ -54,6 +56,19 @@ struct AimOptions {
   /// Build knobs for the online apply path (ignored when
   /// `online_apply_db` is null).
   storage::OnlineBuildOptions online;
+  /// Workload compression (the CoPhy-style pre-pass): cluster the
+  /// interval's statements into templates / structural clusters and run
+  /// selection → candidate generation → ranking on weighted cluster
+  /// representatives, with per-cluster frequency roll-up. Off by default.
+  workload::WorkloadCompressionOptions compression;
+  /// Externally owned per-cluster candidate cache — how the continuous
+  /// tuner makes candidate generation incremental across intervals. Keys
+  /// embed the statement, configuration, schema/stats, and option
+  /// fingerprints, so a hit is exactly what recomputation would produce;
+  /// drifted or new clusters miss and recompute. Null = recompute every
+  /// cluster. Lifetime and invalidation are the owner's job (the LRU ages
+  /// stale keys out on its own).
+  CandidateCache* candidate_cache = nullptr;
 };
 
 /// Run statistics, for the runtime comparisons of Fig. 4.
@@ -95,6 +110,24 @@ struct AimRunStats {
   size_t online_builds = 0;
   uint64_t online_delta_applied = 0;
   double online_max_stall_seconds = 0.0;
+  /// Workload-compression activity (identity values when disabled).
+  uint64_t compression_statements_in = 0;
+  size_t compression_clusters = 0;
+  double compression_ratio = 1.0;
+  double compression_seconds = 0.0;
+  /// Incremental candidate generation (zeros without a candidate cache).
+  /// One "cluster" per selected query per generation pass; reused =
+  /// served from the carried cache, recomputed = generated this run.
+  size_t candgen_clusters_total = 0;
+  size_t candgen_clusters_reused = 0;
+  size_t candgen_clusters_recomputed = 0;
+
+  double candgen_reuse_rate() const {
+    return candgen_clusters_total == 0
+               ? 0.0
+               : static_cast<double>(candgen_clusters_reused) /
+                     static_cast<double>(candgen_clusters_total);
+  }
 
   double cache_hit_rate() const {
     const double total = static_cast<double>(cache_hits + cache_misses);
@@ -109,6 +142,10 @@ struct AimReport {
   std::vector<SelectedQuery> selected_workload;
   CloneValidationResult validation;
   AimRunStats stats;
+  /// The compressed workload the run planned on (null when compression is
+  /// off). Shared ownership keeps the representative queries that
+  /// `selected_workload` points at alive across report copies/moves.
+  std::shared_ptr<const workload::CompressedWorkload> compressed;
 };
 
 /// \brief AIM — the Automatic Index Manager (Algorithm 1).

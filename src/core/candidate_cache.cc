@@ -1,0 +1,100 @@
+#include "core/candidate_cache.h"
+
+#include <cstring>
+
+#include "optimizer/what_if.h"
+
+namespace aim::core {
+
+namespace {
+
+void Mix(uint64_t* h, uint64_t v) {
+  *h ^= v + 0x9E3779B97F4A7C15ull + (*h << 6) + (*h >> 2);
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+uint64_t CandidateCache::ClusterKey(const sql::Statement& stmt,
+                                    uint64_t covering_executions) {
+  uint64_t h = optimizer::FingerprintStatement(stmt);
+  Mix(&h, covering_executions);
+  return h;
+}
+
+uint64_t CandidateCache::ContextFingerprint(
+    uint64_t schema_stats_fingerprint, uint64_t config_fingerprint,
+    const CandidateGenOptions& options) {
+  uint64_t h = schema_stats_fingerprint;
+  Mix(&h, config_fingerprint);
+  Mix(&h, static_cast<uint64_t>(options.join_parameter));
+  Mix(&h, options.enable_covering ? 1u : 0u);
+  Mix(&h, DoubleBits(options.covering_seek_threshold));
+  Mix(&h, options.max_index_width);
+  Mix(&h, options.switches.index_merge_union ? 1u : 0u);
+  Mix(&h, options.switches.index_condition_pushdown ? 1u : 0u);
+  Mix(&h, options.switches.sort_avoidance ? 1u : 0u);
+  Mix(&h, options.switches.index_skip_scan ? 1u : 0u);
+  Mix(&h, DoubleBits(options.ipp_selectivity_floor));
+  Mix(&h, options.use_dataless_cost ? 1u : 0u);
+  return h;
+}
+
+bool CandidateCache::Lookup(uint64_t cluster, uint64_t context,
+                            std::vector<PartialOrder>* out) {
+  const Key key{cluster, context};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  *out = it->second->second;
+  return true;
+}
+
+void CandidateCache::Insert(uint64_t cluster, uint64_t context,
+                            std::vector<PartialOrder> orders) {
+  const Key key{cluster, context};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Concurrent workers computing the same cluster insert identical
+    // results; keep the first.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(orders));
+  map_.emplace(key, lru_.begin());
+  ++stats_.insertions;
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void CandidateCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+}
+
+size_t CandidateCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+CandidateCache::Stats CandidateCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace aim::core

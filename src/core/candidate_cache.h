@@ -1,0 +1,97 @@
+#ifndef AIM_CORE_CANDIDATE_CACHE_H_
+#define AIM_CORE_CANDIDATE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/candidate_generation.h"
+#include "core/partial_order.h"
+#include "sql/ast.h"
+
+namespace aim::core {
+
+/// \brief Per-cluster candidate-generation cache: the partial orders one
+/// statement produced, keyed by everything `GenerateForQuery` consumes.
+///
+/// The key covers the cluster fingerprint (canonical statement text plus
+/// the covering-pass execution count) and the generation context (the
+/// schema/statistics fingerprint, the what-if configuration fingerprint,
+/// and a digest of the generation options). Because candidate generation
+/// is a pure function of exactly those inputs, a hit returns bit-identical
+/// partial orders to a recomputation — reuse can never change a selection.
+/// Drift invalidation is therefore free: a drifted cluster or a changed
+/// schema/configuration produces a different key and simply misses, while
+/// the bounded LRU ages the stale entries out.
+///
+/// This is how the continuous tuner makes candidate generation incremental
+/// across intervals, mirroring how `WhatIfCache` carries plan costs.
+/// Thread-safe; lookups fan out from the parallel what-if workers.
+class CandidateCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  explicit CandidateCache(size_t capacity = 8192)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// The cluster half of the key: canonical (literal-inclusive) statement
+  /// fingerprint mixed with the execution count the covering pass feeds
+  /// into `TryCoveringIndex` (pass 0 for the stats-independent
+  /// non-covering pass).
+  static uint64_t ClusterKey(const sql::Statement& stmt,
+                             uint64_t covering_executions);
+
+  /// The context half: schema/stats fingerprint × what-if configuration
+  /// fingerprint × generation-option digest.
+  static uint64_t ContextFingerprint(uint64_t schema_stats_fingerprint,
+                                     uint64_t config_fingerprint,
+                                     const CandidateGenOptions& options);
+
+  /// Copies the cached orders into `*out` and returns true on a hit.
+  bool Lookup(uint64_t cluster, uint64_t context,
+              std::vector<PartialOrder>* out);
+
+  /// Caches `orders` (an empty vector is a valid, cacheable result).
+  void Insert(uint64_t cluster, uint64_t context,
+              std::vector<PartialOrder> orders);
+
+  void Clear();
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  struct Key {
+    uint64_t cluster = 0;
+    uint64_t context = 0;
+    bool operator==(const Key& o) const {
+      return cluster == o.cluster && context == o.context;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = k.cluster;
+      h ^= k.context + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+  using Entry = std::pair<Key, std::vector<PartialOrder>>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  Stats stats_;
+};
+
+}  // namespace aim::core
+
+#endif  // AIM_CORE_CANDIDATE_CACHE_H_

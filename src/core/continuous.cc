@@ -193,7 +193,21 @@ Status ContinuousTuner::TickInternal(
     snapshot = *db_;
   }
   storage::Database* tuning_db = options_.online_apply ? &snapshot : db_;
-  ObserveUsage(workload, *tuning_db);
+  // With compression on, usage observation plans one representative per
+  // cluster instead of every raw statement (Recommend re-compresses for
+  // its own phases; compression is idempotent, so the clusters match).
+  workload::CompressedWorkload usage_compressed;
+  const workload::Workload* observe_workload = &workload;
+  if (options_.aim.compression.enabled && !workload.empty()) {
+    obs::Span span(obs::Tracer::Get(), "workload.compress");
+    usage_compressed =
+        workload::WorkloadCompressor(options_.aim.compression)
+            .Compress(workload, monitor, &tuning_db->catalog());
+    observe_workload = &usage_compressed.workload;
+    span.SetAttr("statements_in", usage_compressed.stats.statements_in);
+    span.SetAttr("clusters", usage_compressed.stats.clusters);
+  }
+  ObserveUsage(*observe_workload, *tuning_db);
   RetryPolicy retry(options_.aim.validation.retry);
 
   // Garbage-collect automation indexes the workload stopped using.
@@ -250,6 +264,16 @@ Status ContinuousTuner::TickInternal(
   // schema or statistics drifted since the cached costs were computed).
   AimOptions aim_options = options_.aim;
   if (cache_ != nullptr) aim_options.shared_cache = cache_.get();
+  // Carried candidate cache: candidate generation reuses unchanged
+  // clusters across intervals and recomputes only drifted/new ones.
+  if (options_.carry_candidate_cache &&
+      options_.aim.candidate_cache == nullptr) {
+    if (candidate_cache_ == nullptr) {
+      candidate_cache_ =
+          std::make_unique<CandidateCache>(options_.candidate_cache_entries);
+    }
+    aim_options.candidate_cache = candidate_cache_.get();
+  }
   if (options_.online_apply) {
     // Plan on the snapshot; install on the live database online.
     aim_options.online_apply_db = db_;

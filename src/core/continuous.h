@@ -31,6 +31,18 @@ struct ContinuousTunerOptions {
   /// `aim.what_if_cache_entries > 0`; ignored when the tuner is handed an
   /// `aim.shared_cache` explicitly.
   bool carry_what_if_cache = true;
+  /// Keep per-cluster candidate-generation results across intervals
+  /// (incremental candidate generation). Cache keys embed the statement,
+  /// configuration, schema/stats, and option fingerprints, so unchanged
+  /// clusters are served from the cache while drifted or new clusters —
+  /// and any interval after schema/statistics or configuration drift —
+  /// miss and recompute; the bounded LRU ages stale keys out. Reuse is
+  /// exact (a hit equals recomputation), so this never changes a
+  /// selection. Ignored when the tuner is handed an
+  /// `aim.candidate_cache` explicitly.
+  bool carry_candidate_cache = true;
+  /// Capacity of the carried candidate cache, entries (clusters × passes).
+  size_t candidate_cache_entries = 8192;
   /// When non-empty, the carried cache is additionally persisted here: a
   /// snapshot is loaded once on the first Tick (warm-starting a restarted
   /// tuner) and rewritten after every successful interval. A missing,
@@ -96,6 +108,13 @@ class ContinuousTuner {
   /// for tests and benchmarks asserting warm-start behaviour.
   const optimizer::WhatIfCache* cache() const { return cache_.get(); }
 
+  /// The carried candidate cache; null until the first Tick (or when
+  /// carrying is disabled). Exposed for tests asserting incremental
+  /// candidate generation.
+  const CandidateCache* candidate_cache() const {
+    return candidate_cache_.get();
+  }
+
  private:
   struct UsageState {
     int idle_intervals = 0;
@@ -139,6 +158,10 @@ class ContinuousTuner {
   /// Carried across Ticks; keyed entries stay valid across index DDL, so
   /// only schema/statistics drift clears it.
   std::unique_ptr<optimizer::WhatIfCache> cache_;
+  /// Carried per-cluster candidate-generation results (incremental
+  /// candgen). Never explicitly invalidated: keys embed every input
+  /// fingerprint, so drift surfaces as misses and the LRU evicts.
+  std::unique_ptr<CandidateCache> candidate_cache_;
   /// SchemaStatsFingerprint the cached costs were computed against.
   uint64_t cache_schema_fingerprint_ = 0;
   bool snapshot_load_attempted_ = false;

@@ -12,9 +12,15 @@ namespace aim::core {
 
 namespace {
 
-/// Effective executions per interval: observed executions when stats
-/// exist, otherwise the query's static weight (bootstrap mode).
+/// Effective executions per interval: the cluster roll-up when the entry
+/// is a compression representative (Σ member executions — knapsack
+/// benefit per cluster, not per statement), otherwise observed executions
+/// when stats exist, otherwise the query's static weight (bootstrap mode,
+/// where the compressor has already summed member weights).
 double Executions(const SelectedQuery& sq) {
+  if (sq.cluster_executions > 0) {
+    return static_cast<double>(sq.cluster_executions);
+  }
   if (sq.stats.executions > 0) {
     return static_cast<double>(sq.stats.executions);
   }

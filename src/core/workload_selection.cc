@@ -29,14 +29,66 @@ std::vector<SelectedQuery> SelectRepresentativeWorkload(
     if (sq.benefit_cores < options.min_benefit_cores) continue;
     selected.push_back(std::move(sq));
   }
-  std::sort(selected.begin(), selected.end(),
-            [](const SelectedQuery& a, const SelectedQuery& b) {
-              return a.benefit_cores > b.benefit_cores;
-            });
+  // stable_sort: ties keep workload order, mirroring the compressed path
+  // (whose clusters are emitted in first-occurrence order).
+  std::stable_sort(selected.begin(), selected.end(),
+                   [](const SelectedQuery& a, const SelectedQuery& b) {
+                     return a.benefit_cores > b.benefit_cores;
+                   });
   if (selected.size() > options.max_queries) {
     selected.resize(options.max_queries);
   }
   // DML statements ride along after the ranked reads.
+  for (auto& sq : dml) selected.push_back(std::move(sq));
+  return selected;
+}
+
+std::vector<SelectedQuery> SelectCompressedWorkload(
+    const workload::CompressedWorkload& compressed,
+    const workload::WorkloadMonitor& monitor,
+    const WorkloadSelectionOptions& options) {
+  std::vector<SelectedQuery> selected;
+  std::vector<SelectedQuery> dml;
+  for (size_t i = 0; i < compressed.workload.queries.size(); ++i) {
+    const workload::Query& q = compressed.workload.queries[i];
+    const workload::WorkloadCluster& c = compressed.clusters[i];
+    const workload::QueryStats* stats = monitor.Find(q.fingerprint);
+    if (stats == nullptr) continue;
+    SelectedQuery sq;
+    sq.query = &q;
+    sq.stats = *stats;
+    sq.cluster_members = c.members;
+    sq.cluster_executions = c.executions;
+    if (q.stmt.is_dml()) {
+      dml.push_back(std::move(sq));
+      continue;
+    }
+    // Thresholds mirror one uncompressed entry of the representative's
+    // template (per-template executions and benefit rate, not the cluster
+    // roll-up): a cluster is admitted iff its members would have been.
+    if (stats->executions < options.min_executions) continue;
+    sq.expected_benefit = stats->expected_benefit();
+    sq.benefit_cores = sq.expected_benefit *
+                       static_cast<double>(stats->executions) /
+                       std::max(options.interval_seconds, 1e-9);
+    if (sq.benefit_cores < options.min_benefit_cores) continue;
+    selected.push_back(std::move(sq));
+  }
+  std::stable_sort(selected.begin(), selected.end(),
+                   [](const SelectedQuery& a, const SelectedQuery& b) {
+                     return a.benefit_cores > b.benefit_cores;
+                   });
+  // The cap counts raw statements, so a compressed run admits the same
+  // workload volume as an uncompressed one; whole clusters only.
+  size_t kept = 0;
+  uint64_t budget = options.max_queries;
+  for (const SelectedQuery& sq : selected) {
+    if (budget == 0) break;
+    const uint64_t members = std::max<uint64_t>(sq.cluster_members, 1);
+    budget -= std::min(budget, members);
+    ++kept;
+  }
+  selected.resize(kept);
   for (auto& sq : dml) selected.push_back(std::move(sq));
   return selected;
 }

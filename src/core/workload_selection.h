@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "workload/compression.h"
 #include "workload/monitor.h"
 #include "workload/workload.h"
 
@@ -30,6 +31,13 @@ struct SelectedQuery {
   double expected_benefit = 0.0;
   /// B · executions / Δt: CPU cores recoverable by optimizing q.
   double benefit_cores = 0.0;
+  /// Workload-compression roll-up (zeros outside compressed monitor-driven
+  /// runs): how many raw statements this representative stands for and
+  /// their summed observed executions across the cluster. Ranking uses
+  /// `cluster_executions` (when non-zero) as the per-interval frequency,
+  /// so knapsack benefit is a per-cluster roll-up.
+  uint64_t cluster_members = 0;
+  uint64_t cluster_executions = 0;
 };
 
 /// \brief Selects the representative workload: the most expensive
@@ -41,6 +49,17 @@ struct SelectedQuery {
 /// `SelectedQuery::query->stmt.is_dml()`.
 std::vector<SelectedQuery> SelectRepresentativeWorkload(
     const workload::Workload& workload,
+    const workload::WorkloadMonitor& monitor,
+    const WorkloadSelectionOptions& options = {});
+
+/// \brief Compressed-workload selection: one SelectedQuery per cluster
+/// representative, thresholded exactly like one uncompressed entry of the
+/// representative's template (so compressed and uncompressed runs admit
+/// the same clusters), but carrying the per-cluster execution roll-up for
+/// ranking. The `max_queries` cap is consumed in raw-statement units
+/// (cluster members), and clusters are never split.
+std::vector<SelectedQuery> SelectCompressedWorkload(
+    const workload::CompressedWorkload& compressed,
     const workload::WorkloadMonitor& monitor,
     const WorkloadSelectionOptions& options = {});
 

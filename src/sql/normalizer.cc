@@ -1,10 +1,31 @@
 #include "sql/normalizer.h"
 
+#include <algorithm>
+
 #include "sql/printer.h"
 
 namespace aim::sql {
 
 namespace {
+
+void CanonicalizeExpr(Expr* e) {
+  for (auto& c : e->children) CanonicalizeExpr(c.get());
+  if (e->kind != Expr::Kind::kInList || e->children.size() < 3) return;
+  const auto first = e->children.begin() + 1;
+  if (!std::all_of(first, e->children.end(), [](const ExprPtr& c) {
+        return c->kind == Expr::Kind::kLiteral;
+      })) {
+    return;
+  }
+  std::sort(first, e->children.end(), [](const ExprPtr& a, const ExprPtr& b) {
+    return a->value < b->value;
+  });
+  e->children.erase(std::unique(first, e->children.end(),
+                                [](const ExprPtr& a, const ExprPtr& b) {
+                                  return a->value == b->value;
+                                }),
+                    e->children.end());
+}
 
 void NormalizeExpr(Expr* e) {
   switch (e->kind) {
@@ -55,6 +76,33 @@ void Normalize(Statement* stmt) {
       break;
     case Statement::Kind::kDelete:
       if (stmt->del->where) NormalizeExpr(stmt->del->where.get());
+      break;
+  }
+}
+
+void Canonicalize(SelectStatement* stmt) {
+  for (auto& e : stmt->select_list) CanonicalizeExpr(e.get());
+  if (stmt->where) CanonicalizeExpr(stmt->where.get());
+  for (auto& e : stmt->group_by) CanonicalizeExpr(e.get());
+  for (auto& o : stmt->order_by) CanonicalizeExpr(o.expr.get());
+}
+
+void Canonicalize(Statement* stmt) {
+  switch (stmt->kind) {
+    case Statement::Kind::kSelect:
+      Canonicalize(stmt->select.get());
+      break;
+    case Statement::Kind::kInsert:
+      for (auto& v : stmt->insert->values) CanonicalizeExpr(v.get());
+      break;
+    case Statement::Kind::kUpdate:
+      for (auto& [col, v] : stmt->update->assignments) {
+        CanonicalizeExpr(v.get());
+      }
+      if (stmt->update->where) CanonicalizeExpr(stmt->update->where.get());
+      break;
+    case Statement::Kind::kDelete:
+      if (stmt->del->where) CanonicalizeExpr(stmt->del->where.get());
       break;
   }
 }

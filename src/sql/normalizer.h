@@ -17,6 +17,18 @@ namespace aim::sql {
 void Normalize(Statement* stmt);
 void Normalize(SelectStatement* stmt);
 
+/// \brief Canonicalizes a statement for templating, in place: every IN
+/// list whose elements are all literals gets its elements sorted by value
+/// and duplicate literals collapsed.
+///
+/// IN is set membership, so `IN (3, 1, 3)` and `IN (1, 3)` are the same
+/// predicate; after canonicalization they also print to the same SQL
+/// text, share one statement fingerprint, and land in one
+/// workload-compression cluster. Lists containing `?` placeholders (or
+/// any non-literal element) are left untouched.
+void Canonicalize(Statement* stmt);
+void Canonicalize(SelectStatement* stmt);
+
 /// Normalized SQL text of `stmt` (without mutating it).
 std::string NormalizedSql(const Statement& stmt);
 

@@ -1,0 +1,183 @@
+#include "workload/compression.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "optimizer/predicate.h"
+
+namespace aim::workload {
+
+namespace {
+
+/// FNV-1a-style chain mixer, same shape as Catalog::SchemaStatsFingerprint.
+struct HashChain {
+  uint64_t h = 1469598103934665603ull;
+  void Mix(uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  }
+};
+
+uint64_t HashPredicate(const optimizer::AtomicPredicate& p) {
+  HashChain c;
+  c.Mix(static_cast<uint64_t>(p.column.instance));
+  c.Mix(p.column.column);
+  c.Mix(static_cast<uint64_t>(p.kind));
+  c.Mix(static_cast<uint64_t>(p.op));
+  return c.h;
+}
+
+uint64_t HashFactor(const optimizer::Factor& f) {
+  // Conjunction: order-insensitive, so permuted conjuncts hash alike.
+  std::vector<uint64_t> preds;
+  preds.reserve(f.predicates.size());
+  for (const optimizer::AtomicPredicate& p : f.predicates) {
+    preds.push_back(HashPredicate(p));
+  }
+  std::sort(preds.begin(), preds.end());
+  HashChain c;
+  c.Mix(preds.size());
+  for (uint64_t p : preds) c.Mix(p);
+  return c.h;
+}
+
+}  // namespace
+
+uint64_t WorkloadCompressor::StructuralSignature(
+    const sql::Statement& stmt, const catalog::Catalog& catalog) {
+  Result<optimizer::AnalyzedQuery> r = optimizer::Analyze(stmt, catalog);
+  if (!r.ok()) return 0;
+  const optimizer::AnalyzedQuery& aq = r.ValueOrDie();
+
+  HashChain c;
+  c.Mix(static_cast<uint64_t>(stmt.kind));
+  c.Mix(static_cast<uint64_t>(aq.dml));
+  c.Mix(aq.instances.size());
+  for (const optimizer::TableInstance& inst : aq.instances) {
+    c.Mix(inst.table);
+    c.Mix(inst.selects_all_columns ? 1u : 0u);
+    // Referenced columns are a set; sort so permuted select lists match.
+    std::vector<catalog::ColumnId> refs = inst.referenced_columns;
+    std::sort(refs.begin(), refs.end());
+    c.Mix(refs.size());
+    for (catalog::ColumnId col : refs) c.Mix(col);
+    // Group/order sequences are kept in query order: candidate
+    // generation is order-sensitive there, so only identical shapes merge.
+    c.Mix(inst.group_by_columns.size());
+    for (catalog::ColumnId col : inst.group_by_columns) c.Mix(col);
+    c.Mix(inst.order_by_columns.size());
+    for (const optimizer::BoundOrderItem& o : inst.order_by_columns) {
+      c.Mix(o.column.column);
+      c.Mix(o.ascending ? 1u : 0u);
+    }
+  }
+
+  // Join edges as an order-insensitive set of canonical pairs.
+  std::vector<uint64_t> edges;
+  edges.reserve(aq.joins.size());
+  for (const optimizer::JoinEdge& e : aq.joins) {
+    const optimizer::BoundColumn& a = e.left < e.right ? e.left : e.right;
+    const optimizer::BoundColumn& b = e.left < e.right ? e.right : e.left;
+    HashChain ec;
+    ec.Mix(static_cast<uint64_t>(a.instance));
+    ec.Mix(a.column);
+    ec.Mix(static_cast<uint64_t>(b.instance));
+    ec.Mix(b.column);
+    edges.push_back(ec.h);
+  }
+  std::sort(edges.begin(), edges.end());
+  c.Mix(edges.size());
+  for (uint64_t e : edges) c.Mix(e);
+
+  // DNF: order-insensitive set of conjunction hashes (sargable shape,
+  // literals excluded — the same abstraction the normalized template
+  // applies to predicate operands).
+  std::vector<uint64_t> factors;
+  factors.reserve(aq.dnf.size());
+  for (const optimizer::Factor& f : aq.dnf) factors.push_back(HashFactor(f));
+  std::sort(factors.begin(), factors.end());
+  c.Mix(factors.size());
+  for (uint64_t f : factors) c.Mix(f);
+  c.Mix(aq.dnf_exact ? 1u : 0u);
+
+  c.Mix(aq.has_group_by ? 1u : 0u);
+  c.Mix(aq.has_order_by ? 1u : 0u);
+  c.Mix(aq.has_aggregate ? 1u : 0u);
+  c.Mix(static_cast<uint64_t>(aq.limit));
+  std::vector<catalog::ColumnId> updated = aq.updated_columns;
+  std::sort(updated.begin(), updated.end());
+  c.Mix(updated.size());
+  for (catalog::ColumnId col : updated) c.Mix(col);
+
+  // 0 is the "analysis failed" sentinel; remap the (astronomically
+  // unlikely) real hash 0.
+  return c.h == 0 ? 1 : c.h;
+}
+
+CompressedWorkload WorkloadCompressor::Compress(
+    const Workload& workload, const WorkloadMonitor* monitor,
+    const catalog::Catalog* catalog) const {
+  static obs::Counter* const statements_counter =
+      obs::MetricsRegistry::Global()->counter("workload.compress.statements");
+  static obs::Counter* const clusters_counter =
+      obs::MetricsRegistry::Global()->counter("workload.compress.clusters");
+  static obs::Gauge* const ratio_gauge =
+      obs::MetricsRegistry::Global()->gauge("workload.compress.ratio");
+
+  CompressedWorkload out;
+  out.stats.entries_in = workload.size();
+  std::unordered_map<uint64_t, size_t> cluster_by_key;
+  // Signature memo: one Analyze per distinct template, not per statement.
+  std::unordered_map<uint64_t, uint64_t> signature_by_template;
+
+  for (const Query& q : workload.queries) {
+    out.stats.statements_in += q.multiplicity;
+    uint64_t key = q.fingerprint;
+    if (options_.merge_equivalent_templates && catalog != nullptr) {
+      auto [it, inserted] = signature_by_template.emplace(q.fingerprint, 0);
+      if (inserted) {
+        it->second = StructuralSignature(q.stmt, *catalog);
+      }
+      if (it->second != 0) key = it->second;
+    }
+    auto [it, inserted] = cluster_by_key.emplace(key, out.clusters.size());
+    if (inserted) {
+      WorkloadCluster c;
+      c.fingerprint = key;
+      c.template_fingerprint = q.fingerprint;
+      c.representative = out.workload.queries.size();
+      out.clusters.push_back(std::move(c));
+      out.workload.queries.push_back(q);
+      out.workload.queries.back().weight = 0.0;
+      out.workload.queries.back().multiplicity = 0;
+    }
+    WorkloadCluster& c = out.clusters[it->second];
+    Query& rep = out.workload.queries[c.representative];
+    c.members += q.multiplicity;
+    c.weight += q.weight;
+    rep.multiplicity += q.multiplicity;
+    rep.weight += q.weight;
+    if (monitor != nullptr) {
+      const QueryStats* stats = monitor->Find(q.fingerprint);
+      if (stats != nullptr) c.executions += q.multiplicity * stats->executions;
+    }
+    if (std::find(c.template_fingerprints.begin(),
+                  c.template_fingerprints.end(),
+                  q.fingerprint) == c.template_fingerprints.end()) {
+      c.template_fingerprints.push_back(q.fingerprint);
+    }
+  }
+
+  out.stats.clusters = out.clusters.size();
+  for (const WorkloadCluster& c : out.clusters) {
+    if (out.workload.queries[c.representative].stmt.is_dml()) {
+      ++out.stats.dml_clusters;
+    }
+  }
+  statements_counter->Add(out.stats.statements_in);
+  clusters_counter->Add(out.stats.clusters);
+  ratio_gauge->Set(out.stats.ratio());
+  return out;
+}
+
+}  // namespace aim::workload

@@ -1,0 +1,110 @@
+#ifndef AIM_WORKLOAD_COMPRESSION_H_
+#define AIM_WORKLOAD_COMPRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "workload/monitor.h"
+#include "workload/workload.h"
+
+namespace aim::workload {
+
+/// Knobs for workload compression (the CoPhy-style pre-pass: tune on
+/// weighted cluster representatives instead of every raw statement).
+struct WorkloadCompressionOptions {
+  /// Master switch, consumed by AimOptions / the continuous tuner. The
+  /// compressor itself always compresses when invoked.
+  bool enabled = false;
+  /// Additionally merge *different* templates whose structural signature
+  /// matches exactly — same tables, referenced columns, sargable-predicate
+  /// shape, join edges, group/order shape (e.g. permuted conjuncts or
+  /// permuted select lists). Signature clustering is a strict coarsening
+  /// of template clustering: literals are excluded from the signature just
+  /// as they are from the normalized template.
+  bool merge_equivalent_templates = true;
+};
+
+/// \brief One cluster of the compressed workload: which statements were
+/// folded together and the frequency/cost roll-up that flows into
+/// selection and ranking.
+struct WorkloadCluster {
+  /// The cluster key: the structural signature when template merging is on
+  /// and analysis succeeded, otherwise the normalized-template
+  /// fingerprint.
+  uint64_t fingerprint = 0;
+  /// Normalized-template fingerprint of the representative.
+  uint64_t template_fingerprint = 0;
+  /// Index of the representative query in `CompressedWorkload::workload`.
+  size_t representative = 0;
+  /// Raw statements folded in (Σ input multiplicities).
+  uint64_t members = 0;
+  /// Σ member weights (bootstrap-mode frequency).
+  double weight = 0.0;
+  /// Σ over folded statement entries of their template's observed
+  /// executions (0 without a monitor) — the monitor-mode per-cluster
+  /// frequency that rolls up into ranking.
+  uint64_t executions = 0;
+  /// Distinct normalized templates folded into this cluster (> 1 only via
+  /// `merge_equivalent_templates`).
+  std::vector<uint64_t> template_fingerprints;
+};
+
+struct CompressionStats {
+  /// Raw statements in (Σ input multiplicities) and entries in.
+  uint64_t statements_in = 0;
+  size_t entries_in = 0;
+  size_t clusters = 0;
+  size_t dml_clusters = 0;
+
+  double ratio() const {
+    return clusters == 0 ? 1.0
+                         : static_cast<double>(statements_in) /
+                               static_cast<double>(clusters);
+  }
+};
+
+/// \brief The compressed workload: one representative query per cluster
+/// (weight = Σ member weights, multiplicity = member count), plus the
+/// cluster metadata, parallel to `workload.queries`.
+struct CompressedWorkload {
+  Workload workload;
+  std::vector<WorkloadCluster> clusters;
+  CompressionStats stats;
+};
+
+/// \brief Clusters a workload's statements into templates (via the
+/// canonical normalized form) and optionally merges structurally identical
+/// templates, emitting one weighted representative per cluster.
+///
+/// Compression is idempotent: compressing an already-compressed workload
+/// reproduces the same clusters, members, and weights. The representative
+/// is the cluster's first statement in workload order, which keeps the
+/// compressed candidate-generation sequence aligned with the uncompressed
+/// (deduplicated) one.
+class WorkloadCompressor {
+ public:
+  explicit WorkloadCompressor(WorkloadCompressionOptions options = {})
+      : options_(options) {}
+
+  /// `monitor` (optional) feeds per-cluster execution roll-ups; `catalog`
+  /// (optional) enables structural-signature merging — without it,
+  /// clustering falls back to pure template fingerprints.
+  CompressedWorkload Compress(const Workload& workload,
+                              const WorkloadMonitor* monitor,
+                              const catalog::Catalog* catalog) const;
+
+  /// The structural table/predicate signature: tables, referenced
+  /// columns, sargable-predicate shape (column, kind, op — literals
+  /// excluded), join edges, group/order shape, LIMIT, and DML kind.
+  /// Returns 0 when the statement cannot be analyzed against `catalog`.
+  static uint64_t StructuralSignature(const sql::Statement& stmt,
+                                      const catalog::Catalog& catalog);
+
+ private:
+  WorkloadCompressionOptions options_;
+};
+
+}  // namespace aim::workload
+
+#endif  // AIM_WORKLOAD_COMPRESSION_H_

@@ -8,6 +8,11 @@ namespace aim::workload {
 Result<Query> MakeQuery(std::string sql, double weight) {
   Query q;
   AIM_ASSIGN_OR_RETURN(q.stmt, sql::Parse(sql));
+  // Canonical literal form (sorted, deduplicated IN lists): statements
+  // that differ only in IN-list literal order/duplication become
+  // byte-identical, so they share plan-cache keys and compression
+  // clusters.
+  sql::Canonicalize(&q.stmt);
   q.sql = std::move(sql);
   q.weight = weight;
   q.normalized_sql = sql::NormalizedSql(q.stmt);

@@ -21,6 +21,13 @@ struct Query {
   double weight = 1.0;
   uint64_t fingerprint = 0;
   std::string normalized_sql;
+  /// Number of raw workload statements this entry stands for. 1 for
+  /// directly added queries; the workload compressor folds k duplicate
+  /// statements into one representative with multiplicity k (weights are
+  /// summed alongside). Monitor-driven ranking scales the representative's
+  /// per-template executions by the cluster roll-up, not this field — see
+  /// `SelectedQuery::cluster_executions`.
+  uint64_t multiplicity = 1;
 
   Query() = default;
   Query(Query&&) = default;
@@ -33,6 +40,7 @@ struct Query {
       weight = other.weight;
       fingerprint = other.fingerprint;
       normalized_sql = other.normalized_sql;
+      multiplicity = other.multiplicity;
     }
     return *this;
   }

@@ -561,5 +561,138 @@ TEST(ChaosStatsExporterTest, MidPublishFaultNeverDoublePublishesInterval) {
   EXPECT_EQ(agg->executions, 3u);
 }
 
+// ---------------------------------------------------------------------------
+// Workload drift under compression + incremental candidate generation.
+// Mix shifts and schema evolution mid-run must invalidate exactly the
+// affected clusters — and never move a selection away from what a cold
+// full recompute would pick.
+
+/// A workload where every template appears twice (so compression folds).
+workload::Workload DuplicatedWorkload(
+    const std::vector<std::string>& templates) {
+  workload::Workload w;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (const std::string& sql : templates) {
+      EXPECT_TRUE(w.Add(sql, 1.0).ok()) << sql;
+    }
+  }
+  return w;
+}
+
+TEST(CompressionDriftChaosTest, MixShiftInvalidatesOnlyAffectedClusters) {
+  FaultRegistry::Instance().DisarmAll();
+  storage::Database db = MakeUsersDb(1500, /*seed=*/7);
+  ContinuousTunerOptions options;
+  options.aim.compression.enabled = true;
+  // Single-pass generation for exact per-cluster arithmetic (with
+  // two-phase on, a mix shift can legitimately change the staged phase-1
+  // configuration and so phase 2's whole context), and a zero storage
+  // budget so no interval applies DDL — the configuration fingerprint
+  // stays put and reuse depends on workload/statistics drift alone.
+  options.aim.two_phase = false;
+  options.aim.ranking.storage_budget_bytes = 0.0;
+
+  ContinuousTuner tuner(&db, optimizer::CostModel(), options);
+  const workload::Workload first = DuplicatedWorkload(
+      {"SELECT id FROM users WHERE org_id = 3",
+       "SELECT email FROM users WHERE status = 2",
+       "SELECT id FROM users WHERE score > 500"});
+
+  // Interval 1: cold — every cluster recomputes, once per template (the
+  // duplicates folded away).
+  Result<IntervalReport> r1 = tuner.Tick(first, nullptr);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_FALSE(r1.ValueOrDie().degraded);
+  EXPECT_EQ(r1.ValueOrDie().aim.stats.compression_clusters, 3u);
+  EXPECT_EQ(r1.ValueOrDie().aim.stats.candgen_clusters_total, 3u);
+  EXPECT_EQ(r1.ValueOrDie().aim.stats.candgen_clusters_reused, 0u);
+  EXPECT_EQ(r1.ValueOrDie().aim.stats.candgen_clusters_recomputed, 3u);
+  ASSERT_NE(tuner.candidate_cache(), nullptr);
+  EXPECT_EQ(tuner.candidate_cache()->size(), 3u);
+
+  // Interval 2, same mix: everything reuses.
+  Result<IntervalReport> r2 = tuner.Tick(first, nullptr);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.ValueOrDie().aim.stats.candgen_clusters_reused, 3u);
+  EXPECT_EQ(r2.ValueOrDie().aim.stats.candgen_clusters_recomputed, 0u);
+
+  // Interval 3, mix shift: one template leaves, two join. Exactly the
+  // two new clusters recompute; the two carried ones are served.
+  const workload::Workload shifted = DuplicatedWorkload(
+      {"SELECT id FROM users WHERE org_id = 3",
+       "SELECT email FROM users WHERE status = 2",
+       "SELECT id FROM users WHERE created_at BETWEEN 10 AND 40",
+       "SELECT org_id FROM users WHERE score < 50"});
+  Result<IntervalReport> r3 = tuner.Tick(shifted, nullptr);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3.ValueOrDie().aim.stats.candgen_clusters_total, 4u);
+  EXPECT_EQ(r3.ValueOrDie().aim.stats.candgen_clusters_reused, 2u);
+  EXPECT_EQ(r3.ValueOrDie().aim.stats.candgen_clusters_recomputed, 2u);
+
+  // Interval 4, schema evolution (statistics rebuilt): every carried key
+  // embeds the old schema/stats fingerprint — nothing reuses.
+  db.AnalyzeAll(/*histogram_buckets=*/8);
+  Result<IntervalReport> r4 = tuner.Tick(shifted, nullptr);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(r4.ValueOrDie().aim.stats.candgen_clusters_reused, 0u);
+  EXPECT_EQ(r4.ValueOrDie().aim.stats.candgen_clusters_recomputed, 4u);
+
+  // Interval 5: statistics stable again — full reuse resumes.
+  Result<IntervalReport> r5 = tuner.Tick(shifted, nullptr);
+  ASSERT_TRUE(r5.ok());
+  EXPECT_EQ(r5.ValueOrDie().aim.stats.candgen_clusters_reused, 4u);
+  EXPECT_EQ(r5.ValueOrDie().aim.stats.candgen_clusters_recomputed, 0u);
+}
+
+TEST(CompressionDriftChaosTest, DriftedTicksMatchColdRecompute) {
+  FaultRegistry::Instance().DisarmAll();
+  // Twin databases, twin tick sequences: a warm tuner (compression on,
+  // carried what-if + candidate caches) against a cold one (compression
+  // off, nothing carried — the full recompute). Their production
+  // configurations must agree after every interval, through a mix shift
+  // and a statistics rebuild.
+  storage::Database warm_db = MakeUsersDb(1500, /*seed=*/7);
+  storage::Database cold_db = warm_db;
+
+  ContinuousTunerOptions warm_options;
+  warm_options.aim.num_threads = 2;
+  warm_options.aim.compression.enabled = true;
+  ContinuousTuner warm(&warm_db, optimizer::CostModel(), warm_options);
+
+  ContinuousTunerOptions cold_options;
+  cold_options.aim.num_threads = 2;
+  cold_options.carry_what_if_cache = false;
+  cold_options.carry_candidate_cache = false;
+  ContinuousTuner cold(&cold_db, optimizer::CostModel(), cold_options);
+
+  const workload::Workload first = DuplicatedWorkload(
+      {"SELECT id FROM users WHERE org_id = 3",
+       "SELECT email FROM users WHERE status = 2 AND score > 500",
+       "UPDATE users SET score = 1 WHERE org_id = 3"});
+  const workload::Workload shifted = DuplicatedWorkload(
+      {"SELECT id FROM users WHERE org_id = 3",
+       "SELECT id FROM users WHERE created_at BETWEEN 10 AND 40",
+       "UPDATE users SET score = 1 WHERE org_id = 3"});
+
+  const auto tick_both = [&](const workload::Workload& w,
+                             const char* what) {
+    Result<IntervalReport> rw = warm.Tick(w, nullptr);
+    Result<IntervalReport> rc = cold.Tick(w, nullptr);
+    ASSERT_TRUE(rw.ok()) << what << ": " << rw.status().ToString();
+    ASSERT_TRUE(rc.ok()) << what << ": " << rc.status().ToString();
+    EXPECT_FALSE(rw.ValueOrDie().degraded) << what;
+    EXPECT_FALSE(rc.ValueOrDie().degraded) << what;
+    EXPECT_EQ(IndexSignature(warm_db), IndexSignature(cold_db)) << what;
+  };
+
+  tick_both(first, "interval 1 (cold start)");
+  tick_both(first, "interval 2 (steady state)");
+  tick_both(shifted, "interval 3 (mix shift)");
+  warm_db.AnalyzeAll(/*histogram_buckets=*/8);
+  cold_db.AnalyzeAll(/*histogram_buckets=*/8);
+  tick_both(shifted, "interval 4 (schema/statistics evolution)");
+  tick_both(shifted, "interval 5 (stable again)");
+}
+
 }  // namespace
 }  // namespace aim::core

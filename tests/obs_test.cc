@@ -259,6 +259,10 @@ TEST(TraceExportTest, FullPipelineChromeTraceValidates) {
     storage::Database db = MakeUsersDb(500, /*seed=*/7);
     core::ContinuousTunerOptions options;
     options.aim.num_threads = 2;
+    // Compression on (and the candidate cache carried by default) so the
+    // trace gate can demand the workload.compress and candgen.incremental
+    // spans alongside the classic pipeline phases.
+    options.aim.compression.enabled = true;
     core::ContinuousTuner tuner(&db, optimizer::CostModel(), options);
     Result<core::IntervalReport> r = tuner.Tick(w, nullptr);
     ASSERT_TRUE(r.ok()) << r.status().ToString();

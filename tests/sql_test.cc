@@ -279,5 +279,72 @@ TEST(NormalizerTest, AlreadyNormalizedIsIdempotent) {
   EXPECT_EQ(n1, NormalizedSql(b.ValueOrDie()));
 }
 
+// ---------- Canonicalize -----------------------------------------------------
+// IN is set membership: statements differing only in literal order or in
+// duplicated IN-list literals are the same query and must share one SQL
+// text (and with it the literal-inclusive what-if / candidate-cache keys,
+// not just the normalized template).
+
+TEST(CanonicalizeTest, SortsInListLiterals) {
+  Result<Statement> a = Parse("SELECT a FROM t WHERE b IN (3, 1, 2)");
+  ASSERT_TRUE(a.ok());
+  Canonicalize(&a.ValueOrDie());
+  EXPECT_EQ(ToSql(a.ValueOrDie()), "SELECT a FROM t WHERE b IN (1, 2, 3)");
+}
+
+TEST(CanonicalizeTest, CollapsesDuplicateInListLiterals) {
+  Result<Statement> a = Parse("SELECT a FROM t WHERE b IN (2, 3, 1, 3, 2)");
+  ASSERT_TRUE(a.ok());
+  Canonicalize(&a.ValueOrDie());
+  EXPECT_EQ(ToSql(a.ValueOrDie()), "SELECT a FROM t WHERE b IN (1, 2, 3)");
+}
+
+TEST(CanonicalizeTest, PermutedAndDuplicatedListsConverge) {
+  Result<Statement> a = Parse("SELECT a FROM t WHERE b IN (5, 9, 7)");
+  Result<Statement> b = Parse("SELECT a FROM t WHERE b IN (9, 7, 5, 7)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  Canonicalize(&a.ValueOrDie());
+  Canonicalize(&b.ValueOrDie());
+  EXPECT_EQ(ToSql(a.ValueOrDie()), ToSql(b.ValueOrDie()));
+}
+
+TEST(CanonicalizeTest, ReachesNestedAndDmlInLists) {
+  Result<Statement> a = Parse(
+      "SELECT a FROM t WHERE c = 1 AND (b IN (4, 2) OR b IN (9, 8, 9))");
+  ASSERT_TRUE(a.ok());
+  Canonicalize(&a.ValueOrDie());
+  EXPECT_EQ(ToSql(a.ValueOrDie()),
+            "SELECT a FROM t WHERE c = 1 AND (b IN (2, 4) OR b IN (8, 9))");
+
+  Result<Statement> u =
+      Parse("UPDATE t SET a = 1 WHERE b IN (6, 4, 6)");
+  ASSERT_TRUE(u.ok());
+  Canonicalize(&u.ValueOrDie());
+  EXPECT_EQ(ToSql(u.ValueOrDie()), "UPDATE t SET a = 1 WHERE b IN (4, 6)");
+
+  Result<Statement> d = Parse("DELETE FROM t WHERE b IN (3, 1)");
+  ASSERT_TRUE(d.ok());
+  Canonicalize(&d.ValueOrDie());
+  EXPECT_EQ(ToSql(d.ValueOrDie()), "DELETE FROM t WHERE b IN (1, 3)");
+}
+
+TEST(CanonicalizeTest, ParameterizedListsKeepTheirOrder) {
+  // A '?' carries no orderable value: the list is left exactly as
+  // written (no sort, no dedup) so parameter positions stay stable.
+  Result<Statement> a = Parse("SELECT a FROM t WHERE b IN (3, ?, 1)");
+  ASSERT_TRUE(a.ok());
+  Canonicalize(&a.ValueOrDie());
+  EXPECT_EQ(ToSql(a.ValueOrDie()), "SELECT a FROM t WHERE b IN (3, ?, 1)");
+}
+
+TEST(CanonicalizeTest, IsIdempotent) {
+  Result<Statement> a = Parse("SELECT a FROM t WHERE b IN (3, 1, 2, 1)");
+  ASSERT_TRUE(a.ok());
+  Canonicalize(&a.ValueOrDie());
+  const std::string once = ToSql(a.ValueOrDie());
+  Canonicalize(&a.ValueOrDie());
+  EXPECT_EQ(once, ToSql(a.ValueOrDie()));
+}
+
 }  // namespace
 }  // namespace aim::sql
