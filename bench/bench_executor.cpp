@@ -153,7 +153,8 @@ int main() {
       .AddRaw("batch_op_scan", OpJson(m.op_scan))
       .AddRaw("batch_op_filter", OpJson(m.op_filter))
       .AddRaw("batch_op_join", OpJson(m.op_join))
-      .AddRaw("batch_op_aggregate", OpJson(m.op_aggregate));
+      .AddRaw("batch_op_aggregate", OpJson(m.op_aggregate))
+      .AddRaw("run_meta", bench::RunMetadataJson(/*threads_used=*/8));
   if (!bench::WriteJsonSection("BENCH_results.json", "executor_batch",
                                section)) {
     std::fprintf(stderr, "failed to write BENCH_results.json\n");

@@ -111,7 +111,8 @@ void BenchParallelEngine(const storage::Database& db,
       .AddRaw("parallel_cached", phases(p))
       .Add("ranking_validation_speedup", rv_speedup)
       .Add("total_speedup", total_speedup)
-      .Add("parallel_cache_hit_rate", p.cache_hit_rate());
+      .Add("parallel_cache_hit_rate", p.cache_hit_rate())
+      .AddRaw("run_meta", bench::RunMetadataJson(/*threads_used=*/8));
   if (!bench::WriteJsonSection("BENCH_results.json", "fig4_tpch_parallel",
                                section)) {
     std::fprintf(stderr, "failed to write BENCH_results.json\n");

@@ -1,0 +1,180 @@
+// Fleet tuning at scale: 120 tenant databases across 6 schema families,
+// one FleetTuner interval tuning every tenant (budget unconstrained) —
+// the serial fleet loop vs the shared-pool fan-out at 2/4/8 threads,
+// with the schema-keyed what-if cache store warm-starting same-family
+// tenants off each other. Also verifies (and reports) that per-tenant
+// decisions are bit-identical across every thread count. Emits the
+// "fleet_tuning" section of BENCH_results.json.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "core/fleet.h"
+#include "workload/tenants.h"
+
+using namespace aim;
+
+namespace {
+
+constexpr int kTenants = 120;
+constexpr int kFamilies = 6;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+void AppendIndexDef(std::ostringstream* out, const catalog::IndexDef& def) {
+  *out << "t" << def.table;
+  for (catalog::ColumnId col : def.columns) *out << "," << col;
+}
+
+/// Decision signature of one tenant: the interval's recommended defs and
+/// the final physical design (costs in hexfloat — identical or not).
+std::string TenantSignature(const core::TenantOutcome& outcome,
+                            const storage::Database& db) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  for (const core::CandidateIndex& c : outcome.report.aim.recommended) {
+    out << "idx ";
+    AppendIndexDef(&out, c.def);
+    out << " benefit=" << c.benefit << "\n";
+  }
+  for (const catalog::IndexDef* idx : db.catalog().AllIndexes(false, true)) {
+    out << "final ";
+    AppendIndexDef(&out, *idx);
+    out << "\n";
+  }
+  return out.str();
+}
+
+struct FleetRun {
+  double wall_seconds = 0.0;
+  size_t tenants_tuned = 0;
+  size_t degraded = 0;
+  size_t cache_stores = 0;
+  size_t warm_started = 0;  // tenants whose cache store already existed
+  std::vector<std::string> signatures;
+};
+
+Result<FleetRun> RunFleet(int threads) {
+  workload::TenantFleetOptions gen;
+  gen.tenants = kTenants;
+  gen.families = kFamilies;
+  gen.scale = 0.3;
+  gen.queries_per_tenant = 6;
+  Result<std::vector<workload::GeneratedTenant>> fleet =
+      workload::GenerateTenantFleet(gen);
+  if (!fleet.ok()) return fleet.status();
+
+  core::FleetTunerOptions options;
+  options.num_threads = threads;  // budget unconstrained: tune everyone
+  core::FleetTuner tuner(options);
+  for (workload::GeneratedTenant& t : fleet.ValueOrDie()) {
+    tuner.AddTenant(t.name, &t.db, &t.workload);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  Result<core::FleetIntervalReport> r = tuner.RunInterval();
+  if (!r.ok()) return r.status();
+  FleetRun run;
+  run.wall_seconds = SecondsSince(t0);
+  const core::FleetIntervalReport& report = r.ValueOrDie();
+  run.tenants_tuned = report.tenants_tuned;
+  run.degraded = report.degraded_ticks;
+  run.cache_stores = report.cache_stores;
+  for (size_t i = 0; i < report.outcomes.size(); ++i) {
+    if (report.outcomes[i].cache_shared) ++run.warm_started;
+    run.signatures.push_back(TenantSignature(
+        report.outcomes[i], fleet.ValueOrDie()[i].db));
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header(
+      "Fleet tuning — 120 tenants / 6 schema families, one interval: "
+      "serial fleet loop vs shared-pool fan-out");
+
+  Result<FleetRun> serial = RunFleet(/*threads=*/1);
+  if (!serial.ok()) {
+    std::fprintf(stderr, "serial fleet run failed: %s\n",
+                 serial.status().ToString().c_str());
+    return 1;
+  }
+  const FleetRun& s = serial.ValueOrDie();
+  std::printf(
+      "serial fleet loop     wall=%7.3fs tuned=%zu degraded=%zu "
+      "stores=%zu warm-started=%zu/%d\n",
+      s.wall_seconds, s.tenants_tuned, s.degraded, s.cache_stores,
+      s.warm_started, kTenants);
+
+  std::string threaded_json = "[";
+  bool all_identical = true;
+  double speedup_at_8 = 0.0;
+  for (int threads : {2, 4, 8}) {
+    Result<FleetRun> r = RunFleet(threads);
+    if (!r.ok()) {
+      std::fprintf(stderr, "fleet run at %d threads failed: %s\n",
+                   threads, r.status().ToString().c_str());
+      return 1;
+    }
+    const FleetRun& p = r.ValueOrDie();
+    const bool identical = p.signatures == s.signatures;
+    all_identical = all_identical && identical;
+    const double speedup =
+        p.wall_seconds > 0 ? s.wall_seconds / p.wall_seconds : 0.0;
+    if (threads == 8) speedup_at_8 = speedup;
+    std::printf(
+        "%d-thread fan-out      wall=%7.3fs speedup=%5.2fx tuned=%zu "
+        "degraded=%zu bit-identical=%s\n",
+        threads, p.wall_seconds, speedup, p.tenants_tuned, p.degraded,
+        identical ? "yes" : "NO");
+    bench::JsonObject o;
+    o.Add("threads", threads)
+        .Add("wall_seconds", p.wall_seconds)
+        .Add("speedup", speedup)
+        .Add("tenants_tuned", static_cast<uint64_t>(p.tenants_tuned))
+        .Add("degraded", static_cast<uint64_t>(p.degraded))
+        .Add("bit_identical_to_serial", identical);
+    if (threaded_json.size() > 1) threaded_json += ", ";
+    threaded_json += o.ToString();
+  }
+  threaded_json += "]";
+  std::printf(
+      "\n%d tenants per interval, %zu cache stores, %zu tenants "
+      "warm-started off a same-schema sibling  (%u hardware threads)\n",
+      kTenants, s.cache_stores, s.warm_started,
+      std::thread::hardware_concurrency());
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "ERROR: threaded fleet decisions diverged from serial\n");
+    return 1;
+  }
+
+  bench::JsonObject section;
+  section.Add("tenants", kTenants)
+      .Add("families", kFamilies)
+      .Add("tenants_per_interval", static_cast<uint64_t>(s.tenants_tuned))
+      .Add("serial_wall_seconds", s.wall_seconds)
+      .AddRaw("threaded", threaded_json)
+      .Add("speedup_at_8_threads", speedup_at_8)
+      .Add("cache_stores", static_cast<uint64_t>(s.cache_stores))
+      .Add("warm_started_tenants", static_cast<uint64_t>(s.warm_started))
+      .Add("bit_identical_across_threads", all_identical)
+      .AddRaw("run_meta", bench::RunMetadataJson(/*threads_used=*/8));
+  if (!bench::WriteJsonSection("BENCH_results.json", "fleet_tuning",
+                               section)) {
+    std::fprintf(stderr, "failed to write BENCH_results.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_results.json [fleet_tuning]\n");
+  return 0;
+}

@@ -8,9 +8,11 @@
 
 #include <cctype>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -83,6 +85,27 @@ class JsonObject {
 
   std::vector<std::pair<std::string, std::string>> fields_;
 };
+
+/// Uniform run metadata every bench embeds in its section as `run_meta`
+/// (`.AddRaw("run_meta", RunMetadataJson(threads))`): the machine's
+/// hardware concurrency, the worker-thread count the bench actually ran
+/// with (0 = serial / not thread-parameterized), and the UTC run
+/// timestamp. Threshold gates (tools/bench_check.py) condition speedup
+/// expectations on `hardware_concurrency`, so results from single-core
+/// CI boxes and many-core dev machines are interpreted correctly.
+inline std::string RunMetadataJson(int threads_used = 0) {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  JsonObject o;
+  o.Add("hardware_concurrency",
+        static_cast<int>(std::thread::hardware_concurrency()))
+      .Add("threads", threads_used)
+      .Add("timestamp_utc", std::string(stamp));
+  return o.ToString();
+}
 
 namespace internal {
 

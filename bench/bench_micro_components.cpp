@@ -288,7 +288,8 @@ void WriteMicroResults() {
       .Add("cache_hit_rate", cache.stats().hit_rate())
       .Add("cache_speedup",
            warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0)
-      .AddRaw("obs_metrics", bench::MetricsJson());
+      .AddRaw("obs_metrics", bench::MetricsJson())
+      .AddRaw("run_meta", bench::RunMetadataJson());
   if (bench::WriteJsonSection("BENCH_results.json", "micro_components",
                               section)) {
     std::printf("wrote BENCH_results.json [micro_components]\n");

@@ -176,7 +176,8 @@ int main() {
       .Add("online_errors", o.errors)
       .Add("online_delta_applied", o.delta_applied)
       .Add("online_rows_per_second", online_throughput)
-      .Add("index_rows", o.rows);
+      .Add("index_rows", o.rows)
+      .AddRaw("run_meta", bench::RunMetadataJson(kClients));
   if (bench::WriteJsonSection("BENCH_results.json", "online_build",
                               result)) {
     std::printf("wrote BENCH_results.json [online_build]\n");

@@ -254,7 +254,8 @@ int main() {
       .Add("total_speedup", total_speedup)
       .AddRaw("tuner_cold", IntervalsJson(cold.ValueOrDie()))
       .AddRaw("tuner_warm", IntervalsJson(warm.ValueOrDie()))
-      .Add("warm_interval2_hit_rate", warm_interval2_hit_rate);
+      .Add("warm_interval2_hit_rate", warm_interval2_hit_rate)
+      .AddRaw("run_meta", bench::RunMetadataJson(/*threads_used=*/4));
   if (!bench::WriteJsonSection("BENCH_results.json", "sharded_tuning",
                                section)) {
     std::fprintf(stderr, "failed to write BENCH_results.json\n");

@@ -177,7 +177,8 @@ int main(int argc, char** argv) {
       .Add("interval2_clusters_recomputed",
            static_cast<uint64_t>(second.candgen_clusters_recomputed))
       .Add("interval2_reuse_rate", second.candgen_reuse_rate())
-      .Add("interval2_reuse_target_met", reuse_ok);
+      .Add("interval2_reuse_target_met", reuse_ok)
+      .AddRaw("run_meta", bench::RunMetadataJson(/*threads_used=*/4));
   if (!bench::WriteJsonSection("BENCH_results.json", "workload_compression",
                                out)) {
     std::fprintf(stderr, "failed to write BENCH_results.json\n");

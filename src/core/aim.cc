@@ -49,6 +49,10 @@ std::vector<SelectedQuery> AutomaticIndexManager::SelectQueries(
 }
 
 common::ThreadPool* AutomaticIndexManager::EnsurePool() {
+  if (options_.shared_pool != nullptr) {
+    pool_.reset();
+    return options_.shared_pool;
+  }
   if (options_.num_threads <= 1) {
     pool_.reset();
     return nullptr;

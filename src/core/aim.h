@@ -37,6 +37,15 @@ struct AimOptions {
   /// fallback (no pool, no worker clones). The pipeline is deterministic:
   /// any value produces bit-identical reports.
   int num_threads = 1;
+  /// Externally owned worker pool to fan out on instead of a private one
+  /// (`num_threads` is then ignored for pool sizing). This is how the
+  /// fleet tuner runs many tenants' inner what-if work on one shared
+  /// pool: inner tasks are queued one nesting level deeper than the
+  /// tenant-level tasks, and waiting tasks help drain deeper work, so
+  /// two-level fan-out on a single fixed-size pool cannot deadlock (see
+  /// common::ThreadPool). Determinism is unaffected — the pipeline is
+  /// bit-identical at any worker count. Null = private per-run pool.
+  common::ThreadPool* shared_pool = nullptr;
   /// Capacity (entries) of the memoizing plan-cost cache shared by all
   /// what-if clones of one run. 0 disables memoization entirely — the
   /// pre-cache engine, kept for A/B benchmarking.

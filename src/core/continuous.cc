@@ -90,9 +90,14 @@ void ContinuousTuner::PrepareCache(IntervalReport* report) {
   }();
   if (!snapshot_load_attempted_ && !options_.cache_snapshot_path.empty()) {
     // One load per tuner lifetime: after the first Tick the in-memory
-    // cache is always at least as fresh as the snapshot.
+    // cache is always at least as fresh as the snapshot. Snapshots are
+    // namespaced by the schema/statistics fingerprint so fleets of tuners
+    // can share one configured path without clobbering each other.
     snapshot_load_attempted_ = true;
-    std::ifstream in(options_.cache_snapshot_path, std::ios::binary);
+    std::ifstream in(
+        optimizer::SnapshotPathForFingerprint(options_.cache_snapshot_path,
+                                              fp),
+        std::ios::binary);
     if (in) {
       Result<bool> adopted = cache_->LoadFrom(in, fp);
       if (adopted.ok() && adopted.ValueOrDie()) {
@@ -118,10 +123,15 @@ void ContinuousTuner::PrepareCache(IntervalReport* report) {
 
 void ContinuousTuner::SaveCacheSnapshot() {
   if (cache_ == nullptr || options_.cache_snapshot_path.empty()) return;
-  std::ofstream out(options_.cache_snapshot_path,
-                    std::ios::binary | std::ios::trunc);
-  Status st = out ? cache_->SaveTo(out, cache_schema_fingerprint_)
-                  : Status::Internal("cannot open snapshot file");
+  // Temp-file + rename: concurrent tuners sharing one configured path
+  // (fleet tenants, parallel test shards) can never interleave bytes or
+  // expose a torn snapshot; the fingerprint suffix keeps distinct schemas
+  // in distinct files outright.
+  Status st = optimizer::SaveSnapshotAtomic(
+      *cache_,
+      optimizer::SnapshotPathForFingerprint(options_.cache_snapshot_path,
+                                            cache_schema_fingerprint_),
+      cache_schema_fingerprint_);
   if (!st.ok()) {
     AIM_LOG(Warn) << "what-if cache snapshot save failed: "
                   << st.ToString();

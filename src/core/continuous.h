@@ -43,10 +43,15 @@ struct ContinuousTunerOptions {
   bool carry_candidate_cache = true;
   /// Capacity of the carried candidate cache, entries (clusters × passes).
   size_t candidate_cache_entries = 8192;
-  /// When non-empty, the carried cache is additionally persisted here: a
-  /// snapshot is loaded once on the first Tick (warm-starting a restarted
-  /// tuner) and rewritten after every successful interval. A missing,
-  /// stale, or corrupt snapshot simply cold-starts the cache.
+  /// When non-empty, the carried cache is additionally persisted under
+  /// this path: a snapshot is loaded once on the first Tick (warm-starting
+  /// a restarted tuner) and rewritten after every successful interval. A
+  /// missing, stale, or corrupt snapshot simply cold-starts the cache.
+  /// The actual file is namespaced by schema/statistics fingerprint —
+  /// `optimizer::SnapshotPathForFingerprint(path, fp)` — and written via
+  /// temp-file + atomic rename, so any number of tuners (a fleet of
+  /// tenants, concurrent processes) may share one configured path without
+  /// torn or clobbered snapshots.
   std::string cache_snapshot_path;
   /// Tune a live, traffic-bearing database. Each Tick then plans and
   /// validates against a snapshot copied under a brief exclusive
@@ -107,6 +112,12 @@ class ContinuousTuner {
   /// The carried plan-cost cache; null when carrying is disabled. Exposed
   /// for tests and benchmarks asserting warm-start behaviour.
   const optimizer::WhatIfCache* cache() const { return cache_.get(); }
+
+  /// Mutable options, for owners that re-point per-interval resources —
+  /// the fleet tuner injects the schema-keyed shared `aim.shared_cache`
+  /// (and the fleet-wide `aim.shared_pool`) before each Tick. Changing
+  /// tuning semantics mid-flight is the caller's responsibility.
+  ContinuousTunerOptions* mutable_options() { return &options_; }
 
   /// The carried candidate cache; null until the first Tick (or when
   /// carrying is disabled). Exposed for tests asserting incremental

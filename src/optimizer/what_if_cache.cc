@@ -1,10 +1,14 @@
 #include "optimizer/what_if_cache.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <functional>
 #include <istream>
 #include <iterator>
 #include <ostream>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -201,6 +205,46 @@ void WhatIfCache::EvictLocked() {
     evictions_.fetch_add(1, std::memory_order_relaxed);
     GlobalEvictions()->Add();
   }
+}
+
+std::string SnapshotPathForFingerprint(const std::string& base_path,
+                                       uint64_t catalog_fingerprint) {
+  char suffix[24];
+  std::snprintf(suffix, sizeof(suffix), ".%016llx",
+                static_cast<unsigned long long>(catalog_fingerprint));
+  return base_path + suffix;
+}
+
+Status SaveSnapshotAtomic(const WhatIfCache& cache, const std::string& path,
+                          uint64_t catalog_fingerprint) {
+  // The temporary must live in the target's directory for rename(2) to be
+  // atomic, and must be private to this writer so concurrent savers never
+  // interleave bytes: tag it with the thread id.
+  const size_t tid =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".tmp.%zx", tid);
+  const std::string tmp = path + suffix;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open snapshot temp file " + tmp);
+    }
+    Status st = cache.SaveTo(out, catalog_fingerprint);
+    if (st.ok() && !out.good()) {
+      st = Status::Internal("short write to snapshot temp file " + tmp);
+    }
+    if (!st.ok()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return st;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename " + tmp + " -> " + path + " failed");
+  }
+  return Status::OK();
 }
 
 }  // namespace aim::optimizer

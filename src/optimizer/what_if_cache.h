@@ -140,6 +140,24 @@ class WhatIfCache {
   std::atomic<uint64_t> evictions_{0};
 };
 
+/// The per-schema snapshot file a base path expands to:
+/// `<base_path>.<catalog_fingerprint as 16 hex digits>`. Namespacing
+/// snapshots by schema/statistics fingerprint lets many tuners (a fleet
+/// of tenants, several processes) share one configured snapshot path
+/// without clobbering each other: distinct schemas write distinct files,
+/// and same-schema writers overwrite with equally-valid snapshots.
+std::string SnapshotPathForFingerprint(const std::string& base_path,
+                                       uint64_t catalog_fingerprint);
+
+/// Atomically persists `cache` to `path`: SaveTo writes a private
+/// temporary file in the same directory, which is then rename(2)d over
+/// `path`. Readers therefore always see either the old snapshot or the
+/// complete new one, never a torn mix — even when several tuners save to
+/// the same path concurrently (last writer wins whole). The temporary is
+/// unlinked on any failure.
+Status SaveSnapshotAtomic(const WhatIfCache& cache, const std::string& path,
+                          uint64_t catalog_fingerprint);
+
 }  // namespace aim::optimizer
 
 #endif  // AIM_OPTIMIZER_WHAT_IF_CACHE_H_

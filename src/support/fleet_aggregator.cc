@@ -1,0 +1,63 @@
+#include "support/fleet_aggregator.h"
+
+#include "obs/metrics.h"
+
+namespace aim::support {
+
+void FleetAggregator::AttachTo(StatsExporter* exporter) {
+  exporter->Subscribe(
+      [this](const StatsMessage& message) { Ingest(message); });
+}
+
+void FleetAggregator::Ingest(const StatsMessage& message) {
+  static obs::Counter* const folded =
+      obs::MetricsRegistry::Global()->counter("fleet.stats.messages");
+  static obs::Counter* const duplicates =
+      obs::MetricsRegistry::Global()->counter("fleet.stats.duplicates");
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantStatsView& view = views_[message.replica];
+  if (view.tenant.empty()) view.tenant = message.replica;
+  if (message.interval <= view.last_interval) {
+    // At-least-once redelivery of an already-folded interval.
+    ++duplicates_dropped_;
+    duplicates->Add();
+    return;
+  }
+  view.last_interval = message.interval;
+  ++view.messages;
+  view.last_delta = message.stats;
+  view.last_delta_benefit_seconds = 0.0;
+  view.last_delta_cpu_seconds = 0.0;
+  for (const workload::QueryStats& q : message.stats) {
+    view.last_delta_benefit_seconds +=
+        static_cast<double>(q.executions) * q.expected_benefit();
+    view.last_delta_cpu_seconds += q.total_cpu_seconds;
+  }
+  folded->Add();
+}
+
+TenantStatsView FleetAggregator::view(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = views_.find(tenant);
+  return it == views_.end() ? TenantStatsView{} : it->second;
+}
+
+std::vector<TenantStatsView> FleetAggregator::views() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantStatsView> out;
+  out.reserve(views_.size());
+  for (const auto& [_, v] : views_) out.push_back(v);
+  return out;
+}
+
+uint64_t FleetAggregator::duplicates_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicates_dropped_;
+}
+
+size_t FleetAggregator::tenant_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return views_.size();
+}
+
+}  // namespace aim::support

@@ -1,0 +1,72 @@
+#ifndef AIM_SUPPORT_FLEET_AGGREGATOR_H_
+#define AIM_SUPPORT_FLEET_AGGREGATOR_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/stats_exporter.h"
+#include "workload/monitor.h"
+
+namespace aim::support {
+
+/// Everything the fleet scheduler knows about one tenant's workload from
+/// the statistics stream alone (no tuning has to have run yet).
+struct TenantStatsView {
+  std::string tenant;
+  /// Highest exporter interval folded in; -1 before the first message.
+  int last_interval = -1;
+  /// Number of export messages folded (deduplicated).
+  uint64_t messages = 0;
+  /// The most recent interval's per-query deltas.
+  std::vector<workload::QueryStats> last_delta;
+  /// Optimistic CPU-seconds the last interval's traffic could save under
+  /// ideal indexing: Σ_q executions(q) × B(q) (Eq. 5 per execution). The
+  /// scheduler's workload-pressure signal.
+  double last_delta_benefit_seconds = 0.0;
+  /// Total CPU-seconds the last interval's traffic consumed.
+  double last_delta_cpu_seconds = 0.0;
+};
+
+/// \brief The warehouse side of the fleet pipeline (Sec. VII-A at fleet
+/// scale): consumes the per-tenant streams one or more `StatsExporter`s
+/// publish and maintains a per-tenant view — latest interval deltas plus
+/// the derived benefit signal the fleet scheduler ranks tenants by.
+///
+/// Delivery from the exporters is at-least-once; the aggregator
+/// deduplicates by (tenant, interval), so a re-exported interval after a
+/// publish failure folds exactly once. Thread-safe: many exporters (or
+/// one exporter driven from many threads) may feed it concurrently.
+class FleetAggregator {
+ public:
+  /// Subscribes this aggregator to `exporter`'s stream. The aggregator
+  /// must outlive the exporter's publishing.
+  void AttachTo(StatsExporter* exporter);
+
+  /// Folds one export message (the Subscriber path; public so tests and
+  /// custom transports can inject messages directly).
+  void Ingest(const StatsMessage& message);
+
+  /// Copy of one tenant's view; `last_interval == -1` when the tenant has
+  /// never been seen.
+  TenantStatsView view(const std::string& tenant) const;
+
+  /// All tenant views, in lexicographic tenant order (deterministic).
+  std::vector<TenantStatsView> views() const;
+
+  /// Messages dropped as (tenant, interval) duplicates — the visible
+  /// footprint of at-least-once redelivery.
+  uint64_t duplicates_dropped() const;
+
+  size_t tenant_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, TenantStatsView> views_;
+  uint64_t duplicates_dropped_ = 0;
+};
+
+}  // namespace aim::support
+
+#endif  // AIM_SUPPORT_FLEET_AGGREGATOR_H_

@@ -1,5 +1,7 @@
 #include "support/stats_exporter.h"
 
+#include <mutex>
+
 #include "common/fault_injection.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -8,14 +10,32 @@ namespace aim::support {
 
 void StatsExporter::RegisterReplica(const std::string& name,
                                     workload::WorkloadMonitor* monitor) {
+  std::lock_guard<std::mutex> lock(mu_);
   replicas_[name] = monitor;
 }
 
 void StatsExporter::Subscribe(Subscriber subscriber) {
+  std::lock_guard<std::mutex> lock(mu_);
   subscribers_.push_back(std::move(subscriber));
 }
 
+workload::WorkloadMonitor StatsExporter::AggregateSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  workload::WorkloadMonitor copy;
+  copy.MergeFrom(aggregate_);
+  return copy;
+}
+
+int StatsExporter::intervals_exported() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return interval_;
+}
+
 Result<size_t> StatsExporter::ExportInterval() {
+  // One lock across snapshot → publish → commit: concurrent publishers
+  // serialize whole intervals, so subscribers always see each interval's
+  // message batch unbroken and interval numbers strictly monotone.
+  std::lock_guard<std::mutex> lock(mu_);
   static obs::Counter* const exports =
       obs::MetricsRegistry::Global()->counter("stats_exporter.exports");
   static obs::Counter* const export_failures =

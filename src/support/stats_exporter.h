@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,16 @@ struct StatsMessage {
 /// Single-process simulation of the pipeline: replicas register their
 /// monitors, `ExportInterval` snapshots + resets them and publishes one
 /// message per replica, and `aggregate()` is the warehouse view.
+///
+/// Thread-safe for multi-tenant publishers: registration, subscription,
+/// and export serialize on one internal mutex, and the mutex is held
+/// across a whole ExportInterval — snapshot, publish, commit — so one
+/// interval's messages are always delivered as an unbroken batch (never
+/// interleaved with another publisher's interval, never torn mid-batch)
+/// and interval numbers stay strictly monotone per exporter. Subscribers
+/// run under that lock and must not call back into the exporter.
+/// `aggregate()` reads are only stable at quiescent points; concurrent
+/// observers should take `AggregateSnapshot()` instead.
 class StatsExporter {
  public:
   using Subscriber = std::function<void(const StatsMessage&)>;
@@ -52,13 +63,19 @@ class StatsExporter {
   /// and must deduplicate by (replica, interval).
   Result<size_t> ExportInterval();
 
-  /// The holistic cross-replica view of the workload.
+  /// The holistic cross-replica view of the workload. Unsynchronized —
+  /// only meaningful when no ExportInterval can be running concurrently.
   const workload::WorkloadMonitor& aggregate() const { return aggregate_; }
   workload::WorkloadMonitor* mutable_aggregate() { return &aggregate_; }
 
-  int intervals_exported() const { return interval_; }
+  /// Locked copy of the warehouse aggregate, safe to take while other
+  /// threads export.
+  workload::WorkloadMonitor AggregateSnapshot() const;
+
+  int intervals_exported() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, workload::WorkloadMonitor*> replicas_;
   std::vector<Subscriber> subscribers_;
   workload::WorkloadMonitor aggregate_;

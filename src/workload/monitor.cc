@@ -4,6 +4,15 @@
 
 namespace aim::workload {
 
+WorkloadMonitor& WorkloadMonitor::operator=(const WorkloadMonitor& other) {
+  if (this == &other) return *this;
+  // std::scoped_lock acquires both mutexes deadlock-free regardless of
+  // which thread copies which way.
+  std::scoped_lock lock(mu_, other.mu_);
+  stats_ = other.stats_;
+  return *this;
+}
+
 void WorkloadMonitor::Record(const sql::Statement& stmt,
                              const executor::ExecutionMetrics& metrics) {
   RecordKeyed(sql::NormalizedFingerprint(stmt), sql::NormalizedSql(stmt),
@@ -13,6 +22,7 @@ void WorkloadMonitor::Record(const sql::Statement& stmt,
 void WorkloadMonitor::RecordKeyed(
     uint64_t fingerprint, const std::string& normalized_sql,
     const executor::ExecutionMetrics& metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
   QueryStats& s = stats_[fingerprint];
   if (s.executions == 0) {
     s.fingerprint = fingerprint;
@@ -26,6 +36,8 @@ void WorkloadMonitor::RecordKeyed(
 }
 
 void WorkloadMonitor::MergeFrom(const WorkloadMonitor& other) {
+  if (this == &other) return;
+  std::scoped_lock lock(mu_, other.mu_);
   for (const auto& [fp, s] : other.stats_) {
     QueryStats& mine = stats_[fp];
     if (mine.executions == 0) {
@@ -41,6 +53,7 @@ void WorkloadMonitor::MergeFrom(const WorkloadMonitor& other) {
 }
 
 std::vector<QueryStats> WorkloadMonitor::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<QueryStats> out;
   out.reserve(stats_.size());
   for (const auto& [_, s] : stats_) out.push_back(s);
@@ -48,10 +61,14 @@ std::vector<QueryStats> WorkloadMonitor::Snapshot() const {
 }
 
 const QueryStats* WorkloadMonitor::Find(uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = stats_.find(fingerprint);
   return it == stats_.end() ? nullptr : &it->second;
 }
 
-void WorkloadMonitor::Reset() { stats_.clear(); }
+void WorkloadMonitor::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.clear();
+}
 
 }  // namespace aim::workload

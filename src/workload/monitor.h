@@ -1,6 +1,7 @@
 #ifndef AIM_WORKLOAD_MONITOR_H_
 #define AIM_WORKLOAD_MONITOR_H_
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -45,8 +46,18 @@ struct QueryStats {
 /// One monitor instance models one replica's statistics; `MergeFrom`
 /// implements the cross-replica aggregation performed by the continuous
 /// statistics export pipeline (Sec. VII-A).
+///
+/// Thread-safe: traffic threads Record concurrently while the export
+/// daemon Snapshots/Resets (the fleet pipeline's shape). All methods
+/// lock one internal mutex; `Find`'s returned pointer is only stable
+/// while no concurrent mutation can run — use it at quiescent points
+/// (tuning phases), never against a live-traffic monitor.
 class WorkloadMonitor {
  public:
+  WorkloadMonitor() = default;
+  WorkloadMonitor(const WorkloadMonitor& other) { *this = other; }
+  WorkloadMonitor& operator=(const WorkloadMonitor& other);
+
   /// Records one execution of the (already-normalized-keyed) statement.
   void Record(const sql::Statement& stmt,
               const executor::ExecutionMetrics& metrics);
@@ -63,9 +74,13 @@ class WorkloadMonitor {
   const QueryStats* Find(uint64_t fingerprint) const;
 
   void Reset();
-  size_t distinct_queries() const { return stats_.size(); }
+  size_t distinct_queries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_.size();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<uint64_t, QueryStats> stats_;
 };
 

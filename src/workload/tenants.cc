@@ -1,0 +1,237 @@
+#include "workload/tenants.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "workload/spec.h"
+
+namespace aim::workload {
+
+namespace {
+
+/// One generatable column: spec-text type plus the knobs queries need to
+/// form predicates that actually select against the generated domain
+/// (int values land in [0, ndv)).
+struct ColumnGen {
+  std::string name;
+  std::string type;
+  uint64_t ndv = 16;
+  double zipf = 0.0;  // 0 = uniform
+  bool filterable = false;
+};
+
+struct TableGen {
+  std::string name;
+  std::vector<ColumnGen> cols;  // excludes the id primary key
+  uint64_t rows = 0;
+};
+
+constexpr const char* kEntityNames[] = {"accounts", "users", "customers",
+                                        "devices", "vendors"};
+constexpr const char* kFactNames[] = {"events", "orders", "clicks",
+                                      "readings", "payments"};
+constexpr const char* kIntCols[] = {"org_id", "region_id", "status",
+                                    "tier",   "kind",      "priority",
+                                    "group_id", "channel"};
+constexpr const char* kNumCols[] = {"score", "amount", "total", "latency",
+                                    "rating"};
+
+std::vector<ColumnGen> PickFilterColumns(Rng* rng, size_t int_cols,
+                                         uint64_t max_ndv) {
+  std::vector<const char*> pool(std::begin(kIntCols), std::end(kIntCols));
+  rng->Shuffle(&pool);
+  std::vector<ColumnGen> cols;
+  for (size_t i = 0; i < int_cols && i < pool.size(); ++i) {
+    ColumnGen c;
+    c.name = pool[i];
+    c.type = "INT";
+    c.ndv = std::min<uint64_t>(max_ndv, uint64_t{4} << rng->Uniform(7));
+    if (rng->Bernoulli(0.4)) c.zipf = 0.5 + 0.4 * rng->NextDouble();
+    c.filterable = true;
+    cols.push_back(std::move(c));
+  }
+  return cols;
+}
+
+TableGen MakeTable(Rng* rng, const std::string& name, uint64_t rows,
+                   size_t int_cols) {
+  TableGen t;
+  t.name = name;
+  t.rows = rows;
+  t.cols = PickFilterColumns(rng, int_cols, std::max<uint64_t>(4, rows / 2));
+  ColumnGen num;
+  num.name = kNumCols[rng->Uniform(std::size(kNumCols))];
+  num.type = "DOUBLE";
+  num.ndv = std::max<uint64_t>(8, rows / 4);
+  num.filterable = true;
+  t.cols.push_back(std::move(num));
+  ColumnGen date;
+  date.name = "created_at";
+  date.type = "DATE";
+  date.ndv = std::max<uint64_t>(16, rows / 8);
+  date.filterable = true;
+  t.cols.push_back(std::move(date));
+  ColumnGen note;
+  note.name = "note";
+  note.type = "STRING(12)";
+  note.ndv = std::max<uint64_t>(8, rows / 10);
+  t.cols.push_back(std::move(note));
+  return t;
+}
+
+/// The family's schema: every tenant of one family builds from this exact
+/// description with the same seed, so their databases (and
+/// SchemaStatsFingerprints) are bit-identical.
+std::vector<TableGen> MakeFamilySchema(int family, uint64_t seed,
+                                       double scale) {
+  Rng rng(seed * 7919 + static_cast<uint64_t>(family) * 104729 + 11);
+  const std::string prefix = StringPrintf("f%d_", family);
+  std::vector<TableGen> tables;
+  const uint64_t entity_rows = std::max<uint64_t>(
+      64, static_cast<uint64_t>((500.0 + rng.Uniform(700)) * scale));
+  tables.push_back(MakeTable(
+      &rng, prefix + kEntityNames[rng.Uniform(std::size(kEntityNames))],
+      entity_rows, 2 + rng.Uniform(3)));
+  const uint64_t fact_rows = entity_rows * (2 + rng.Uniform(2));
+  TableGen fact = MakeTable(
+      &rng, prefix + kFactNames[rng.Uniform(std::size(kFactNames))],
+      fact_rows, 2 + rng.Uniform(2));
+  ColumnGen ref;
+  ref.name = "owner_id";
+  ref.type = "INT";
+  ref.ndv = std::max<uint64_t>(4, entity_rows / 2);
+  ref.filterable = true;
+  fact.cols.insert(fact.cols.begin(), std::move(ref));
+  tables.push_back(std::move(fact));
+  return tables;
+}
+
+std::string SchemaSpecText(const std::vector<TableGen>& tables) {
+  std::string text;
+  for (const TableGen& t : tables) {
+    text += "TABLE " + t.name + " (id INT PK";
+    for (const ColumnGen& c : t.cols) {
+      text += ", " + c.name + " " + c.type;
+    }
+    text += ")\n";
+    text += StringPrintf("ROWS %s %llu", t.name.c_str(),
+                         static_cast<unsigned long long>(t.rows));
+    for (const ColumnGen& c : t.cols) {
+      text += StringPrintf(" %s:ndv=%llu", c.name.c_str(),
+                           static_cast<unsigned long long>(c.ndv));
+      if (c.zipf > 0.0) {
+        text += StringPrintf(" %s:zipf=%.2f", c.name.c_str(), c.zipf);
+      }
+    }
+    text += "\n";
+  }
+  return text;
+}
+
+/// One predicate over a filterable column. Literal domains are kept small
+/// relative to ndv so (a) predicates are selective against the generated
+/// values and (b) same-family tenants frequently produce byte-identical
+/// statements — the cross-tenant plan-cost cache hit surface.
+std::string MakePredicate(Rng* rng, const ColumnGen& c) {
+  const uint64_t domain = std::max<uint64_t>(2, std::min<uint64_t>(c.ndv, 12));
+  const uint64_t v = rng->Uniform(domain);
+  switch (rng->Uniform(4)) {
+    case 0:
+      return StringPrintf("%s = %llu", c.name.c_str(),
+                          static_cast<unsigned long long>(v));
+    case 1:
+      return StringPrintf("%s > %llu", c.name.c_str(),
+                          static_cast<unsigned long long>(
+                              rng->Uniform(std::max<uint64_t>(2, c.ndv / 2))));
+    case 2: {
+      const uint64_t lo = rng->Uniform(std::max<uint64_t>(2, c.ndv / 2));
+      return StringPrintf(
+          "%s BETWEEN %llu AND %llu", c.name.c_str(),
+          static_cast<unsigned long long>(lo),
+          static_cast<unsigned long long>(lo + 1 + rng->Uniform(domain)));
+    }
+    default:
+      return StringPrintf(
+          "%s IN (%llu, %llu, %llu)", c.name.c_str(),
+          static_cast<unsigned long long>(v),
+          static_cast<unsigned long long>((v + 1) % domain),
+          static_cast<unsigned long long>((v + 3) % domain));
+  }
+}
+
+Status MakeTenantWorkload(Rng* rng, const std::vector<TableGen>& tables,
+                          int queries, Workload* w) {
+  for (int q = 0; q < queries; ++q) {
+    const TableGen& t = tables[rng->Uniform(tables.size())];
+    std::vector<size_t> filterable;
+    for (size_t i = 0; i < t.cols.size(); ++i) {
+      if (t.cols[i].filterable && t.cols[i].type == "INT") {
+        filterable.push_back(i);
+      }
+    }
+    rng->Shuffle(&filterable);
+    const size_t preds =
+        std::min<size_t>(filterable.size(), 1 + rng->Uniform(3));
+    // Projection: one data column (plus id sometimes) so covering-index
+    // candidates have something to cover.
+    std::string select = rng->Bernoulli(0.3) ? "id" : t.cols.back().name;
+    if (rng->Bernoulli(0.4)) {
+      select += ", " + t.cols[rng->Uniform(t.cols.size())].name;
+    }
+    std::string sql = "SELECT " + select + " FROM " + t.name + " WHERE ";
+    for (size_t i = 0; i < preds; ++i) {
+      if (i > 0) sql += " AND ";
+      sql += MakePredicate(rng, t.cols[filterable[i]]);
+    }
+    const double weight =
+        (1.0 + static_cast<double>(rng->Uniform(20))) *
+        (rng->Bernoulli(0.1) ? 10.0 : 1.0);
+    AIM_RETURN_NOT_OK(w->Add(std::move(sql), weight));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<GeneratedTenant>> GenerateTenantFleet(
+    const TenantFleetOptions& options) {
+  if (options.tenants <= 0 || options.families <= 0) {
+    return Status::InvalidArgument("tenants and families must be positive");
+  }
+  const int families = std::min(options.families, options.tenants);
+  // Build each family's database once; tenants copy it (bit-identical
+  // schema + rows + statistics ⇒ identical SchemaStatsFingerprint).
+  std::vector<std::vector<TableGen>> schemas;
+  std::vector<storage::Database> bases;
+  schemas.reserve(families);
+  bases.reserve(families);
+  for (int f = 0; f < families; ++f) {
+    schemas.push_back(MakeFamilySchema(f, options.seed, options.scale));
+    AIM_ASSIGN_OR_RETURN(
+        storage::Database db,
+        BuildDatabaseFromSpec(SchemaSpecText(schemas.back()),
+                              options.seed * 131 + f));
+    bases.push_back(std::move(db));
+  }
+
+  std::vector<GeneratedTenant> fleet;
+  fleet.reserve(options.tenants);
+  for (int i = 0; i < options.tenants; ++i) {
+    const int family = i % families;
+    GeneratedTenant tenant;
+    tenant.name = StringPrintf("t%04d_f%d", i, family);
+    tenant.family = family;
+    tenant.db = bases[family];
+    Rng rng(options.seed * 6364136223846793005ull +
+            static_cast<uint64_t>(i) * 1442695040888963407ull);
+    AIM_RETURN_NOT_OK(MakeTenantWorkload(&rng, schemas[family],
+                                         options.queries_per_tenant,
+                                         &tenant.workload));
+    fleet.push_back(std::move(tenant));
+  }
+  return fleet;
+}
+
+}  // namespace aim::workload

@@ -1,0 +1,51 @@
+#ifndef AIM_WORKLOAD_TENANTS_H_
+#define AIM_WORKLOAD_TENANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "workload/workload.h"
+
+namespace aim::workload {
+
+/// Knobs for the synthetic multi-tenant fleet generator.
+struct TenantFleetOptions {
+  /// Total tenant databases to generate.
+  int tenants = 16;
+  /// Distinct schema families. Tenants are dealt round-robin across
+  /// families; every tenant of one family shares a bit-identical database
+  /// (schema, rows, statistics — hence the same SchemaStatsFingerprint),
+  /// which is what lets the fleet's schema-keyed what-if cache store
+  /// warm-start them off each other. Different families have genuinely
+  /// different schemas: table/column names, widths, cardinalities.
+  int families = 4;
+  uint64_t seed = 42;
+  /// Multiplier on per-table row counts (1.0 keeps tenants small enough
+  /// that a 100+-tenant fleet ticks in seconds).
+  double scale = 1.0;
+  /// Statements per tenant workload. Drawn from the family's template
+  /// pool with per-tenant literals from a small domain, so same-family
+  /// tenants overlap on many exact statements (the cross-tenant cache
+  /// hit surface) while still differing tenant to tenant.
+  int queries_per_tenant = 10;
+};
+
+/// One generated tenant: an owned database plus its workload.
+struct GeneratedTenant {
+  std::string name;
+  int family = 0;
+  storage::Database db;
+  Workload workload;
+};
+
+/// Deterministically generates a heterogeneous tenant fleet — the
+/// many-databases-distinct-schemas shape of the paper's production
+/// deployment (Sec. VII), as opposed to the homogeneous shards of
+/// core::ShardedIndexManager. Same (options) ⇒ bit-identical fleet.
+Result<std::vector<GeneratedTenant>> GenerateTenantFleet(
+    const TenantFleetOptions& options);
+
+}  // namespace aim::workload
+
+#endif  // AIM_WORKLOAD_TENANTS_H_

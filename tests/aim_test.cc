@@ -404,9 +404,13 @@ TEST(ContinuousTest, CacheInvalidatedWhenStatisticsDrift) {
 TEST(ContinuousTest, CacheSnapshotWarmStartsAcrossTunerInstances) {
   const std::string path =
       ::testing::TempDir() + "/tuner_whatif_cache.bin";
-  std::remove(path.c_str());
   const storage::Database base = MakeUsersDb(3000);
   const workload::Workload w = SimpleWorkload();
+  // The actual file is namespaced by the schema/statistics fingerprint
+  // (so fleets of tuners sharing one configured path never collide).
+  const std::string real_path = optimizer::SnapshotPathForFingerprint(
+      path, base.catalog().SchemaStatsFingerprint());
+  std::remove(real_path.c_str());
 
   ContinuousTunerOptions options;
   options.cache_snapshot_path = path;
@@ -433,7 +437,7 @@ TEST(ContinuousTest, CacheSnapshotWarmStartsAcrossTunerInstances) {
   {
     // Corrupt the snapshot: the next instance must start cold — same
     // decisions, no error, no degraded interval.
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    std::ofstream out(real_path, std::ios::binary | std::ios::trunc);
     out << "not a snapshot";
     out.close();
     storage::Database db = base;
