@@ -277,6 +277,28 @@ Result<AimReport> AutomaticIndexManager::Recommend(
                                 nullptr;
                        }),
         candidates.end());
+    // Quarantined arms never re-enter the pipeline: filtering the serial
+    // concrete-candidate list (not the parallel generation) keeps the
+    // exclusion bit-identical at any worker count.
+    if (options_.exploration_gate != nullptr) {
+      const size_t before = candidates.size();
+      candidates.erase(
+          std::remove_if(candidates.begin(), candidates.end(),
+                         [&](const catalog::IndexDef& def) {
+                           return options_.exploration_gate->IsQuarantined(
+                               def);
+                         }),
+          candidates.end());
+      report.exploration.candidates_quarantined =
+          before - candidates.size();
+      if (report.exploration.candidates_quarantined > 0) {
+        static obs::Counter* const quarantined_candidates =
+            obs::MetricsRegistry::Global()->counter(
+                "aim.exploration.candidates_quarantined");
+        quarantined_candidates->Add(
+            report.exploration.candidates_quarantined);
+      }
+    }
     report.stats.candidates_evaluated = candidates.size();
 
     // Line 4: rank by utility and select under the storage budget
@@ -349,7 +371,44 @@ Result<AimReport> AutomaticIndexManager::RunOnce(
     }
   }
 
-  {
+  if (options_.exploration_gate != nullptr) {
+    // Bandit admission: rank the validated set by UCB score and admit
+    // under the interval's regret budget; the rest defer to the next
+    // interval (by which time admitted arms have become real indexes and
+    // left the candidate pool, freeing the budget).
+    obs::Span gate_span(obs::Tracer::Get(), "exploration.gate");
+    ExplorationGate* gate = options_.exploration_gate;
+    AdmissionDecision decision = gate->Admit(report.recommended);
+    report.exploration.gated = true;
+    report.exploration.admitted = decision.admitted.size();
+    report.exploration.deferred = decision.deferred.size();
+    report.exploration.projected_regret_seconds =
+        decision.projected_regret_seconds;
+    report.exploration.regret_budget_seconds =
+        gate->options().regret_budget_seconds;
+    if (!decision.deferred.empty()) {
+      report.recommended = decision.admitted;
+      report.explanations = ExplainAll(report.recommended,
+                                       report.selected_workload,
+                                       db_->catalog());
+    }
+    static obs::Counter* const admitted = obs::MetricsRegistry::Global()
+        ->counter("aim.exploration.admitted");
+    static obs::Counter* const deferred = obs::MetricsRegistry::Global()
+        ->counter("aim.exploration.deferred");
+    admitted->Add(report.exploration.admitted);
+    deferred->Add(report.exploration.deferred);
+    gate_span.SetAttr("admitted", report.exploration.admitted);
+    gate_span.SetAttr("deferred", report.exploration.deferred);
+    gate_span.SetAttr("projected_regret_seconds",
+                      report.exploration.projected_regret_seconds);
+  }
+
+  if (options_.deployment.ordered) {
+    obs::PhaseTimer timer("aim.apply", &report.stats.apply_seconds);
+    AIM_FAULT_POINT("core.apply");
+    AIM_RETURN_NOT_OK(ApplyOrdered(&report));
+  } else {
     obs::PhaseTimer timer("aim.apply", &report.stats.apply_seconds);
     // Materialize the production indexes atomically: a failure on the
     // k-th build rolls back the k-1 already-installed indexes, so
@@ -400,6 +459,101 @@ Result<AimReport> AutomaticIndexManager::RunOnce(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return report;
+}
+
+Status AutomaticIndexManager::ApplyOrdered(AimReport* report) {
+  static obs::Counter* const steps_counter =
+      obs::MetricsRegistry::Global()->counter("aim.deploy.steps");
+  static obs::Counter* const failures_counter =
+      obs::MetricsRegistry::Global()->counter("aim.deploy.step_failures");
+  DeploymentPlanner planner(options_.deployment);
+  const DeploymentPlan plan = planner.Plan(report->recommended);
+  report->deployment.ordered = true;
+  report->deployment.deferred_for_storage =
+      plan.deferred_for_storage.size();
+  report->deployment.total_benefit_seconds = plan.total_benefit_seconds;
+  report->deployment.modeled_makespan_seconds = plan.makespan_seconds;
+  report->deployment.modeled_time_to_half_benefit_seconds =
+      plan.TimeToBenefitFraction(0.5);
+
+  const bool online = options_.online_apply_db != nullptr;
+  storage::Database* target = online ? options_.online_apply_db : db_;
+  RetryPolicy retry(options_.validation.retry);
+  storage::OnlineIndexBuilder builder(target, options_.online);
+  std::vector<CandidateIndex> installed;
+  for (const DeploymentStep& s : plan.steps) {
+    DeploymentStepResult result;
+    result.def = s.index.def;
+    result.def.hypothetical = false;
+    result.def.id = catalog::kInvalidIndex;
+    result.def.created_by_automation = true;
+    result.slot = s.slot;
+    result.modeled_start_seconds = s.start_seconds;
+    result.modeled_finish_seconds = s.finish_seconds;
+    result.benefit_seconds = s.index.benefit;
+    result.cumulative_benefit_seconds = s.cumulative_benefit_seconds;
+    obs::Span step_span(obs::Tracer::Get(), "deploy.step");
+    step_span.SetAttr("slot", static_cast<uint64_t>(s.slot));
+    step_span.SetAttr("benefit_seconds", s.index.benefit);
+    step_span.SetAttr("cumulative_benefit_seconds",
+                      s.cumulative_benefit_seconds);
+    const auto step_t0 = std::chrono::steady_clock::now();
+    Status st = AIM_FAULT_POINT_STATUS("deploy.step");
+    {
+      // One transaction per step: its destructor rolls back only this
+      // step's build on failure. Earlier commits stand — per-step
+      // rollback is the point of ordered deployment.
+      storage::IndexSetTransaction step_txn(
+          target, online ? &target->latch() : nullptr);
+      if (st.ok()) {
+        if (online) {
+          Result<storage::OnlineBuildReport> built =
+              builder.Build(result.def, &step_txn);
+          if (built.ok()) {
+            const storage::OnlineBuildReport& r = built.ValueOrDie();
+            ++report->stats.online_builds;
+            report->stats.online_delta_applied +=
+                r.delta_applied + r.swap_tail_applied;
+            report->stats.online_max_stall_seconds = std::max(
+                report->stats.online_max_stall_seconds, r.stall_seconds);
+          } else if (built.status().code() !=
+                     Status::Code::kAlreadyExists) {
+            st = built.status();
+          }
+        } else {
+          Result<catalog::IndexId> id =
+              retry.Run([&] { return step_txn.CreateIndex(result.def); });
+          if (!id.ok() &&
+              id.status().code() != Status::Code::kAlreadyExists) {
+            st = id.status();
+          }
+        }
+      }
+      if (st.ok()) step_txn.Commit();
+    }
+    result.measured_build_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      step_t0)
+            .count();
+    result.installed = st.ok();
+    if (st.ok()) {
+      installed.push_back(s.index);
+      ++report->deployment.installed;
+      steps_counter->Add();
+    } else {
+      result.error = st.ToString();
+      ++report->deployment.failed_steps;
+      failures_counter->Add();
+      AIM_LOG(Warn) << "deployment step failed (rolled back, continuing): "
+                    << st.ToString();
+    }
+    step_span.SetAttr("installed", result.installed);
+    if (!st.ok()) step_span.SetAttr("error", result.error);
+    report->deployment.steps.push_back(std::move(result));
+  }
+  report->recommended = std::move(installed);
+  report->stats.indexes_recommended = report->recommended.size();
+  return Status::OK();
 }
 
 }  // namespace aim::core

@@ -9,7 +9,9 @@
 #include "core/candidate_cache.h"
 #include "core/candidate_generation.h"
 #include "core/clone_validation.h"
+#include "core/deployment_plan.h"
 #include "core/explain.h"
+#include "core/exploration.h"
 #include "core/merge.h"
 #include "core/ranking.h"
 #include "core/workload_selection.h"
@@ -78,6 +80,16 @@ struct AimOptions {
   /// cluster. Lifetime and invalidation are the owner's job (the LRU ages
   /// stale keys out on its own).
   CandidateCache* candidate_cache = nullptr;
+  /// Externally owned exploration gate (bandit admission + quarantine).
+  /// When set, Recommend excludes quarantined candidates and RunOnce
+  /// gates the validated set through `Admit` before applying. Null = no
+  /// gating. The gate is mutated only from RunOnce's serial sections, so
+  /// the owner (the continuous tuner) needs no locking.
+  ExplorationGate* exploration_gate = nullptr;
+  /// Ordered per-step deployment of the approved set (Kimura et al.).
+  /// `deployment.ordered = false` keeps the classic all-or-nothing
+  /// single-transaction apply.
+  DeploymentOptions deployment;
 };
 
 /// Run statistics, for the runtime comparisons of Fig. 4.
@@ -151,6 +163,11 @@ struct AimReport {
   std::vector<SelectedQuery> selected_workload;
   CloneValidationResult validation;
   AimRunStats stats;
+  /// Bandit-gate admission summary (zeros unless an exploration gate was
+  /// configured for the run).
+  ExplorationSummary exploration;
+  /// Ordered-deployment outcome (zeros unless `deployment.ordered`).
+  DeploymentReport deployment;
   /// The compressed workload the run planned on (null when compression is
   /// off). Shared ownership keeps the representative queries that
   /// `selected_workload` points at alive across report copies/moves.
@@ -198,6 +215,13 @@ class AutomaticIndexManager {
   /// Lazily (re)builds the worker pool to match `options_.num_threads`.
   /// Returns nullptr in serial mode.
   common::ThreadPool* EnsurePool();
+
+  /// The ordered apply path (`options_.deployment.ordered`): plans the
+  /// build order via DeploymentPlanner, then installs each step in its
+  /// own IndexSetTransaction — a failed step rolls back only itself,
+  /// earlier installs stay (each index was individually validated).
+  /// `report->recommended` is rewritten to the installed subset.
+  Status ApplyOrdered(AimReport* report);
 
   storage::Database* db_;
   optimizer::CostModel cm_;

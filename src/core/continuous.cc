@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 
 #include "common/fault_injection.h"
@@ -121,6 +122,113 @@ void ContinuousTuner::PrepareCache(IntervalReport* report) {
   report->cache_entries_carried = cache_->size();
 }
 
+void ContinuousTuner::PrepareGate(IntervalReport* report) {
+  if (!options_.exploration.enabled) {
+    gate_.reset();
+    detector_.reset();
+    return;
+  }
+  if (gate_ == nullptr) {
+    gate_ = std::make_unique<ExplorationGate>(options_.exploration);
+    detector_ =
+        std::make_unique<support::RegressionDetector>(options_.regression);
+  }
+  if (!gate_load_attempted_) {
+    // One load per tuner lifetime, like the what-if cache snapshot: after
+    // the first Tick the in-memory gate is the freshest state there is.
+    gate_load_attempted_ = true;
+    Status st = gate_->LoadSnapshot();
+    if (!st.ok()) {
+      AIM_LOG(Warn) << "exploration gate snapshot load failed (starting "
+                    << "cold): " << st.ToString();
+    }
+  }
+  const uint64_t fp = [&] {
+    if (options_.online_apply) {
+      std::shared_lock<std::shared_mutex> lock(db_->latch());
+      return db_->catalog().SchemaStatsFingerprint();
+    }
+    return db_->catalog().SchemaStatsFingerprint();
+  }();
+  // Drift voids the evidence behind every quarantine entry: release them
+  // so the (possibly now-beneficial) indexes can compete again.
+  report->quarantine_released = gate_->SyncFingerprint(fp);
+  if (report->quarantine_released > 0) {
+    static obs::Counter* const released =
+        obs::MetricsRegistry::Global()->counter(
+            "aim.exploration.quarantine_released");
+    released->Add(report->quarantine_released);
+  }
+}
+
+void ContinuousTuner::SaveGateSnapshot() {
+  if (gate_ == nullptr) return;
+  Status st = gate_->SaveSnapshot();
+  if (!st.ok()) {
+    AIM_LOG(Warn) << "exploration gate snapshot save failed: "
+                  << st.ToString();
+  }
+}
+
+Status ContinuousTuner::ObserveRegressions(
+    const workload::WorkloadMonitor* monitor,
+    std::vector<catalog::IndexDef>* automation,
+    storage::IndexSetTransaction* txn, IntervalReport* report) {
+  if (gate_ == nullptr || detector_ == nullptr || monitor == nullptr) {
+    return Status::OK();
+  }
+  // Monitor snapshots iterate a hash map: sort by fingerprint so the
+  // detector sees (and reports) regressions in one deterministic order
+  // at any thread count.
+  std::vector<workload::QueryStats> stats = monitor->Snapshot();
+  std::sort(stats.begin(), stats.end(),
+            [](const workload::QueryStats& a,
+               const workload::QueryStats& b) {
+              return a.fingerprint < b.fingerprint;
+            });
+  std::vector<std::pair<catalog::IndexId, catalog::TableId>> suspects_in;
+  for (const catalog::IndexDef& def : *automation) {
+    if (def.created_by_automation) {
+      suspects_in.emplace_back(def.id, def.table);
+    }
+  }
+  const std::vector<support::Regression> regressions =
+      detector_->Observe(stats, suspects_in);
+  if (regressions.empty()) return Status::OK();
+
+  // One offense per index per interval, however many queries regressed:
+  // quarantine counts repeat-offender *intervals*, not queries.
+  std::set<catalog::IndexId> suspect_ids;
+  for (const support::Regression& r : regressions) {
+    for (catalog::IndexId id : r.suspect_indexes) suspect_ids.insert(id);
+  }
+  obs::Span span(obs::Tracer::Get(), "exploration.regression");
+  span.SetAttr("regressions", regressions.size());
+  for (catalog::IndexId id : suspect_ids) {
+    auto it = std::find_if(automation->begin(), automation->end(),
+                           [&](const catalog::IndexDef& def) {
+                             return def.id == id;
+                           });
+    if (it == automation->end() || !it->created_by_automation) continue;
+    const catalog::IndexDef def = *it;
+    if (gate_->ObserveRegression(def)) {
+      report->quarantined_now.push_back(IndexArmKey(def));
+    }
+    // Rollback: the implicated index leaves production this interval. A
+    // degraded tick restores it with everything else via txn rollback.
+    AIM_RETURN_NOT_OK(txn->DropIndex(id));
+    usage_.erase(id);
+    automation->erase(it);
+    report->rolled_back.push_back(def);
+  }
+  static obs::Counter* const rollbacks =
+      obs::MetricsRegistry::Global()->counter("aim.exploration.rollbacks");
+  rollbacks->Add(report->rolled_back.size());
+  span.SetAttr("rolled_back", report->rolled_back.size());
+  span.SetAttr("quarantined_now", report->quarantined_now.size());
+  return Status::OK();
+}
+
 void ContinuousTuner::SaveCacheSnapshot() {
   if (cache_ == nullptr || options_.cache_snapshot_path.empty()) return;
   // Temp-file + rename: concurrent tuners sharing one configured path
@@ -149,10 +257,13 @@ Result<IntervalReport> ContinuousTuner::Tick(
   obs::Span tick_span(obs::Tracer::Get(), "tuner.tick");
   IntervalReport report;
   PrepareCache(&report);
-  // The cache bookkeeping must survive a degraded-interval report reset.
+  PrepareGate(&report);
+  // The cache/gate bookkeeping must survive a degraded-interval report
+  // reset.
   const size_t cache_entries_carried = report.cache_entries_carried;
   const bool cache_loaded = report.cache_loaded_from_snapshot;
   const bool cache_invalidated = report.cache_invalidated;
+  const size_t quarantine_released = report.quarantine_released;
   tick_span.SetAttr("cache_entries_carried", cache_entries_carried);
   storage::IndexSetTransaction txn(
       db_, options_.online_apply ? &db_->latch() : nullptr);
@@ -160,6 +271,7 @@ Result<IntervalReport> ContinuousTuner::Tick(
   if (st.ok()) {
     txn.Commit();
     SaveCacheSnapshot();
+    SaveGateSnapshot();
   } else {
     // Graceful degradation: skip the interval, roll the GC changes back
     // (AIM's apply step is itself transactional and has already undone
@@ -175,6 +287,7 @@ Result<IntervalReport> ContinuousTuner::Tick(
     report.cache_entries_carried = cache_entries_carried;
     report.cache_loaded_from_snapshot = cache_loaded;
     report.cache_invalidated = cache_invalidated;
+    report.quarantine_released = quarantine_released;
     degraded_ticks->Add();
     AIM_LOG(Warn) << "tuning interval degraded: " << st.ToString();
   }
@@ -228,6 +341,13 @@ Status ContinuousTuner::TickInternal(
        tuning_db->catalog().AllIndexes(false, false)) {
     automation.push_back(*p);
   }
+
+  // Regression → rollback/quarantine feedback (exploration mode): every
+  // automation index RegressionDetector implicates this interval is
+  // dropped, and repeat offenders are quarantined out of candidate
+  // generation until the schema/stats fingerprint drifts.
+  AIM_RETURN_NOT_OK(ObserveRegressions(monitor, &automation, txn, report));
+
   for (const catalog::IndexDef& def : automation) {
     const catalog::IndexDef* idx = &def;
     if (!idx->created_by_automation) continue;
@@ -289,8 +409,15 @@ Status ContinuousTuner::TickInternal(
     aim_options.online_apply_db = db_;
     aim_options.online = options_.online;
   }
+  if (gate_ != nullptr) aim_options.exploration_gate = gate_.get();
   AutomaticIndexManager aim(tuning_db, cm_, aim_options);
   AIM_ASSIGN_OR_RETURN(report->aim, aim.RunOnce(workload, monitor));
+  if (gate_ != nullptr) {
+    // Fold the interval's validated replay evidence into the admitted
+    // arms' measured benefit (the bandit's reward samples).
+    gate_->ObserveValidation(report->aim.recommended,
+                             report->aim.validation);
+  }
   return Status::OK();
 }
 

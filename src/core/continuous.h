@@ -9,6 +9,7 @@
 
 #include "core/aim.h"
 #include "storage/index_transaction.h"
+#include "support/regression_detector.h"
 
 namespace aim::core {
 
@@ -63,6 +64,18 @@ struct ContinuousTunerOptions {
   bool online_apply = false;
   /// Build knobs for online installs (ignored unless `online_apply`).
   storage::OnlineBuildOptions online;
+  /// Bandit-guarded exploration (see ExplorationGate). When enabled the
+  /// tuner owns a gate: quarantined candidates are excluded from
+  /// generation, the validated set is admitted under the per-interval
+  /// regret budget, RegressionDetector offenses roll the implicated
+  /// indexes back (and quarantine repeat offenders until the
+  /// schema/stats fingerprint drifts), and gate state persists at
+  /// `exploration.state_path`. Ordered deployment is configured
+  /// separately at `aim.deployment`.
+  ExplorationOptions exploration;
+  /// Detector knobs for the regression → rollback/quarantine feedback
+  /// loop (only used when `exploration.enabled`).
+  support::RegressionDetectorOptions regression;
 };
 
 /// What one tuning interval did.
@@ -86,6 +99,15 @@ struct IntervalReport {
   size_t cache_entries_carried = 0;
   bool cache_loaded_from_snapshot = false;
   bool cache_invalidated = false;
+  /// Exploration bookkeeping (empty/zero unless `exploration.enabled`).
+  /// Automation indexes dropped this interval because RegressionDetector
+  /// implicated them.
+  std::vector<catalog::IndexDef> rolled_back;
+  /// Arm keys newly quarantined this interval (offense threshold hit).
+  std::vector<uint64_t> quarantined_now;
+  /// Quarantine entries released because the schema/stats fingerprint
+  /// drifted since they were recorded (survives a degraded reset).
+  size_t quarantine_released = 0;
 };
 
 /// \brief Periodic (naïve, per Sec. VI-D) continuous tuning: run AIM at
@@ -126,6 +148,12 @@ class ContinuousTuner {
     return candidate_cache_.get();
   }
 
+  /// The exploration gate; null until the first Tick with
+  /// `exploration.enabled` (the fleet tuner feeds aggregator benefit
+  /// signals here, tests read arm/quarantine state).
+  ExplorationGate* exploration_gate() { return gate_.get(); }
+  const ExplorationGate* exploration_gate() const { return gate_.get(); }
+
  private:
   struct UsageState {
     int idle_intervals = 0;
@@ -162,6 +190,26 @@ class ContinuousTuner {
   /// logged, never surfaced (the cache stays warm in memory regardless).
   void SaveCacheSnapshot();
 
+  /// Readies the exploration gate: allocates it (and the regression
+  /// detector) on the first enabled Tick, loads the persisted gate state
+  /// exactly once, and releases quarantine entries whose schema/stats
+  /// fingerprint drifted.
+  void PrepareGate(IntervalReport* report);
+
+  /// Best-effort gate-state write after a successful interval.
+  void SaveGateSnapshot();
+
+  /// Regression → rollback/quarantine feedback: feeds the interval's
+  /// monitor statistics to the detector and drops every implicated
+  /// automation index through `txn` (repeat offenders are quarantined by
+  /// the gate). `automation` is this interval's automation-index
+  /// snapshot; rolled-back ids are erased from it and from `usage_` so
+  /// the GC loop does not double-drop.
+  Status ObserveRegressions(const workload::WorkloadMonitor* monitor,
+                            std::vector<catalog::IndexDef>* automation,
+                            storage::IndexSetTransaction* txn,
+                            IntervalReport* report);
+
   storage::Database* db_;
   optimizer::CostModel cm_;
   ContinuousTunerOptions options_;
@@ -176,6 +224,12 @@ class ContinuousTuner {
   /// SchemaStatsFingerprint the cached costs were computed against.
   uint64_t cache_schema_fingerprint_ = 0;
   bool snapshot_load_attempted_ = false;
+  /// Bandit exploration gate + its regression feedback source; allocated
+  /// on the first Tick with `exploration.enabled`. Mutated only in the
+  /// tuner's serial sections.
+  std::unique_ptr<ExplorationGate> gate_;
+  std::unique_ptr<support::RegressionDetector> detector_;
+  bool gate_load_attempted_ = false;
 };
 
 }  // namespace aim::core

@@ -1,0 +1,129 @@
+#include "core/deployment_plan.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace aim::core {
+
+namespace {
+
+/// Canonical tie-break signature: table then key columns. Ids and names
+/// are excluded so the order is stable across catalog rebuilds.
+std::string CanonicalSignature(const catalog::IndexDef& def) {
+  std::ostringstream out;
+  out << def.table;
+  for (catalog::ColumnId c : def.columns) out << ':' << c;
+  return out.str();
+}
+
+}  // namespace
+
+double DeploymentPlan::TimeToBenefitFraction(double fraction) const {
+  if (steps.empty() || total_benefit_seconds <= 0.0) return 0.0;
+  const double target = fraction * total_benefit_seconds;
+  // Walk finishes in time order; cumulative_benefit_seconds is already
+  // accumulated in finish order.
+  std::vector<const DeploymentStep*> by_finish;
+  by_finish.reserve(steps.size());
+  for (const DeploymentStep& s : steps) by_finish.push_back(&s);
+  std::sort(by_finish.begin(), by_finish.end(),
+            [](const DeploymentStep* a, const DeploymentStep* b) {
+              return a->finish_seconds < b->finish_seconds;
+            });
+  for (const DeploymentStep* s : by_finish) {
+    if (s->cumulative_benefit_seconds >= target) return s->finish_seconds;
+  }
+  return makespan_seconds;
+}
+
+double DeploymentPlanner::ModeledBuildSeconds(
+    const CandidateIndex& c) const {
+  const double rate = options_.build_bytes_per_second > 0.0
+                          ? options_.build_bytes_per_second
+                          : 64.0 * 1024 * 1024;
+  return std::max(c.size_bytes, 1.0) / rate;
+}
+
+DeploymentPlan DeploymentPlanner::Plan(
+    const std::vector<CandidateIndex>& approved) const {
+  DeploymentPlan plan;
+  if (approved.empty()) return plan;
+
+  // Smith's rule: descending benefit-per-build-second. Benefit floors at
+  // zero so a (rare) negative-utility candidate sorts last, not first.
+  struct Ranked {
+    const CandidateIndex* c;
+    double rate;
+    double build_seconds;
+    std::string signature;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(approved.size());
+  for (const CandidateIndex& c : approved) {
+    const double t = ModeledBuildSeconds(c);
+    ranked.push_back(
+        {&c, std::max(c.benefit, 0.0) / t, t, CanonicalSignature(c.def)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) {
+              if (a.rate != b.rate) return a.rate > b.rate;
+              return a.signature < b.signature;
+            });
+
+  // Storage headroom is consumed in priority order: a too-big candidate
+  // defers, smaller lower-priority ones may still fit.
+  const double headroom = options_.storage_headroom_bytes;
+  double used_bytes = 0.0;
+  std::vector<const Ranked*> scheduled;
+  for (const Ranked& r : ranked) {
+    if (headroom > 0.0 && used_bytes + r.c->size_bytes > headroom) {
+      plan.deferred_for_storage.push_back(*r.c);
+      continue;
+    }
+    used_bytes += r.c->size_bytes;
+    scheduled.push_back(&r);
+  }
+
+  // Earliest-available-slot assignment (ties to the lowest slot id).
+  const int slots = std::max(options_.max_concurrent_builds, 1);
+  std::vector<double> slot_free(static_cast<size_t>(slots), 0.0);
+  for (const Ranked* r : scheduled) {
+    int best = 0;
+    for (int s = 1; s < slots; ++s) {
+      if (slot_free[static_cast<size_t>(s)] <
+          slot_free[static_cast<size_t>(best)]) {
+        best = s;
+      }
+    }
+    DeploymentStep step;
+    step.index = *r->c;
+    step.slot = best;
+    step.start_seconds = slot_free[static_cast<size_t>(best)];
+    step.finish_seconds = step.start_seconds + r->build_seconds;
+    slot_free[static_cast<size_t>(best)] = step.finish_seconds;
+    plan.total_benefit_seconds += std::max(r->c->benefit, 0.0);
+    plan.makespan_seconds =
+        std::max(plan.makespan_seconds, step.finish_seconds);
+    plan.steps.push_back(std::move(step));
+  }
+
+  // Accumulate benefit in finish-time order (equals plan order for one
+  // slot), then write the running sums back through the finish ranking.
+  std::vector<size_t> by_finish(plan.steps.size());
+  for (size_t i = 0; i < by_finish.size(); ++i) by_finish[i] = i;
+  std::sort(by_finish.begin(), by_finish.end(), [&](size_t a, size_t b) {
+    if (plan.steps[a].finish_seconds != plan.steps[b].finish_seconds) {
+      return plan.steps[a].finish_seconds < plan.steps[b].finish_seconds;
+    }
+    return a < b;
+  });
+  double cumulative = 0.0;
+  for (size_t i : by_finish) {
+    cumulative += std::max(plan.steps[i].index.benefit, 0.0);
+    plan.steps[i].cumulative_benefit_seconds = cumulative;
+  }
+  return plan;
+}
+
+}  // namespace aim::core

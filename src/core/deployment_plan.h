@@ -1,0 +1,112 @@
+#ifndef AIM_CORE_DEPLOYMENT_PLAN_H_
+#define AIM_CORE_DEPLOYMENT_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/ranking.h"
+
+namespace aim::core {
+
+/// Knobs of the deployment-order scheduler (Kimura et al., PAPERS.md:
+/// when K indexes are approved, build order determines how early
+/// cumulative benefit arrives).
+struct DeploymentOptions {
+  /// Master switch: plan + per-step apply instead of the classic single
+  /// IndexSetTransaction. Off by default — the all-or-nothing path stays
+  /// the baseline.
+  bool ordered = false;
+  /// Modeled concurrent build slots. Steps execute in plan order; the
+  /// slot model shapes the modeled benefit curve (start/finish times).
+  int max_concurrent_builds = 1;
+  /// Storage headroom for this deployment, bytes; candidates that do not
+  /// fit (in plan order) are deferred, not failed. Non-positive =
+  /// unconstrained.
+  double storage_headroom_bytes = 0.0;
+  /// Build-throughput model for converting index size to build seconds.
+  double build_bytes_per_second = 64.0 * 1024 * 1024;
+};
+
+/// One scheduled build.
+struct DeploymentStep {
+  CandidateIndex index;
+  /// Modeled slot (0-based) and timeline, seconds from deployment start.
+  int slot = 0;
+  double start_seconds = 0.0;
+  double finish_seconds = 0.0;
+  /// Σ benefit of every step finishing at or before this one.
+  double cumulative_benefit_seconds = 0.0;
+};
+
+/// A full deployment schedule with its modeled benefit curve.
+struct DeploymentPlan {
+  /// Execution order (priority order; modeled times honor the slots).
+  std::vector<DeploymentStep> steps;
+  /// Candidates that exceeded the storage headroom, in priority order.
+  std::vector<CandidateIndex> deferred_for_storage;
+  double total_benefit_seconds = 0.0;
+  double makespan_seconds = 0.0;
+
+  /// Earliest modeled time by which Σ benefit of finished builds reaches
+  /// `fraction` of the plan's total (0 when the plan is empty).
+  double TimeToBenefitFraction(double fraction) const;
+};
+
+/// What the ordered apply path actually did for one step.
+struct DeploymentStepResult {
+  catalog::IndexDef def;
+  int slot = 0;
+  double modeled_start_seconds = 0.0;
+  double modeled_finish_seconds = 0.0;
+  double benefit_seconds = 0.0;
+  double cumulative_benefit_seconds = 0.0;
+  /// Wall seconds the install actually took.
+  double measured_build_seconds = 0.0;
+  bool installed = false;
+  /// Failure of this step only; earlier installs stay (each index was
+  /// individually validated).
+  std::string error;
+};
+
+/// Ordered-deployment summary embedded in AimReport.
+struct DeploymentReport {
+  bool ordered = false;
+  std::vector<DeploymentStepResult> steps;
+  size_t installed = 0;
+  size_t failed_steps = 0;
+  size_t deferred_for_storage = 0;
+  double total_benefit_seconds = 0.0;
+  double modeled_time_to_half_benefit_seconds = 0.0;
+  double modeled_makespan_seconds = 0.0;
+};
+
+/// \brief Orders K approved index builds to maximize early cumulative
+/// benefit.
+///
+/// Serial builds earning benefit bᵢ after a build of duration tᵢ are a
+/// 1-machine scheduling problem: Smith's rule (descending bᵢ/tᵢ)
+/// minimizes Σ bᵢ·Cᵢ, i.e. maximizes the area under the cumulative
+/// benefit curve — no order reaches any benefit fraction earlier in
+/// aggregate. With multiple modeled slots the same priority order feeds
+/// an earliest-available-slot assignment. Ties break on the canonical
+/// index signature, so the plan is a pure function of its inputs.
+class DeploymentPlanner {
+ public:
+  explicit DeploymentPlanner(DeploymentOptions options = {})
+      : options_(options) {}
+
+  DeploymentPlan Plan(const std::vector<CandidateIndex>& approved) const;
+
+  /// Modeled build duration of one candidate, seconds (size over modeled
+  /// throughput, floored so zero-size candidates still take time).
+  double ModeledBuildSeconds(const CandidateIndex& c) const;
+
+  const DeploymentOptions& options() const { return options_; }
+
+ private:
+  DeploymentOptions options_;
+};
+
+}  // namespace aim::core
+
+#endif  // AIM_CORE_DEPLOYMENT_PLAN_H_

@@ -296,6 +296,15 @@ Result<FleetIntervalReport> FleetTuner::RunInterval() {
     }
     if (out.report.degraded) ++report.degraded_ticks;
 
+    // Exploration: feed the warehouse-side benefit signal into the
+    // tenant's bandit gate (serial fold — the gate is lock-free by
+    // design). The signal scales the UCB confidence bonus; admission
+    // stays a pure function of each tenant's own serial history.
+    if (ExplorationGate* gate = t.tuner->exploration_gate()) {
+      gate->ObserveFleetBenefit(
+          aggregator_.view(t.name).last_delta_benefit_seconds);
+    }
+
     // Benefit estimate for the next interval: measured per-query CPU
     // improvement from clone validation when available, otherwise decay
     // toward zero — a converged tenant sinks until its workload shifts.

@@ -64,6 +64,7 @@ Result<OnlineBuildReport> OnlineIndexBuilder::Build(
 
   obs::Span build_span(obs::Tracer::Get(), "online.build");
   builds->Add();
+  const auto build_start = std::chrono::steady_clock::now();
   def.hypothetical = false;
   def.id = catalog::kInvalidIndex;
 
@@ -265,6 +266,11 @@ Result<OnlineBuildReport> OnlineIndexBuilder::Build(
   report.catchup_rounds = rounds;
   report.retry_attempts = retry.attempts();
   report.retry_backoff_ms = retry.total_backoff_ms();
+  report.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    build_start)
+          .count();
+  build_span.SetAttr("build_seconds", report.build_seconds);
   stall_hist->Observe(report.stall_seconds);
   delta_entries->Add(report.delta_applied + report.swap_tail_applied);
   build_span.SetAttr("snapshot_rows", report.snapshot_rows);

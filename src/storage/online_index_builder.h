@@ -59,6 +59,9 @@ struct OnlineBuildReport {
   /// Retry bookkeeping from the catch-up policy (virtual clock).
   int retry_attempts = 0;
   double retry_backoff_ms = 0.0;
+  /// End-to-end wall time of the build (arm → swap), seconds. Feeds the
+  /// deployment planner's measured cumulative-benefit curves.
+  double build_seconds = 0.0;
 };
 
 /// \brief Online index creation under live OLTP traffic: side-build +

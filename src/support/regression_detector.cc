@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "obs/metrics.h"
+
 namespace aim::support {
 
 std::vector<Regression> RegressionDetector::Observe(
@@ -38,6 +40,14 @@ std::vector<Regression> RegressionDetector::Observe(
     while (h.cpu_avg_window.size() > options_.baseline_window) {
       h.cpu_avg_window.pop_front();
     }
+  }
+  if (!regressions.empty()) {
+    // Observability for the exploration feedback loop: every detected
+    // regression is a potential rollback/quarantine trigger upstream.
+    static obs::Counter* const detected =
+        obs::MetricsRegistry::Global()->counter(
+            "aim.exploration.regressions");
+    detected->Add(regressions.size());
   }
   return regressions;
 }

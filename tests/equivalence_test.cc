@@ -220,6 +220,70 @@ TEST(EquivalenceTest, AimCacheChangesCallCountsNotDecisions) {
   EXPECT_EQ(cached, decisions(8, 0));
 }
 
+// The exploration gate and ordered deployment are a fourth equivalence
+// dimension: with a bandit admission pass and a per-step deployment
+// schedule in the loop, decisions (admissions, deferrals, arm state,
+// modeled schedule) must still be bit-identical at 1/2/8 threads with
+// the what-if cache on or off. Deeper lifecycle coverage lives in
+// `ctest -L exploration`.
+TEST(EquivalenceTest, ExplorationAndOrderedDeployBitIdentical) {
+  FaultRegistry::Instance().DisarmAll();
+  const storage::Database base = MakeUsersDb(500, /*seed=*/7);
+  const workload::Workload w = EquivalenceWorkload();
+
+  auto run = [&](int threads, size_t cache_entries) {
+    storage::Database db = base;
+    core::ExplorationOptions gate_options;
+    gate_options.enabled = true;
+    core::ExplorationGate gate(gate_options);
+    core::AimOptions options;
+    options.num_threads = threads;
+    options.what_if_cache_entries = cache_entries;
+    options.exploration_gate = &gate;
+    options.deployment.ordered = true;
+    core::AutomaticIndexManager aim(&db, optimizer::CostModel(), options);
+    Result<core::AimReport> r = aim.RunOnce(w, nullptr);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) return std::string();
+    const core::AimReport& report = r.ValueOrDie();
+    std::ostringstream out;
+    out << std::hexfloat;
+    out << AimSignature(report, /*include_counts=*/false);
+    const core::ExplorationSummary& e = report.exploration;
+    out << "gate admit=" << e.admitted << " defer=" << e.deferred
+        << " regret=" << e.projected_regret_seconds << "\n";
+    for (const core::ArmView& a : gate.arms()) {
+      out << "arm " << a.key << " pulls=" << a.pulls
+          << " n=" << a.measured_count
+          << " sum=" << a.measured_total_seconds << "\n";
+    }
+    const core::DeploymentReport& d = report.deployment;
+    out << "deploy installed=" << d.installed
+        << " total=" << d.total_benefit_seconds
+        << " t50=" << d.modeled_time_to_half_benefit_seconds
+        << " makespan=" << d.modeled_makespan_seconds << "\n";
+    for (const core::DeploymentStepResult& s : d.steps) {
+      out << "step ";
+      AppendIndexDef(&out, s.def);
+      out << " slot=" << s.slot << " start=" << s.modeled_start_seconds
+          << " finish=" << s.modeled_finish_seconds
+          << " cum=" << s.cumulative_benefit_seconds
+          << " ok=" << s.installed << "\n";
+    }
+    return out.str() + CatalogSignature(db);
+  };
+
+  for (size_t cache : {size_t{4096}, size_t{0}}) {
+    const std::string serial = run(1, cache);
+    ASSERT_NE(serial.find("idx "), std::string::npos)
+        << "exploration equivalence run recommended nothing:\n" << serial;
+    ASSERT_NE(serial.find("step "), std::string::npos)
+        << "ordered deployment produced no steps:\n" << serial;
+    EXPECT_EQ(serial, run(2, cache)) << "cache=" << cache;
+    EXPECT_EQ(serial, run(8, cache)) << "cache=" << cache;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Sharded pipeline
 

@@ -263,6 +263,10 @@ TEST(TraceExportTest, FullPipelineChromeTraceValidates) {
     // trace gate can demand the workload.compress and candgen.incremental
     // spans alongside the classic pipeline phases.
     options.aim.compression.enabled = true;
+    // Exploration + ordered deployment on, so the exploration.gate and
+    // deploy.step spans the trace gate demands are exported too.
+    options.exploration.enabled = true;
+    options.aim.deployment.ordered = true;
     core::ContinuousTuner tuner(&db, optimizer::CostModel(), options);
     Result<core::IntervalReport> r = tuner.Tick(w, nullptr);
     ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -321,7 +325,8 @@ TEST(TraceExportTest, FullPipelineChromeTraceValidates) {
         "aim.validation", "aim.apply", "whatif.plan", "sql.parse",
         "executor.execute", "sharded.run_once", "sharded.validation",
         "shard.validate", "sharded.apply", "shard.apply", "online.build",
-        "online.snapshot", "online.catchup", "online.swap"}) {
+        "online.snapshot", "online.catchup", "online.swap",
+        "exploration.gate", "deploy.step"}) {
     EXPECT_EQ(names.count(phase), 1u) << "missing span: " << phase;
   }
   // Per-shard children hang off the sharded validation/apply phases.

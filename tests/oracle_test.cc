@@ -146,16 +146,9 @@ class QueryGen {
   uint64_t rows_;
 };
 
-std::multiset<std::string> RowFingerprints(
-    const executor::ExecuteResult& result) {
-  std::multiset<std::string> keys;
-  for (const storage::Row& row : result.rows) {
-    std::string k;
-    for (const sql::Value& v : row) k += v.ToSqlLiteral() + "|";
-    keys.insert(std::move(k));
-  }
-  return keys;
-}
+// Result comparison uses the shared aim::testing::RowFingerprints helper
+// (tests/test_util.h), which the exploration differential suite reuses.
+using aim::testing::RowFingerprints;
 
 // ---------------------------------------------------------------------------
 

@@ -3,10 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "executor/executor.h"
 #include "sql/parser.h"
 #include "storage/data_generator.h"
 #include "storage/database.h"
@@ -52,6 +54,21 @@ inline workload::Query MustQuery(const std::string& text,
     return workload::Query{};
   }
   return r.MoveValue();
+}
+
+/// Order-insensitive result fingerprint: the multiset of rows rendered
+/// as SQL literals. Two configurations agree on a query iff their
+/// fingerprints match — the oracle and differential suites' comparison
+/// key.
+inline std::multiset<std::string> RowFingerprints(
+    const executor::ExecuteResult& result) {
+  std::multiset<std::string> keys;
+  for (const storage::Row& row : result.rows) {
+    std::string k;
+    for (const sql::Value& v : row) k += v.ToSqlLiteral() + "|";
+    keys.insert(std::move(k));
+  }
+  return keys;
 }
 
 }  // namespace aim::testing

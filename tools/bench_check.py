@@ -13,6 +13,11 @@ Validates the performance contracts the benchmarks exist to defend:
   executor_batch        vectorized batch engine >= 2x over the
                         row-at-a-time interpreter (single-thread
                         vectorization win; holds on 1-core boxes too).
+  exploration           ordered deployment reaches 50% of the modeled
+                        benefit >= 1.2x earlier than the single-
+                        transaction apply, per-interval projected regret
+                        stays within budget (top-1 admission excepted),
+                        and zero quarantined indexes were ever applied.
 
 Speedup gates that depend on parallel hardware condition on the
 `run_meta.hardware_concurrency` every bench records (which is why that
@@ -99,10 +104,29 @@ def gate_executor(results):
           f"{speedup:.2f}x (floor 2.0x)")
 
 
+def gate_exploration(results):
+    s = results["exploration"]
+    require_run_meta(results, "exploration")
+    speedup = s.get("time_to_half_benefit_speedup", 0.0)
+    check("exploration", "time_to_half_benefit_speedup", speedup >= 1.2,
+          f"{speedup:.2f}x (floor 1.2x — ordered deployment must reach "
+          f"50% benefit measurably earlier than the single-transaction "
+          f"apply)")
+    bounded = s.get("regret_bounded", False)
+    check("exploration", "regret_bounded", bounded is True,
+          f"{bounded} (per-interval projected regret within budget, "
+          f"top-1 admission excepted)")
+    quarantined_applies = s.get("quarantined_applies", -1)
+    check("exploration", "quarantined_applies", quarantined_applies == 0,
+          f"{quarantined_applies} (a quarantined index must never be "
+          f"applied)")
+
+
 GATES = {
     "fleet_tuning": gate_fleet,
     "workload_compression": gate_compression,
     "executor_batch": gate_executor,
+    "exploration": gate_exploration,
 }
 
 
